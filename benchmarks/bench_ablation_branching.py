@@ -1,0 +1,57 @@
+"""Ablation: hierarchical branching factor on range workloads.
+
+The hierarchical baseline's accuracy depends on its branching factor;
+Cormode et al. recommend ~4-5 under LDP.  This bench sweeps the factor on
+Prefix and AllRange and confirms the default sits at (or near) the sweet
+spot — and that the optimized mechanism beats every branching choice.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.reporting import format_table
+from repro.experiments.scale import current_scale
+from repro.mechanisms import StrategyMechanism, hierarchical
+from repro.optimization import OptimizedMechanism, OptimizerConfig
+from repro.workloads import all_range, prefix
+
+EPSILON = 1.0
+BRANCHINGS = (2, 4, 8, 16)
+
+
+def run_sweep():
+    scale = current_scale()
+    n = scale.domain_size
+    optimized = OptimizedMechanism(
+        OptimizerConfig(num_iterations=scale.optimizer_iterations, seed=0)
+    )
+    rows = []
+    for workload in (prefix(n), all_range(n)):
+        cells = {}
+        for branching in BRANCHINGS:
+            mechanism = StrategyMechanism(
+                f"Hierarchical(b={branching})",
+                lambda size, eps, b=branching: hierarchical(size, eps, branching=b),
+            )
+            cells[branching] = mechanism.sample_complexity(workload, EPSILON)
+        rows.append(
+            [workload.name]
+            + [cells[b] for b in BRANCHINGS]
+            + [optimized.sample_complexity(workload, EPSILON)]
+        )
+    return rows
+
+
+def test_branching_sweep(once):
+    rows = once(run_sweep)
+    emit(
+        "Ablation — hierarchical branching factor (samples @ 1%)",
+        format_table(
+            ["workload"] + [f"b={b}" for b in BRANCHINGS] + ["Optimized"], rows
+        ),
+    )
+    for row in rows:
+        branch_values = row[1:-1]
+        optimized_value = row[-1]
+        # The default (b=4) is within 1.5x of the best branching choice...
+        assert branch_values[1] <= min(branch_values) * 1.5, row[0]
+        # ...and the optimized mechanism beats all of them.
+        assert optimized_value < min(branch_values), row[0]

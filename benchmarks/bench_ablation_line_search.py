@@ -1,0 +1,56 @@
+"""Ablation: backtracking line search vs the paper's fixed-step updates.
+
+Both modes implement Algorithm 2; the line-search variant replaces the
+hyper-searched constant step with an Armijo backtracking rule.  This bench
+quantifies the quality/compute trade-off that motivated making line search
+the default.
+"""
+
+import time
+
+from benchmarks.conftest import emit
+from repro.experiments.reporting import format_table
+from repro.experiments.scale import current_scale
+from repro.optimization import OptimizerConfig, optimize_strategy
+from repro.workloads import prefix
+
+EPSILON = 1.0
+
+
+def run_modes():
+    scale = current_scale()
+    workload = prefix(scale.init_domain_size)
+    rows = []
+    for label, config in (
+        (
+            "line search (default)",
+            OptimizerConfig(num_iterations=scale.optimizer_iterations, seed=0),
+        ),
+        (
+            "fixed step + grid search (paper)",
+            OptimizerConfig(
+                num_iterations=scale.optimizer_iterations,
+                seed=0,
+                line_search=False,
+                search_points=5,
+                search_iterations=25,
+            ),
+        ),
+    ):
+        start = time.perf_counter()
+        result = optimize_strategy(workload, EPSILON, config)
+        elapsed = time.perf_counter() - start
+        rows.append([label, result.objective, result.iterations_run, elapsed])
+    return rows
+
+
+def test_line_search_vs_fixed_step(once):
+    rows = once(run_modes)
+    emit(
+        "Ablation — Algorithm 2 step-size policy",
+        format_table(["mode", "L(Q)", "iterations", "seconds"], rows),
+    )
+    line_search_objective = rows[0][1]
+    fixed_objective = rows[1][1]
+    # The default must not be worse than the paper-verbatim loop.
+    assert line_search_objective <= fixed_objective * 1.02

@@ -1,0 +1,26 @@
+"""Figure 1: sample complexity of 7 mechanisms x 6 workloads vs epsilon.
+
+Checks the paper's headline claims on the regenerated series:
+* Optimized needs the fewest samples on every (workload, epsilon) cell;
+* every value respects the Theorem 5.6 lower bound.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.experiments import figure1
+
+
+def test_figure1_sample_complexity_vs_epsilon(once):
+    rows = once(figure1.run)
+    emit("Figure 1 — sample complexity vs epsilon", figure1.render(rows))
+
+    by_cell: dict[tuple, dict[str, float]] = {}
+    for row in rows:
+        by_cell.setdefault((row.workload, row.epsilon), {})[row.mechanism] = row.samples
+    for (workload, epsilon), cells in by_cell.items():
+        bound = cells.pop("Lower Bound (Thm 5.6)")
+        optimized = cells.pop("Optimized")
+        competitors = {k: v for k, v in cells.items() if np.isfinite(v)}
+        assert optimized <= min(competitors.values()) * 1.01, (workload, epsilon)
+        assert optimized >= bound * (1 - 1e-9)

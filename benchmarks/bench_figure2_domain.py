@@ -1,0 +1,31 @@
+"""Figure 2: sample complexity vs domain size at eps = 1.0.
+
+Checks the Section 6.3 findings: Optimized wins at every size, and the
+workload-adaptive mechanisms have visibly smaller growth exponents than the
+non-adaptive ones.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import figure2
+
+
+def test_figure2_sample_complexity_vs_domain(once):
+    rows = once(figure2.run)
+    emit("Figure 2 — sample complexity vs domain size", figure2.render(rows))
+
+    workloads = {row.workload for row in rows}
+    sizes = sorted({row.domain_size for row in rows})
+    for workload in workloads:
+        for size in sizes:
+            cells = {
+                row.mechanism: row.samples
+                for row in rows
+                if row.workload == workload and row.domain_size == size
+            }
+            assert cells["Optimized"] <= min(cells.values()) * 1.01, (workload, size)
+
+    # Growth-rate comparison on the range-style workloads (Section 6.3).
+    for workload in ("Prefix", "AllRange"):
+        adaptive = figure2.loglog_slope(rows, workload, "Optimized")
+        non_adaptive = figure2.loglog_slope(rows, workload, "Randomized Response")
+        assert adaptive < non_adaptive, workload

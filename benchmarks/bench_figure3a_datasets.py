@@ -1,0 +1,32 @@
+"""Figure 3a: data-dependent sample complexity on DPBench-like datasets.
+
+Checks the Section 6.4 findings: Optimized is the best and the most
+consistent mechanism across datasets, and its worst case is a tight proxy
+for real-data behaviour.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.experiments import figure3a
+
+
+def test_figure3a_dataset_sample_complexity(once):
+    rows = once(figure3a.run)
+    emit("Figure 3a — sample complexity on benchmark datasets", figure3a.render(rows))
+
+    datasets = {row.dataset for row in rows}
+    for dataset in datasets:
+        cells = {row.mechanism: row.samples for row in rows if row.dataset == dataset}
+        finite = {k: v for k, v in cells.items() if np.isfinite(v)}
+        assert cells["Optimized"] <= min(finite.values()) * 1.01, dataset
+
+    # Optimized is the most dataset-consistent mechanism measured.
+    deviations = {
+        mechanism: figure3a.max_deviation(rows, mechanism)
+        for mechanism in {row.mechanism for row in rows}
+    }
+    finite_deviations = {
+        k: v for k, v in deviations.items() if np.isfinite(v) and v > 0
+    }
+    assert deviations["Optimized"] <= min(finite_deviations.values()) * 1.05

@@ -1,0 +1,24 @@
+"""Figure 3b: robustness to initialization and the choice of m.
+
+Checks the Section 6.5 findings: every optimized strategy lands within a
+modest factor of the best found (paper: 1.21 at n = 64 over 10 seeds), and
+quality improves as m grows.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import figure3b
+
+
+def test_figure3b_initialization_robustness(once):
+    rows = once(figure3b.run)
+    emit("Figure 3b — variance ratio to best across m and seeds", figure3b.render(rows))
+
+    assert all(row.max_ratio <= 1.6 for row in rows), "initialization unstable"
+
+    # Larger m is at least as good (allowing small noise) per workload.
+    for workload in {row.workload for row in rows}:
+        series = sorted(
+            (row for row in rows if row.workload == workload),
+            key=lambda row: row.num_outputs,
+        )
+        assert series[-1].median_ratio <= series[0].median_ratio * 1.10, workload

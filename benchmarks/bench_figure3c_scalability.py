@@ -1,0 +1,34 @@
+"""Figure 3c: per-iteration optimization time vs domain size.
+
+This is the one genuinely timing-shaped experiment, so the benchmark
+fixture times the largest domain size directly in addition to regenerating
+the full series.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import figure3c
+from repro.experiments.scale import current_scale
+
+
+def test_figure3c_series(once):
+    rows = once(figure3c.run)
+    emit("Figure 3c — seconds per iteration vs domain size", figure3c.render(rows))
+    times = [row.seconds_per_iteration for row in rows]
+    assert times == sorted(times) or times[-1] > times[0], "time must grow with n"
+
+
+def test_figure3c_single_iteration_timing(benchmark):
+    scale = current_scale()
+    largest = scale.timing_domain_sizes[-1]
+    seconds = benchmark.pedantic(
+        figure3c.time_per_iteration,
+        args=(largest,),
+        kwargs={"repeats": 3},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Figure 3c — spot check",
+        f"n = {largest}: {seconds:.4f} s per Algorithm 2 iteration",
+    )
+    assert seconds > 0

@@ -1,0 +1,19 @@
+"""Figure 4: WNNLS post-processing ablation.
+
+Checks the Section 6.7 finding: WNNLS never hurts and delivers a visible
+variance reduction in the small-N regime on most workloads.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import figure4
+
+
+def test_figure4_wnnls(once):
+    rows = once(figure4.run)
+    emit("Figure 4 — normalized variance with/without WNNLS", figure4.render(rows))
+
+    for row in rows:
+        assert row.wnnls_variance <= row.default_variance * 1.001, row.workload
+    # At least half of the workloads see a real (>20%) improvement.
+    improved = sum(row.improvement > 1.2 for row in rows)
+    assert improved >= len(rows) // 2

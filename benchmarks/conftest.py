@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark suite.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each bench regenerates one of the paper's tables or figures and prints the
+series (captured with ``-s`` or in the benchmark log).  ``REPRO_SCALE=paper``
+switches to the paper's experiment sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(title: str, body: str) -> None:
+    """Print a rendered experiment table with a banner."""
+    banner = "=" * max(len(title), 20)
+    print(f"\n{banner}\n{title}\n{banner}\n{body}\n")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing.
+
+    Experiment regeneration is deterministic and can take seconds to
+    minutes; repeating it for statistical timing would waste the budget.
+    """
+
+    def runner(function, *args, **kwargs):
+        return benchmark.pedantic(
+            function, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

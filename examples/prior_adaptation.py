@@ -1,0 +1,86 @@
+"""Scenario: adapting the mechanism to a known population prior.
+
+The paper optimizes for worst-case (via average-case) variance; footnote 2
+notes that a prior over the data vector can be used instead.  That matters
+when the collector has last quarter's (public or already-released)
+distribution: most mass sits on a few types, and the strategy should spend
+its accuracy there.
+
+This example optimizes two strategies for the same workload and budget —
+one uniform (the paper's default), one weighted by a skewed prior — and
+compares their expected variance under the true (skewed) population.
+
+Run:  python examples/prior_adaptation.py
+"""
+
+import numpy as np
+
+from repro.analysis import per_user_variances
+from repro.data import zipf_data
+from repro.optimization import OptimizerConfig, optimize_strategy
+from repro.protocol import run_protocol
+from repro.workloads import prefix
+
+DOMAIN_SIZE = 32
+EPSILON = 1.0
+NUM_USERS = 50_000
+
+
+def main() -> None:
+    rng = np.random.default_rng(1)
+    workload = prefix(DOMAIN_SIZE)
+
+    # Last quarter's release: a head-heavy Zipf population.
+    history = zipf_data(DOMAIN_SIZE, 500_000, exponent=1.4, seed=0)
+    prior = history / history.sum()
+
+    uniform = optimize_strategy(
+        workload, EPSILON, OptimizerConfig(num_iterations=600, seed=0)
+    )
+    adapted = optimize_strategy(
+        workload, EPSILON, OptimizerConfig(num_iterations=600, seed=0, prior=prior)
+    )
+
+    gram = workload.gram()
+    t_uniform = per_user_variances(uniform.strategy.probabilities, gram)
+    t_adapted = per_user_variances(
+        adapted.strategy.probabilities, gram, prior=prior
+    )
+    expected_uniform = float(prior @ t_uniform)
+    expected_adapted = float(prior @ t_adapted)
+    print(f"workload: {workload}, eps = {EPSILON}")
+    print(f"expected per-user variance under the true population:")
+    print(f"  uniform-optimized: {expected_uniform:10.1f}")
+    print(f"  prior-optimized:   {expected_adapted:10.1f}"
+          f"   ({expected_uniform / expected_adapted:.2f}x better)")
+
+    # Confirm on a simulated collection drawn from this quarter's (similar)
+    # population.
+    truth = zipf_data(DOMAIN_SIZE, NUM_USERS, exponent=1.4, seed=3)
+    errors = {}
+    for label, result in (("uniform", uniform), ("prior", adapted)):
+        from repro.analysis import reconstruction_operator
+
+        operator = reconstruction_operator(
+            result.strategy.probabilities,
+            prior if label == "prior" else None,
+        )
+        squared = []
+        for _ in range(30):
+            histogram = result.strategy.sample_histogram(truth, rng)
+            delta = operator @ histogram - truth
+            squared.append(workload.error_quadratic(delta))
+        errors[label] = np.mean(squared)
+    print(f"\nsimulated mean squared workload error over 30 runs:")
+    print(f"  uniform-optimized: {errors['uniform']:12.0f}")
+    print(f"  prior-optimized:   {errors['prior']:12.0f}"
+          f"   ({errors['uniform'] / errors['prior']:.2f}x better)")
+    print(
+        "\nBoth strategies are unbiased for every dataset; the prior only "
+        "shifts where accuracy is spent, it never affects the privacy "
+        "guarantee."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""n=512 Histogram spot check (same settings as spot_check_512_trimmed)."""
+
+import time
+
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import safe_sample_complexity
+from repro.mechanisms import paper_baselines
+from repro.optimization import OptimizedMechanism, OptimizerConfig
+from repro.workloads import by_name
+
+EPSILON = 1.0
+
+if __name__ == "__main__":
+    mechanisms = list(paper_baselines()) + [
+        OptimizedMechanism(
+            OptimizerConfig(num_iterations=120, seed=0), floor_baselines=False
+        )
+    ]
+    workload = by_name("Histogram", 512)
+    start = time.time()
+    cells = [safe_sample_complexity(m, workload, EPSILON) for m in mechanisms]
+    print(f"[Histogram: {time.time() - start:.0f}s]", flush=True)
+    headers = ["workload"] + [m.name for m in mechanisms] + ["gain"]
+    print(format_table(headers, [["Histogram", *cells, min(cells[:-1]) / cells[-1]]]))

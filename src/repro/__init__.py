@@ -1,0 +1,94 @@
+"""repro — workload-adaptive linear query answering under local differential
+privacy.
+
+A full reproduction of McKenna, Maity, Mazumdar & Miklau, *A
+workload-adaptive mechanism for linear queries under local differential
+privacy* (PVLDB 2020).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import workloads, OptimizedMechanism, OptimizerConfig
+>>> from repro.protocol import run_protocol
+>>> w = workloads.prefix(16)
+>>> mech = OptimizedMechanism(OptimizerConfig(num_iterations=200, seed=0))
+>>> strategy = mech.strategy_for(w, epsilon=1.0)
+>>> x = np.full(16, 100.0)                     # 1600 users, uniform
+>>> result = run_protocol(w, strategy, x, rng=np.random.default_rng(0))
+>>> result.workload_estimates.shape
+(16,)
+
+Subpackages
+-----------
+``repro.workloads``      the paper's six workloads + custom builders
+``repro.mechanisms``     baseline LDP mechanisms as strategy matrices
+``repro.optimization``   Algorithms 1 & 2 (the paper's contribution)
+``repro.analysis``       variance, sample complexity, lower bounds
+``repro.protocol``       client/server simulation & privacy audits
+``repro.postprocess``    WNNLS consistency post-processing
+``repro.data``           synthetic datasets
+``repro.experiments``    one module per paper figure/table
+"""
+
+from repro import (
+    analysis,
+    data,
+    domains,
+    linalg,
+    mechanisms,
+    optimization,
+    postprocess,
+    protocol,
+    workloads,
+)
+from repro.exceptions import (
+    DataError,
+    DomainError,
+    FactorizationError,
+    OptimizationError,
+    PrivacyViolationError,
+    ProtocolError,
+    ReproError,
+    StochasticityError,
+    WorkloadError,
+)
+from repro.mechanisms import FactorizationMechanism, Mechanism, StrategyMatrix
+from repro.optimization import (
+    OptimizationResult,
+    OptimizedMechanism,
+    OptimizerConfig,
+    optimize_strategy,
+)
+from repro.workloads import Workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DataError",
+    "DomainError",
+    "FactorizationError",
+    "FactorizationMechanism",
+    "Mechanism",
+    "OptimizationError",
+    "OptimizationResult",
+    "OptimizedMechanism",
+    "OptimizerConfig",
+    "PrivacyViolationError",
+    "ProtocolError",
+    "ReproError",
+    "StochasticityError",
+    "StrategyMatrix",
+    "Workload",
+    "WorkloadError",
+    "__version__",
+    "analysis",
+    "data",
+    "domains",
+    "linalg",
+    "mechanisms",
+    "optimization",
+    "optimize_strategy",
+    "postprocess",
+    "protocol",
+    "workloads",
+]

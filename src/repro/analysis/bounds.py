@@ -1,0 +1,46 @@
+"""Lower bounds on achievable error (Theorem 5.6, Corollaries 5.7, Ex. 5.8).
+
+Theorem 5.6: for every epsilon-LDP strategy ``Q``,
+
+    L(Q)  >=  (lambda_1 + ... + lambda_n)^2 / e^eps
+
+where ``lambda_i`` are the singular values of ``W``.  This is the SVD bound
+of Li & Miklau transported to the local model: any feasible ``Q`` yields
+``X = Q^T D^-1 Q`` with ``X_uu <= e^eps / n``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.sample_complexity import PAPER_ALPHA
+from repro.workloads.base import Workload
+
+
+def strategy_objective_lower_bound(workload: Workload, epsilon: float) -> float:
+    """The Theorem 5.6 lower bound on ``L(Q)``."""
+    nuclear_norm = float(workload.singular_values().sum())
+    return nuclear_norm**2 / np.exp(epsilon)
+
+
+def worst_case_variance_lower_bound(
+    workload: Workload, epsilon: float, num_users: float = 1.0
+) -> float:
+    """The Corollary 5.7 lower bound on ``L_worst`` of any factorization
+    mechanism (may be vacuous, i.e. negative, at large epsilon)."""
+    n = workload.domain_size
+    bound = strategy_objective_lower_bound(workload, epsilon)
+    return num_users / n * (bound - workload.frobenius_norm_squared())
+
+
+def sample_complexity_lower_bound(
+    workload: Workload, epsilon: float, alpha: float = PAPER_ALPHA
+) -> float:
+    """Lower bound on the worst-case sample complexity at target ``alpha``.
+
+    Derived by chaining Corollary 5.7 with Corollary 5.4; clipped at zero
+    where the variance bound is vacuous.  For Histogram this reduces to
+    Example 5.8: ``(1/alpha) (e^-eps - 1/n)``.
+    """
+    variance_bound = worst_case_variance_lower_bound(workload, epsilon)
+    return max(0.0, variance_bound / (workload.num_queries * alpha))

@@ -1,0 +1,86 @@
+"""Privacy-budget planning.
+
+Section 5.2: "when running an LDP mechanism it is important to know how much
+data is required to obtain a target error rate, as that information is
+critical for determining an appropriate privacy budget."  This module is the
+inverse direction: given the population you actually have, find the smallest
+epsilon whose sample complexity it covers.
+
+The mechanism argument is structural — anything with
+``sample_complexity(workload, epsilon, alpha)`` works (every class in
+:mod:`repro.mechanisms` and :class:`repro.optimization.OptimizedMechanism`).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sample_complexity import PAPER_ALPHA
+from repro.exceptions import OptimizationError
+from repro.workloads.base import Workload
+
+
+def epsilon_for_population(
+    mechanism,
+    workload: Workload,
+    num_users: float,
+    alpha: float = PAPER_ALPHA,
+    low: float = 0.05,
+    high: float = 10.0,
+    tolerance: float = 1e-3,
+) -> float:
+    """Smallest epsilon in ``[low, high]`` whose sample complexity is covered
+    by ``num_users``.
+
+    Sample complexity is monotone decreasing in epsilon for the fixed
+    mechanisms (and empirically for the optimized one), so bisection
+    applies.
+
+    Raises
+    ------
+    OptimizationError
+        If even ``high`` does not bring the requirement under ``num_users``.
+
+    Examples
+    --------
+    >>> from repro.mechanisms import by_name
+    >>> from repro.workloads import histogram
+    >>> eps = epsilon_for_population(by_name("Hadamard"), histogram(16), 5000)
+    >>> 0.05 < eps < 10
+    True
+    """
+    if num_users <= 0:
+        raise OptimizationError(f"population must be positive, got {num_users}")
+
+    def requirement(epsilon: float) -> float:
+        return mechanism.sample_complexity(workload, epsilon, alpha)
+
+    if requirement(high) > num_users:
+        raise OptimizationError(
+            f"{num_users:g} users cannot reach alpha={alpha:g} on "
+            f"{workload.name!r} even at epsilon={high:g} "
+            f"(needs {requirement(high):g})"
+        )
+    if requirement(low) <= num_users:
+        return low
+    while high - low > tolerance:
+        middle = 0.5 * (low + high)
+        if requirement(middle) <= num_users:
+            high = middle
+        else:
+            low = middle
+    return high
+
+
+def achievable_alpha(
+    mechanism,
+    workload: Workload,
+    num_users: float,
+    epsilon: float,
+) -> float:
+    """The normalized-variance level reachable with a given population.
+
+    Inverts Corollary 5.4 directly: ``alpha = N*(1) / num_users`` since the
+    requirement scales as ``1 / alpha``.
+    """
+    if num_users <= 0:
+        raise OptimizationError(f"population must be positive, got {num_users}")
+    return mechanism.sample_complexity(workload, epsilon, alpha=1.0) / num_users

@@ -1,0 +1,21 @@
+"""The strategy-only objective ``L(Q)`` of Theorem 3.11.
+
+    L(Q) = tr[ (Q^T D_Q^-1 Q)^+ (W^T W) ]
+
+This equals ``min_V L(V, Q)`` over all valid reconstructions, and relates to
+the average-case variance by ``L_avg = (N/n)(L(Q) - ||W||_F^2)`` when the
+factorization constraint ``W = W Q^+ Q`` holds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reconstruction import scaled_gram
+from repro.linalg import psd_pinv
+
+
+def strategy_objective(strategy: np.ndarray, gram: np.ndarray) -> float:
+    """Evaluate ``L(Q)`` for a strategy ``Q`` and workload Gram ``C``."""
+    core = scaled_gram(strategy)
+    return float(np.trace(psd_pinv(core) @ np.asarray(gram, dtype=float)))

@@ -1,0 +1,123 @@
+"""Optimal reconstruction (Theorem 3.10) and factorization feasibility.
+
+For a fixed strategy ``Q``, the variance-minimizing reconstruction subject
+to ``W = VQ`` is
+
+    V = W (Q^T D^-1 Q)^+ Q^T D^-1,        D = Diag(Q 1)
+
+We work with the *reconstruction operator* ``B = (Q^T D^-1 Q)^+ Q^T D^-1``
+(shape ``n x m``) rather than ``V = W B`` itself:  ``B`` is independent of
+the workload, and keeping the ``W`` factor symbolic lets huge workloads
+(AllRange) be answered through their ``matvec`` without materializing the
+``p x m`` matrix ``V``.
+
+The formula only yields a true factorization when ``W`` lies in the row
+space of ``Q`` (``W = W Q^+ Q``); :func:`factorization_residual` measures
+the violation in Gram space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+from repro.linalg import psd_pinv, symmetrize
+
+
+def prior_weights(prior: np.ndarray | None, domain_size: int) -> np.ndarray:
+    """Normalize a prior over user types into objective weights.
+
+    The paper's footnote 2: with a prior ``pi`` over ``x``, the average-case
+    variance becomes ``sum_u pi_u t_u`` and the whole Theorem 3.10/3.11
+    pipeline goes through with ``D = Diag(Q w)``, ``w = n pi``.  The uniform
+    prior gives ``w = 1`` — the paper's default — so all public functions
+    take ``prior=None`` to mean uniform.
+    """
+    if prior is None:
+        return np.ones(domain_size)
+    prior = np.asarray(prior, dtype=float)
+    if prior.shape != (domain_size,):
+        raise WorkloadError(
+            f"prior shape {prior.shape} != domain size {domain_size}"
+        )
+    if prior.min() < 0:
+        raise WorkloadError("prior has negative mass")
+    total = prior.sum()
+    if total <= 0:
+        raise WorkloadError("prior sums to zero")
+    return prior * (domain_size / total)
+
+
+def strategy_row_sums(
+    strategy: np.ndarray, prior: np.ndarray | None = None
+) -> np.ndarray:
+    """The diagonal of ``D_Q = Diag(Q w)`` — the (scaled) output distribution
+    under the prior input mix (``w = 1``, i.e. ``Diag(Q 1)``, by default)."""
+    strategy = np.asarray(strategy, dtype=float)
+    return strategy @ prior_weights(prior, strategy.shape[1])
+
+
+def scaled_gram(
+    strategy: np.ndarray, prior: np.ndarray | None = None
+) -> np.ndarray:
+    """``A = Q^T D^-1 Q`` — the PSD core of the objective and of Theorem 3.10.
+
+    Rows of ``Q`` with zero sum correspond to outputs that never occur; they
+    contribute nothing and are skipped to avoid division by zero.
+    """
+    strategy = np.asarray(strategy, dtype=float)
+    row_sums = strategy_row_sums(strategy, prior)
+    live = row_sums > 0
+    scaled = strategy[live] / row_sums[live, None]
+    return symmetrize(strategy[live].T @ scaled)
+
+
+def reconstruction_operator(
+    strategy: np.ndarray, prior: np.ndarray | None = None
+) -> np.ndarray:
+    """``B = (Q^T D^-1 Q)^+ Q^T D^-1`` with shape ``(n, m)``.
+
+    The optimal reconstruction for any workload ``W`` is then ``V = W B``
+    (Theorem 3.10), and the unbiased data-vector estimate from a response
+    histogram ``y`` is ``x_hat = B y``.  A non-uniform ``prior`` produces
+    the estimator that is optimal when user types are distributed
+    accordingly (footnote 2); it remains unbiased for every data vector.
+    """
+    strategy = np.asarray(strategy, dtype=float)
+    row_sums = strategy_row_sums(strategy, prior)
+    safe = np.where(row_sums > 0, row_sums, 1.0)
+    weighted = np.where(row_sums[:, None] > 0, strategy / safe[:, None], 0.0)
+    core = symmetrize(strategy.T @ weighted)
+    return psd_pinv(core) @ weighted.T
+
+
+def optimal_reconstruction(workload_matrix: np.ndarray, strategy: np.ndarray) -> np.ndarray:
+    """The explicit optimal ``V = W B`` of Theorem 3.10 (shape ``p x m``)."""
+    return np.asarray(workload_matrix, dtype=float) @ reconstruction_operator(strategy)
+
+
+def factorization_residual(
+    gram: np.ndarray, strategy: np.ndarray, operator: np.ndarray | None = None
+) -> float:
+    """Squared Frobenius residual ``||W - (W B) Q||_F^2`` in Gram space.
+
+    With ``R = I - B Q`` this equals ``tr(R^T (W^T W) R)``; it is zero (up
+    to round-off) exactly when ``W`` lies in the row space of ``Q`` and the
+    factorization mechanism is well defined for this workload.
+    """
+    strategy = np.asarray(strategy, dtype=float)
+    if operator is None:
+        operator = reconstruction_operator(strategy)
+    residual_map = np.eye(strategy.shape[1]) - operator @ strategy
+    return float(np.einsum("ij,ik,kj->", residual_map, np.asarray(gram), residual_map))
+
+
+def is_factorizable(
+    gram: np.ndarray,
+    strategy: np.ndarray,
+    operator: np.ndarray | None = None,
+    rtol: float = 1e-6,
+) -> bool:
+    """Whether ``W = VQ`` is satisfiable, relative to the workload's scale."""
+    scale = max(float(np.trace(gram)), 1e-30)
+    return factorization_residual(gram, strategy, operator) <= rtol * scale

@@ -1,0 +1,96 @@
+"""Sample complexity (Definition 5.2, Corollaries 5.3 / 5.4).
+
+The paper's headline evaluation metric: the number of users needed so that
+the *normalized* variance — variance of a single average workload query,
+measured on the normalized data vector ``x / N`` — drops below ``alpha``.
+
+    N*(alpha) = (1 / (p * alpha)) * max_u t_u          (worst case)
+    N*(alpha) = (1 / (p * alpha)) * sum_u pi_u t_u     (on distribution pi)
+
+where ``t`` is the per-user-type variance vector of
+:func:`repro.analysis.variance.per_user_variances` and ``p`` the number of
+workload queries.  The experiments use ``alpha = 0.01``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.variance import per_user_variances
+from repro.exceptions import WorkloadError
+
+#: The normalized-variance target used throughout the paper's experiments.
+PAPER_ALPHA = 0.01
+
+
+def sample_complexity_from_variances(
+    per_user: np.ndarray, num_queries: int, alpha: float = PAPER_ALPHA
+) -> float:
+    """Worst-case sample complexity given precomputed ``t`` (Corollary 5.4)."""
+    if alpha <= 0:
+        raise WorkloadError(f"alpha must be positive, got {alpha}")
+    return float(np.max(per_user) / (num_queries * alpha))
+
+
+def sample_complexity(
+    strategy: np.ndarray,
+    gram: np.ndarray,
+    num_queries: int,
+    alpha: float = PAPER_ALPHA,
+    operator: np.ndarray | None = None,
+) -> float:
+    """Worst-case sample complexity of the factorization mechanism."""
+    t = per_user_variances(strategy, gram, operator)
+    return sample_complexity_from_variances(t, num_queries, alpha)
+
+
+def sample_complexity_on_distribution(
+    strategy: np.ndarray,
+    gram: np.ndarray,
+    num_queries: int,
+    distribution: np.ndarray,
+    alpha: float = PAPER_ALPHA,
+    operator: np.ndarray | None = None,
+) -> float:
+    """Data-dependent sample complexity (Section 6.4).
+
+    ``distribution`` is the empirical distribution ``x / N`` of user types;
+    the worst-case ``max_u`` of Corollary 5.4 is replaced by the exact
+    data-dependent variance of Theorem 3.4.
+    """
+    distribution = np.asarray(distribution, dtype=float)
+    if distribution.min() < 0:
+        raise WorkloadError("distribution has negative mass")
+    total = distribution.sum()
+    if total <= 0:
+        raise WorkloadError("distribution sums to zero")
+    t = per_user_variances(strategy, gram, operator)
+    if distribution.shape != t.shape:
+        raise WorkloadError(
+            f"distribution over {distribution.shape} types, domain is {t.shape}"
+        )
+    return float((distribution / total) @ t / (num_queries * alpha))
+
+
+def randomized_response_variance(domain_size: int, epsilon: float) -> float:
+    """Closed-form ``L_worst = L_avg`` of randomized response on Histogram
+    for a single user (Example 3.7, with N = 1).
+
+        (n - 1) * [ n / (e^eps - 1)^2  +  2 / (e^eps - 1) ]
+    """
+    growth = np.exp(epsilon) - 1.0
+    return float(
+        (domain_size - 1) * (domain_size / growth**2 + 2.0 / growth)
+    )
+
+
+def randomized_response_sample_complexity(
+    domain_size: int, epsilon: float, alpha: float = PAPER_ALPHA
+) -> float:
+    """Closed-form sample complexity of RR on Histogram (Example 5.5)."""
+    growth = np.exp(epsilon) - 1.0
+    return float(
+        (domain_size - 1)
+        / (alpha * domain_size)
+        * (domain_size / growth**2 + 2.0 / growth)
+    )

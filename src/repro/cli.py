@@ -1,0 +1,160 @@
+"""Command-line entry point.
+
+``python -m repro <experiment>`` regenerates one of the paper's tables or
+figures (``--scale paper`` for the paper's sizes); ``python -m repro plan``
+is a deployment-planning helper: it compares every applicable mechanism on
+your workload and reports the smallest privacy budget your population
+supports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+EXPERIMENTS = (
+    "table1",
+    "figure1",
+    "figure2",
+    "figure3a",
+    "figure3b",
+    "figure3c",
+    "figure4",
+)
+
+#: Mechanisms offered by `plan` (strategy-matrix + additive families).
+PLAN_MECHANISMS = (
+    "Randomized Response",
+    "Hadamard",
+    "Hierarchical",
+    "Fourier",
+    "Matrix Mechanism (L1)",
+    "Matrix Mechanism (L2)",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce experiments from 'A workload-adaptive mechanism for "
+            "linear queries under local differential privacy' (VLDB 2020)."
+        ),
+    )
+    subcommands = parser.add_subparsers(dest="command")
+
+    run = subcommands.add_parser(
+        "run", help="regenerate a paper table/figure"
+    )
+    run.add_argument("experiment", choices=EXPERIMENTS + ("all",))
+    run.add_argument("--scale", choices=("ci", "paper"), default=None)
+
+    plan = subcommands.add_parser(
+        "plan", help="compare mechanisms and pick a privacy budget"
+    )
+    plan.add_argument(
+        "--workload",
+        default="Prefix",
+        help="paper workload name (Histogram, Prefix, AllRange, "
+        "AllMarginals, '3-Way Marginals', Parity)",
+    )
+    plan.add_argument("--domain", type=int, default=64, help="domain size n")
+    plan.add_argument(
+        "--users", type=float, default=100_000, help="population size N"
+    )
+    plan.add_argument(
+        "--epsilon", type=float, default=1.0, help="candidate privacy budget"
+    )
+    plan.add_argument(
+        "--alpha", type=float, default=0.01, help="normalized variance target"
+    )
+    plan.add_argument(
+        "--iterations", type=int, default=500, help="optimizer iterations"
+    )
+    return parser
+
+
+def _run_experiments(arguments) -> int:
+    if arguments.scale is not None:
+        os.environ["REPRO_SCALE"] = arguments.scale
+
+    from repro import experiments
+
+    selected = (
+        EXPERIMENTS if arguments.experiment == "all" else (arguments.experiment,)
+    )
+    for name in selected:
+        module = getattr(experiments, name)
+        print(f"=== {name} (scale={experiments.current_scale().name}) ===")
+        module.main()
+        print()
+    return 0
+
+
+def _run_plan(arguments) -> int:
+    from repro.analysis import epsilon_for_population
+    from repro.exceptions import OptimizationError, ReproError
+    from repro.experiments.reporting import format_table
+    from repro.mechanisms import by_name
+    from repro.optimization import OptimizedMechanism, OptimizerConfig
+    from repro.workloads import by_name as workload_by_name
+
+    workload = workload_by_name(arguments.workload, arguments.domain)
+    mechanisms = [by_name(name) for name in PLAN_MECHANISMS]
+    mechanisms.append(
+        OptimizedMechanism(OptimizerConfig(num_iterations=arguments.iterations, seed=0))
+    )
+    print(
+        f"workload {workload.name!r}, n = {workload.domain_size}, "
+        f"p = {workload.num_queries} queries, N = {arguments.users:g} users, "
+        f"alpha = {arguments.alpha:g}\n"
+    )
+    rows = []
+    for mechanism in mechanisms:
+        try:
+            needed = mechanism.sample_complexity(
+                workload, arguments.epsilon, arguments.alpha
+            )
+        except ReproError:
+            rows.append([mechanism.name, "n/a", "n/a", "n/a"])
+            continue
+        try:
+            min_epsilon = epsilon_for_population(
+                mechanism, workload, arguments.users, arguments.alpha
+            )
+            epsilon_text = f"{min_epsilon:.3f}"
+        except OptimizationError:
+            epsilon_text = "> 10"
+        feasible = "yes" if needed <= arguments.users else "NO"
+        rows.append([mechanism.name, needed, feasible, epsilon_text])
+    print(
+        format_table(
+            [
+                "mechanism",
+                f"samples @ eps={arguments.epsilon:g}",
+                "feasible",
+                "min epsilon for N",
+            ],
+            rows,
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # Backwards-compatible shorthand: `python -m repro figure1` etc.
+    if argv and argv[0] in EXPERIMENTS + ("all",):
+        argv = ["run"] + argv
+    arguments = build_parser().parse_args(argv)
+    if arguments.command == "plan":
+        return _run_plan(arguments)
+    if arguments.command == "run":
+        return _run_experiments(arguments)
+    build_parser().print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,95 @@
+"""Synthetic data-vector generators.
+
+Shape generators used to build DPBench-like datasets and for robustness
+tests.  Every generator returns an integer data vector of exactly
+``num_users`` counts over ``domain_size`` types.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+
+def _counts_from_distribution(
+    distribution: np.ndarray, num_users: int, rng: np.random.Generator
+) -> np.ndarray:
+    distribution = np.asarray(distribution, dtype=float)
+    if distribution.min() < 0:
+        raise DataError("distribution has negative mass")
+    total = distribution.sum()
+    if total <= 0:
+        raise DataError("distribution sums to zero")
+    return rng.multinomial(num_users, distribution / total).astype(float)
+
+
+def uniform_data(
+    domain_size: int, num_users: int, seed: int | None = None
+) -> np.ndarray:
+    """Users spread uniformly over the domain."""
+    rng = np.random.default_rng(seed)
+    return _counts_from_distribution(np.ones(domain_size), num_users, rng)
+
+
+def zipf_data(
+    domain_size: int,
+    num_users: int,
+    exponent: float = 1.2,
+    shuffle: bool = False,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Power-law (Zipf) data, optionally shuffled over the domain."""
+    if exponent <= 0:
+        raise DataError(f"Zipf exponent must be positive, got {exponent}")
+    rng = np.random.default_rng(seed)
+    weights = 1.0 / np.arange(1, domain_size + 1, dtype=float) ** exponent
+    if shuffle:
+        rng.shuffle(weights)
+    return _counts_from_distribution(weights, num_users, rng)
+
+
+def geometric_data(
+    domain_size: int,
+    num_users: int,
+    decay: float = 0.05,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Smooth exponentially decaying data (monotone unimodal at zero)."""
+    if not 0 < decay < 1:
+        raise DataError(f"decay must be in (0, 1), got {decay}")
+    rng = np.random.default_rng(seed)
+    weights = (1.0 - decay) ** np.arange(domain_size)
+    return _counts_from_distribution(weights, num_users, rng)
+
+
+def bimodal_data(
+    domain_size: int,
+    num_users: int,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Two Gaussian bumps — a smooth multimodal shape."""
+    rng = np.random.default_rng(seed)
+    grid = np.arange(domain_size, dtype=float)
+    first = np.exp(-((grid - 0.25 * domain_size) ** 2) / (0.05 * domain_size) ** 2)
+    second = np.exp(-((grid - 0.7 * domain_size) ** 2) / (0.1 * domain_size) ** 2)
+    return _counts_from_distribution(first + 0.6 * second, num_users, rng)
+
+
+def sparse_spike_data(
+    domain_size: int,
+    num_users: int,
+    num_spikes: int = 6,
+    background_fraction: float = 0.02,
+    seed: int | None = None,
+) -> np.ndarray:
+    """A few massive spikes over a nearly empty domain (NETTRACE-like)."""
+    if not 1 <= num_spikes <= domain_size:
+        raise DataError(
+            f"num_spikes must be in [1, {domain_size}], got {num_spikes}"
+        )
+    rng = np.random.default_rng(seed)
+    weights = np.full(domain_size, background_fraction / domain_size)
+    positions = rng.choice(domain_size, size=num_spikes, replace=False)
+    weights[positions] += rng.pareto(1.5, size=num_spikes) + 1.0
+    return _counts_from_distribution(weights, num_users, rng)

@@ -1,0 +1,14 @@
+"""Domain descriptions for user types.
+
+A *domain* enumerates the possible user types ``U`` with ``|U| = n``.  Two
+concrete kinds are provided:
+
+* :class:`repro.domains.domain.Domain` — a flat categorical domain of size
+  ``n``, used by Histogram / Prefix / AllRange workloads.
+* :class:`repro.domains.domain.BinaryDomain` — the product domain
+  ``{0,1}^k`` with ``n = 2^k``, used by the marginals and parity workloads.
+"""
+
+from repro.domains.domain import BinaryDomain, Domain, ProductDomain
+
+__all__ = ["BinaryDomain", "Domain", "ProductDomain"]

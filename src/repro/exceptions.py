@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch the whole family with one clause while still distinguishing specific
+failure modes when needed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DomainError(ReproError):
+    """An invalid domain description (non-positive size, bad attributes)."""
+
+
+class WorkloadError(ReproError):
+    """An invalid workload (shape mismatch, missing representation)."""
+
+
+class PrivacyViolationError(ReproError):
+    """A strategy matrix does not satisfy the claimed epsilon-LDP guarantee."""
+
+
+class StochasticityError(ReproError):
+    """A strategy matrix is not a valid conditional probability table."""
+
+
+class FactorizationError(ReproError):
+    """No reconstruction matrix V with W = VQ exists (W outside rowspace(Q))."""
+
+
+class OptimizationError(ReproError):
+    """Strategy optimization failed (diverged, infeasible, bad configuration)."""
+
+
+class ProtocolError(ReproError):
+    """Invalid protocol configuration or malformed client/server messages."""
+
+
+class DataError(ReproError):
+    """Invalid dataset specification or malformed data vector."""

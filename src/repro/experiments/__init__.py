@@ -1,0 +1,31 @@
+"""Experiment harness: one module per paper figure/table.
+
+Each module exposes ``run(scale=None) -> rows`` (typed records),
+``render(rows) -> str`` (the paper-style table), and ``main()``.
+``repro.experiments.scale`` selects the CI or paper-size profile via the
+``REPRO_SCALE`` environment variable.
+"""
+
+from repro.experiments import (
+    figure1,
+    figure2,
+    figure3a,
+    figure3b,
+    figure3c,
+    figure4,
+    table1,
+)
+from repro.experiments.scale import Scale, current_scale, scale_by_name
+
+__all__ = [
+    "Scale",
+    "current_scale",
+    "figure1",
+    "figure2",
+    "figure3a",
+    "figure3b",
+    "figure3c",
+    "figure4",
+    "scale_by_name",
+    "table1",
+]

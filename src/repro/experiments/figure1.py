@@ -1,0 +1,90 @@
+"""Figure 1: sample complexity versus epsilon.
+
+Seven mechanisms on six workloads for eps in [0.5, 4.0] at a fixed domain
+size (paper: n = 512, alpha = 0.01).  The series to check against the paper:
+
+* Optimized is lowest everywhere;
+* the gap to the best competitor peaks in the mid-eps range (paper: up to
+  14.6x on AllRange at eps = 4) and closes at the extremes;
+* the best competitor changes per workload (Hierarchical on Prefix,
+  Fourier on 3-Way Marginals, RR at large eps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import sample_complexity_lower_bound
+from repro.experiments.reporting import format_table, pivot
+from repro.experiments.runner import (
+    mechanism_roster,
+    paper_workloads,
+    safe_sample_complexity,
+)
+from repro.experiments.scale import Scale, current_scale
+
+
+@dataclass(frozen=True)
+class Figure1Row:
+    """One plotted point: a (workload, epsilon, mechanism) sample complexity."""
+
+    workload: str
+    epsilon: float
+    mechanism: str
+    samples: float
+
+
+def run(scale: Scale | None = None) -> list[Figure1Row]:
+    """Compute every point of Figure 1 (plus the Theorem 5.6 lower bound)."""
+    scale = scale or current_scale()
+    workloads = paper_workloads(scale.domain_size)
+    rows: list[Figure1Row] = []
+    for epsilon in scale.epsilons:
+        mechanisms = mechanism_roster(scale.optimizer_iterations)
+        for workload in workloads:
+            for mechanism in mechanisms:
+                rows.append(
+                    Figure1Row(
+                        workload=workload.name,
+                        epsilon=epsilon,
+                        mechanism=mechanism.name,
+                        samples=safe_sample_complexity(mechanism, workload, epsilon),
+                    )
+                )
+            rows.append(
+                Figure1Row(
+                    workload=workload.name,
+                    epsilon=epsilon,
+                    mechanism="Lower Bound (Thm 5.6)",
+                    samples=sample_complexity_lower_bound(workload, epsilon),
+                )
+            )
+    return rows
+
+
+def render(rows: list[Figure1Row]) -> str:
+    """One table per workload: mechanisms x epsilon."""
+    blocks = []
+    for workload in dict.fromkeys(row.workload for row in rows):
+        records = [
+            {
+                "mechanism": row.mechanism,
+                "epsilon": row.epsilon,
+                "samples": row.samples,
+            }
+            for row in rows
+            if row.workload == workload
+        ]
+        headers, table = pivot(records, "mechanism", "epsilon", "samples")
+        blocks.append(f"Workload = {workload}\n" + format_table(headers, table))
+    return "\n\n".join(blocks)
+
+
+def main() -> list[Figure1Row]:
+    rows = run()
+    print(render(rows))
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Figure 2: sample complexity versus domain size (eps = 1.0).
+
+The shapes to check against the paper:
+
+* Histogram is nearly flat in n for every mechanism except RR (Example 5.8);
+* workload-adaptive mechanisms scale ~ sqrt(n) (slope ~0.5 in log-log),
+  non-adaptive ones ~ n (slope ~1.0);
+* the L2 Matrix Mechanism is worst at small n but its relative slope lets
+  it close the gap as n grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.reporting import format_table, pivot
+from repro.experiments.runner import (
+    mechanism_roster,
+    paper_workloads,
+    safe_sample_complexity,
+)
+from repro.experiments.scale import Scale, current_scale
+
+EPSILON = 1.0
+
+
+@dataclass(frozen=True)
+class Figure2Row:
+    """One plotted point: a (workload, n, mechanism) sample complexity."""
+
+    workload: str
+    domain_size: int
+    mechanism: str
+    samples: float
+
+
+def run(scale: Scale | None = None) -> list[Figure2Row]:
+    """Compute every point of Figure 2."""
+    scale = scale or current_scale()
+    rows: list[Figure2Row] = []
+    for domain_size in scale.domain_sizes:
+        mechanisms = mechanism_roster(scale.optimizer_iterations)
+        for workload in paper_workloads(domain_size):
+            for mechanism in mechanisms:
+                rows.append(
+                    Figure2Row(
+                        workload=workload.name,
+                        domain_size=domain_size,
+                        mechanism=mechanism.name,
+                        samples=safe_sample_complexity(mechanism, workload, EPSILON),
+                    )
+                )
+    return rows
+
+
+def loglog_slope(rows: list[Figure2Row], workload: str, mechanism: str) -> float:
+    """Least-squares slope of log(samples) vs log(n) — the growth exponent
+    Section 6.3 reads off the figure (~0.5 adaptive, ~1.0 non-adaptive)."""
+    points = [
+        (row.domain_size, row.samples)
+        for row in rows
+        if row.workload == workload
+        and row.mechanism == mechanism
+        and np.isfinite(row.samples)
+        and row.samples > 0
+    ]
+    if len(points) < 2:
+        return float("nan")
+    logs = np.log([n for n, _ in points]), np.log([s for _, s in points])
+    slope, _ = np.polyfit(logs[0], logs[1], 1)
+    return float(slope)
+
+
+def render(rows: list[Figure2Row]) -> str:
+    """One table per workload: mechanisms x domain size, plus slopes."""
+    blocks = []
+    for workload in dict.fromkeys(row.workload for row in rows):
+        records = [
+            {
+                "mechanism": row.mechanism,
+                "n": row.domain_size,
+                "samples": row.samples,
+            }
+            for row in rows
+            if row.workload == workload
+        ]
+        headers, table = pivot(records, "mechanism", "n", "samples")
+        headers.append("slope")
+        for line in table:
+            line.append(loglog_slope(rows, workload, line[0]))
+        blocks.append(f"Workload = {workload}\n" + format_table(headers, table))
+    return "\n\n".join(blocks)
+
+
+def main() -> list[Figure2Row]:
+    rows = run()
+    print(render(rows))
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Plain-text tables for experiment output.
+
+Benchmarks print the same series the paper plots; these helpers render them
+readably in a terminal and in the captured bench logs.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def format_value(value: float) -> str:
+    """Compact numeric rendering: scientific for big/small, fixed otherwise."""
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    if math.isinf(value):
+        return "inf"
+    magnitude = abs(value)
+    if magnitude != 0 and (magnitude >= 1e6 or magnitude < 1e-3):
+        return f"{value:.3e}"
+    if magnitude >= 100:
+        return f"{value:.1f}"
+    return f"{value:.4g}"
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    """Render rows as an aligned ASCII table."""
+    rendered = [
+        [cell if isinstance(cell, str) else format_value(cell) for cell in row]
+        for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered), 1)
+        if rendered
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def pivot(
+    rows: list[dict],
+    index_key: str,
+    column_key: str,
+    value_key: str,
+) -> tuple[list[str], list[list]]:
+    """Pivot record dicts into a (headers, table-rows) pair.
+
+    Row order follows first appearance; columns likewise.  Missing cells
+    render as '-'.
+    """
+    index_values: list = []
+    column_values: list = []
+    cells: dict[tuple, float] = {}
+    for row in rows:
+        index = row[index_key]
+        column = row[column_key]
+        if index not in index_values:
+            index_values.append(index)
+        if column not in column_values:
+            column_values.append(column)
+        cells[(index, column)] = row[value_key]
+    headers = [index_key] + [str(column) for column in column_values]
+    table = []
+    for index in index_values:
+        line: list = [str(index)]
+        for column in column_values:
+            value = cells.get((index, column))
+            line.append("-" if value is None else value)
+        table.append(line)
+    return headers, table

@@ -1,0 +1,61 @@
+"""Shared plumbing for the figure experiments.
+
+Builds the mechanism roster (six baselines + Optimized) and evaluates sample
+complexities defensively: a mechanism that cannot answer a workload (or
+cannot even be constructed for a domain) reports ``inf`` instead of
+aborting the sweep, mirroring how the paper's figures simply omit infeasible
+points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.mechanisms import Mechanism, paper_baselines
+from repro.optimization import OptimizedMechanism, OptimizerConfig
+from repro.workloads import PAPER_WORKLOADS, Workload, by_name
+
+#: Legend order of Figures 1-3.
+MECHANISM_ORDER = (
+    "Randomized Response",
+    "Hadamard",
+    "Hierarchical",
+    "Fourier",
+    "Matrix Mechanism (L1)",
+    "Matrix Mechanism (L2)",
+    "Optimized",
+)
+
+
+def mechanism_roster(
+    optimizer_iterations: int, seed: int = 0
+) -> list[Mechanism]:
+    """The paper's seven mechanisms, Optimized last (legend order)."""
+    config = OptimizerConfig(num_iterations=optimizer_iterations, seed=seed)
+    return list(paper_baselines()) + [OptimizedMechanism(config)]
+
+
+def paper_workloads(domain_size: int) -> list[Workload]:
+    """The six evaluation workloads at a common (power-of-two) domain size."""
+    return [by_name(name, domain_size) for name in PAPER_WORKLOADS]
+
+
+def safe_sample_complexity(
+    mechanism: Mechanism,
+    workload: Workload,
+    epsilon: float,
+    distribution: np.ndarray | None = None,
+) -> float:
+    """Sample complexity, or ``inf`` when the mechanism cannot answer.
+
+    ``distribution`` switches to the data-dependent variant of Section 6.4.
+    """
+    try:
+        if distribution is None:
+            return mechanism.sample_complexity(workload, epsilon)
+        return mechanism.sample_complexity_on_distribution(
+            workload, epsilon, distribution
+        )
+    except ReproError:
+        return float("inf")

@@ -1,0 +1,43 @@
+"""Linear-algebra substrate used throughout the library.
+
+This subpackage contains the numerical building blocks that the rest of the
+library is written against:
+
+* :mod:`repro.linalg.pseudo_inverse` — pseudo-inverse and PSD solve helpers
+  that are robust to the near-singular matrices produced mid-optimization.
+* :mod:`repro.linalg.hadamard` — Sylvester–Hadamard matrix construction and
+  the fast Walsh–Hadamard transform, used by the Hadamard-response and
+  Fourier mechanisms.
+* :mod:`repro.linalg.checks` — validation predicates for stochastic matrices
+  and epsilon-LDP ratio constraints.
+"""
+
+from repro.linalg.checks import (
+    is_column_stochastic,
+    is_ldp_matrix,
+    ldp_ratio,
+    max_abs_column_sum_error,
+)
+from repro.linalg.hadamard import (
+    fwht,
+    hadamard_matrix,
+    next_power_of_two,
+)
+from repro.linalg.pseudo_inverse import (
+    psd_pinv,
+    psd_solve,
+    symmetrize,
+)
+
+__all__ = [
+    "fwht",
+    "hadamard_matrix",
+    "is_column_stochastic",
+    "is_ldp_matrix",
+    "ldp_ratio",
+    "max_abs_column_sum_error",
+    "next_power_of_two",
+    "psd_pinv",
+    "psd_solve",
+    "symmetrize",
+]

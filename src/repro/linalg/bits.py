@@ -1,0 +1,33 @@
+"""Bit-manipulation helpers for binary product domains."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def popcount(values: np.ndarray) -> np.ndarray:
+    """Number of set bits of each entry of a non-negative integer array.
+
+    Implemented with shift-and-mask so it works on every numpy version.
+    """
+    remaining = np.array(values, dtype=np.int64, copy=True)
+    if remaining.size and remaining.min() < 0:
+        raise ValueError("popcount requires non-negative integers")
+    counts = np.zeros_like(remaining)
+    while remaining.any():
+        counts += remaining & 1
+        remaining >>= 1
+    return counts
+
+
+def subsets_of_size(num_bits: int, size: int) -> list[int]:
+    """All bitmasks over ``num_bits`` bits with exactly ``size`` set bits."""
+    import itertools
+
+    masks = []
+    for positions in itertools.combinations(range(num_bits), size):
+        mask = 0
+        for position in positions:
+            mask |= 1 << position
+        masks.append(mask)
+    return masks

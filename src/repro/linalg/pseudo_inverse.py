@@ -1,0 +1,79 @@
+"""Pseudo-inverse and solve helpers for symmetric positive semi-definite
+matrices.
+
+The optimization objective of the factorization mechanism repeatedly needs
+``(Q^T D^-1 Q)^†`` applied to the workload Gram matrix.  On the feasible
+interior this matrix is positive definite and a Cholesky solve is both the
+fastest and most numerically stable option; near the boundary (or for
+deliberately rank-deficient strategies) it degrades to an eigenvalue-based
+pseudo-inverse.  These helpers encapsulate that fallback so callers never
+branch on conditioning themselves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+
+def symmetrize(matrix: np.ndarray) -> np.ndarray:
+    """Return the symmetric part ``(M + M^T) / 2`` of a square matrix.
+
+    Floating-point round-off makes products like ``Q^T D^-1 Q`` very slightly
+    asymmetric; symmetrizing before an eigendecomposition keeps the
+    decomposition real and the downstream algebra exact.
+    """
+    return (matrix + matrix.T) / 2.0
+
+
+def psd_solve(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``matrix @ X = rhs`` for a symmetric PSD ``matrix``.
+
+    Tries a Cholesky factorization first (the common, positive-definite
+    case) and falls back to an eigenvalue pseudo-inverse when the matrix is
+    singular or indefinite up to round-off.
+
+    Parameters
+    ----------
+    matrix:
+        Symmetric positive semi-definite ``(n, n)`` array.
+    rhs:
+        Right-hand side with shape ``(n,)`` or ``(n, k)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        The (least-squares, minimum-norm) solution ``X``.
+    """
+    matrix = symmetrize(np.asarray(matrix, dtype=float))
+    try:
+        factor = scipy.linalg.cho_factor(matrix, check_finite=False)
+        return scipy.linalg.cho_solve(factor, rhs, check_finite=False)
+    except scipy.linalg.LinAlgError:
+        return psd_pinv(matrix) @ rhs
+
+
+def psd_pinv(matrix: np.ndarray, rcond: float = 1e-12) -> np.ndarray:
+    """Moore-Penrose pseudo-inverse of a symmetric PSD matrix.
+
+    Uses an eigendecomposition (cheaper and more accurate than generic SVD
+    for symmetric input).  Eigenvalues below ``rcond * max_eigenvalue`` are
+    treated as zero.
+
+    Parameters
+    ----------
+    matrix:
+        Symmetric positive semi-definite ``(n, n)`` array.
+    rcond:
+        Relative cutoff below which eigenvalues count as zero.
+
+    Returns
+    -------
+    numpy.ndarray
+        The pseudo-inverse, itself symmetric PSD.
+    """
+    matrix = symmetrize(np.asarray(matrix, dtype=float))
+    eigenvalues, eigenvectors = np.linalg.eigh(matrix)
+    cutoff = rcond * max(eigenvalues.max(initial=0.0), 0.0)
+    inverted = np.where(eigenvalues > cutoff, 1.0 / np.where(eigenvalues > cutoff, eigenvalues, 1.0), 0.0)
+    return (eigenvectors * inverted) @ eigenvectors.T

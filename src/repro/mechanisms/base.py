@@ -1,0 +1,264 @@
+"""Strategy matrices and the workload factorization mechanism.
+
+A :class:`StrategyMatrix` is the paper's encoding of an LDP mechanism as an
+``m x n`` conditional probability table (Proposition 2.6).  A
+:class:`FactorizationMechanism` pairs a strategy with a workload and a
+reconstruction operator (Definition 3.2) and provides unbiased workload
+estimates from aggregated responses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.reconstruction import (
+    factorization_residual,
+    is_factorizable,
+    reconstruction_operator,
+    strategy_row_sums,
+)
+from repro.exceptions import (
+    FactorizationError,
+    PrivacyViolationError,
+    StochasticityError,
+)
+from repro.linalg import is_column_stochastic, is_ldp_matrix, ldp_ratio, max_abs_column_sum_error
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class StrategyMatrix:
+    """A validated epsilon-LDP strategy matrix.
+
+    Parameters
+    ----------
+    probabilities:
+        The ``(m, n)`` table with ``probabilities[o, u] = Pr[output o | type u]``.
+    epsilon:
+        The privacy budget the matrix claims to satisfy.
+    name:
+        Display name of the mechanism this strategy encodes.
+    validate:
+        When True (default), construction verifies stochasticity and the
+        privacy ratio and raises a typed error on violation.
+
+    Examples
+    --------
+    >>> from repro.mechanisms import randomized_response
+    >>> q = randomized_response(4, epsilon=1.0)
+    >>> q.shape
+    (4, 4)
+    """
+
+    probabilities: np.ndarray
+    epsilon: float
+    name: str = "Strategy"
+    validate: bool = field(default=True, compare=False)
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.probabilities, dtype=float)
+        object.__setattr__(self, "probabilities", matrix)
+        if matrix.ndim != 2:
+            raise StochasticityError(f"strategy must be 2-D, got {matrix.ndim}-D")
+        if self.epsilon <= 0:
+            raise PrivacyViolationError(f"epsilon must be positive, got {self.epsilon}")
+        if not self.validate:
+            return
+        if not is_column_stochastic(matrix):
+            raise StochasticityError(
+                "strategy columns are not probability distributions "
+                f"(max column-sum error {max_abs_column_sum_error(matrix):.3e}, "
+                f"min entry {matrix.min():.3e})"
+            )
+        if not is_ldp_matrix(matrix, self.epsilon):
+            raise PrivacyViolationError(
+                f"strategy violates {self.epsilon}-LDP: realized ratio "
+                f"{ldp_ratio(matrix):.6g} > e^eps = {np.exp(self.epsilon):.6g}"
+            )
+
+    # -- shape & structure -------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(m, n)`` — outputs by user types."""
+        return self.probabilities.shape
+
+    @property
+    def num_outputs(self) -> int:
+        return self.probabilities.shape[0]
+
+    @property
+    def domain_size(self) -> int:
+        return self.probabilities.shape[1]
+
+    def row_sums(self) -> np.ndarray:
+        """The diagonal of ``D_Q = Diag(Q 1)``."""
+        return strategy_row_sums(self.probabilities)
+
+    def realized_ratio(self) -> float:
+        """The privacy ratio the matrix actually achieves (<= e^eps)."""
+        return ldp_ratio(self.probabilities)
+
+    def condensed(self) -> "StrategyMatrix":
+        """Drop all-zero output rows (outputs that can never occur)."""
+        live = self.probabilities.sum(axis=1) > 0
+        if live.all():
+            return self
+        return StrategyMatrix(
+            self.probabilities[live], self.epsilon, self.name, validate=False
+        )
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Serialize to ``.npz`` (strategy optimization is an offline,
+        one-time cost — Section 6.6 — so deployments ship a saved matrix to
+        clients)."""
+        np.savez_compressed(
+            path,
+            probabilities=self.probabilities,
+            epsilon=np.asarray(self.epsilon),
+            name=np.asarray(self.name),
+        )
+
+    @staticmethod
+    def load(path) -> "StrategyMatrix":
+        """Load a strategy saved with :meth:`save` (re-validated on load, so
+        a tampered file cannot smuggle in a privacy violation)."""
+        with np.load(path, allow_pickle=False) as archive:
+            return StrategyMatrix(
+                archive["probabilities"],
+                float(archive["epsilon"]),
+                str(archive["name"]),
+            )
+
+    # -- execution ----------------------------------------------------------
+
+    def sample_response(
+        self, user_type: int, rng: np.random.Generator | None = None
+    ) -> int:
+        """One client-side invocation: randomize a single user's type."""
+        rng = rng or np.random.default_rng()
+        return int(rng.choice(self.num_outputs, p=self.probabilities[:, user_type]))
+
+    def sample_histogram(
+        self, data_vector: np.ndarray, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Response histogram ``y = M_Q(x)`` for a whole population.
+
+        Each user type's responses are a multinomial draw from its strategy
+        column, so the full histogram is sampled in ``O(n)`` draws rather
+        than ``O(N)``.
+        """
+        rng = rng or np.random.default_rng()
+        data_vector = np.asarray(data_vector)
+        if data_vector.shape != (self.domain_size,):
+            raise StochasticityError(
+                f"data vector shape {data_vector.shape} does not match domain "
+                f"size {self.domain_size}"
+            )
+        histogram = np.zeros(self.num_outputs)
+        for user_type, count in enumerate(data_vector):
+            count = int(count)
+            if count > 0:
+                histogram += rng.multinomial(count, self.probabilities[:, user_type])
+        return histogram
+
+
+def stack_strategies(
+    components: list[tuple[float, np.ndarray]], epsilon: float, name: str
+) -> StrategyMatrix:
+    """Build a mixture mechanism: run component ``l`` with probability ``w_l``.
+
+    The stacked matrix ``[w_1 Q_1; w_2 Q_2; ...]`` is column-stochastic when
+    the weights sum to one and each block is column-stochastic, and it is
+    epsilon-LDP when every block is (ratios act within blocks).  This is the
+    combinator behind the Hierarchical and Fourier mechanisms.
+    """
+    weights = np.array([weight for weight, _ in components], dtype=float)
+    if weights.min() < 0 or abs(weights.sum() - 1.0) > 1e-9:
+        raise StochasticityError(
+            f"mixture weights must be a distribution, got sum {weights.sum():.6g}"
+        )
+    blocks = [weight * np.asarray(block, dtype=float) for weight, block in components]
+    return StrategyMatrix(np.vstack(blocks), epsilon, name)
+
+
+class FactorizationMechanism:
+    """The workload factorization mechanism ``M_{V,Q}`` (Definition 3.2).
+
+    Parameters
+    ----------
+    workload:
+        The target workload ``W``.
+    strategy:
+        A validated epsilon-LDP strategy matrix ``Q``.
+    operator:
+        Optional reconstruction operator ``B`` with ``V = W B``.  Defaults
+        to the variance-optimal operator of Theorem 3.10.
+
+    Raises
+    ------
+    FactorizationError
+        If ``W`` is not in the row space of ``Q`` (no valid ``V`` exists).
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        strategy: StrategyMatrix,
+        operator: np.ndarray | None = None,
+    ) -> None:
+        if workload.domain_size != strategy.domain_size:
+            raise FactorizationError(
+                f"workload domain {workload.domain_size} != strategy domain "
+                f"{strategy.domain_size}"
+            )
+        self.workload = workload
+        self.strategy = strategy
+        if operator is None:
+            operator = reconstruction_operator(strategy.probabilities)
+        self.operator = np.asarray(operator, dtype=float)
+        if self.operator.shape != (workload.domain_size, strategy.num_outputs):
+            raise FactorizationError(
+                f"operator shape {self.operator.shape} != "
+                f"({workload.domain_size}, {strategy.num_outputs})"
+            )
+        if not is_factorizable(workload.gram(), strategy.probabilities, self.operator):
+            residual = factorization_residual(
+                workload.gram(), strategy.probabilities, self.operator
+            )
+            raise FactorizationError(
+                f"workload {workload.name!r} is not in the row space of strategy "
+                f"{strategy.name!r} (residual {residual:.3e}); the factorization "
+                "mechanism is undefined for this pair"
+            )
+
+    @property
+    def epsilon(self) -> float:
+        return self.strategy.epsilon
+
+    def reconstruction_matrix(self) -> np.ndarray:
+        """The explicit ``V = W B`` (materializes the workload matrix)."""
+        return self.workload.matrix @ self.operator
+
+    def estimate_data_vector(self, response_histogram: np.ndarray) -> np.ndarray:
+        """Unbiased estimate ``x_hat = B y`` of the data vector.
+
+        (Unbiased for the rowspace projection of ``x``; workload answers
+        ``W x_hat`` are always unbiased for ``W x``.)
+        """
+        return self.operator @ np.asarray(response_histogram, dtype=float)
+
+    def estimate_workload(self, response_histogram: np.ndarray) -> np.ndarray:
+        """Unbiased workload answers ``V y = W (B y)``."""
+        return self.workload.matvec(self.estimate_data_vector(response_histogram))
+
+    def run(
+        self, data_vector: np.ndarray, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Execute the full mechanism: randomize, aggregate, reconstruct."""
+        histogram = self.strategy.sample_histogram(data_vector, rng)
+        return self.estimate_workload(histogram)

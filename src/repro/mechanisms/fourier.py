@@ -1,0 +1,59 @@
+"""Fourier mechanism for binary product domains (Cormode et al. 2018),
+Section 6.1.
+
+Each user samples a Fourier coefficient index — a non-empty attribute
+subset ``S`` — uniformly from the configured collection, evaluates the
+character ``chi_S(u) = (-1)^{<S, u>}`` of their own type, and reports the
+sign through binary randomized response.  The aggregate estimates every
+selected Fourier coefficient of the data vector; marginal and parity
+queries are linear combinations of low-order coefficients, which is why the
+mechanism was designed for marginal release.
+
+As a strategy matrix: the uniform mixture of the 2-output blocks
+
+    Q_S[+, u] = e^eps / (e^eps + 1)  if chi_S(u) = +1 else 1 / (e^eps + 1)
+
+``degree=None`` (default) uses *all* ``n - 1`` non-empty subsets, making
+the strategy full-rank so that any workload over the domain is answerable;
+``degree=d`` restricts to subsets of at most ``d`` attributes, which
+concentrates the budget on low-order coefficients but can only answer
+workloads spanned by them (e.g. 3-way marginals or degree-3 parities).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DomainError
+from repro.linalg.bits import popcount, subsets_of_size
+from repro.mechanisms.base import StrategyMatrix, stack_strategies
+
+
+def fourier(
+    domain_size: int, epsilon: float, degree: int | None = None
+) -> StrategyMatrix:
+    """Build the Fourier strategy over ``{0,1}^k`` with ``n = 2^k = domain_size``."""
+    num_attributes = domain_size.bit_length() - 1
+    if domain_size < 2 or (1 << num_attributes) != domain_size:
+        raise DomainError(
+            f"Fourier mechanism needs a power-of-two domain, got {domain_size}"
+        )
+    if degree is None:
+        degree = num_attributes
+    if not 1 <= degree <= num_attributes:
+        raise DomainError(
+            f"degree must be in [1, {num_attributes}], got {degree}"
+        )
+    masks: list[int] = []
+    for size in range(1, degree + 1):
+        masks.extend(subsets_of_size(num_attributes, size))
+    types = np.arange(domain_size)
+    boost = np.exp(epsilon)
+    weight = 1.0 / len(masks)
+    components = []
+    for mask in masks:
+        negative = (popcount(np.full(domain_size, mask) & types) & 1).astype(bool)
+        positive_row = np.where(negative, 1.0, boost) / (boost + 1.0)
+        components.append((weight, np.vstack([positive_row, 1.0 - positive_row])))
+    name = "Fourier" if degree == num_attributes else f"Fourier(deg={degree})"
+    return stack_strategies(components, epsilon, name=name)

@@ -1,0 +1,30 @@
+"""Hadamard response (Acharya, Sun, Zhang 2018), Table 1 row 3.
+
+Let ``K = 2^ceil(log2(n+1))`` and associate user type ``u`` with column
+``u + 1`` of the ``K x K`` Sylvester-Hadamard matrix (column 0 — the
+all-ones column — is skipped because it carries no information).  The user
+reports output ``o`` in ``[K]`` with probability proportional to ``e^eps``
+when ``H[o, u+1] = +1`` and ``1`` otherwise.  Every non-trivial Hadamard
+column is balanced (K/2 entries of each sign), so each strategy column sums
+to ``K/2 (e^eps + 1)`` before normalization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DomainError
+from repro.linalg import hadamard_matrix, next_power_of_two
+from repro.mechanisms.base import StrategyMatrix
+
+
+def hadamard_response(domain_size: int, epsilon: float) -> StrategyMatrix:
+    """Build the Hadamard response strategy (``K`` outputs)."""
+    if domain_size < 2:
+        raise DomainError("Hadamard response needs a domain of size >= 2")
+    order = next_power_of_two(domain_size + 1)
+    hadamard = hadamard_matrix(order)
+    boost = np.exp(epsilon)
+    matrix = np.where(hadamard[:, 1 : domain_size + 1] > 0, boost, 1.0)
+    matrix *= 2.0 / (order * (boost + 1.0))
+    return StrategyMatrix(matrix, epsilon, name="Hadamard")

@@ -1,0 +1,44 @@
+"""Randomized response (Warner 1965), Example 2.7 / Table 1.
+
+The output range equals the input domain; a user reports their true type
+with probability proportional to ``e^eps`` and any other type with
+probability proportional to 1:
+
+    Q[o, u] = e^eps / (e^eps + n - 1)   if o == u
+            = 1     / (e^eps + n - 1)   otherwise
+
+``Q`` is doubly stochastic, so ``D_Q = I`` and the optimal reconstruction of
+Theorem 3.10 coincides with the classical ``V = W Q^{-1}`` (Example 3.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DomainError
+from repro.mechanisms.base import StrategyMatrix
+
+
+def randomized_response(domain_size: int, epsilon: float) -> StrategyMatrix:
+    """Build the randomized response strategy for a flat domain."""
+    if domain_size < 2:
+        raise DomainError("randomized response needs a domain of size >= 2")
+    boost = np.exp(epsilon)
+    matrix = np.full((domain_size, domain_size), 1.0)
+    np.fill_diagonal(matrix, boost)
+    matrix /= boost + domain_size - 1
+    return StrategyMatrix(matrix, epsilon, name="Randomized Response")
+
+
+def randomized_response_inverse(domain_size: int, epsilon: float) -> np.ndarray:
+    """The closed-form inverse ``Q^{-1}`` from Example 3.3.
+
+        Q^{-1} = 1/(e^eps - 1) * [ (e^eps + n - 2) I - (1 - I) ]
+
+    Used in tests to confirm Theorem 3.10 reproduces the classical
+    estimator for this mechanism.
+    """
+    boost = np.exp(epsilon)
+    inverse = np.full((domain_size, domain_size), -1.0)
+    np.fill_diagonal(inverse, boost + domain_size - 2)
+    return inverse / (boost - 1.0)

@@ -1,0 +1,43 @@
+"""RAPPOR (Erlingsson et al. 2014), Table 1 row 2.
+
+Each user one-hot encodes their type and flips every bit independently,
+keeping it with probability ``e^{eps/2} / (e^{eps/2} + 1)``.  The output
+range is ``{0,1}^n``, so the explicit strategy matrix has ``2^n`` rows:
+
+    Q[o, u]  proportional to  exp(eps/2)^(n - ||o - e_u||_1)
+
+The exponential output range is why the paper omits RAPPOR from its
+large-domain experiments; this implementation enforces a domain-size guard
+and exists to validate the Table 1 encoding and for small-domain use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DomainError
+from repro.linalg.bits import popcount
+from repro.mechanisms.base import StrategyMatrix
+
+#: RAPPOR materializes 2^n outputs; refuse beyond this domain size.
+MAX_RAPPOR_DOMAIN = 16
+
+
+def rappor(domain_size: int, epsilon: float) -> StrategyMatrix:
+    """Build the explicit RAPPOR strategy matrix (``2^n`` outputs)."""
+    if domain_size < 2:
+        raise DomainError("RAPPOR needs a domain of size >= 2")
+    if domain_size > MAX_RAPPOR_DOMAIN:
+        raise DomainError(
+            f"RAPPOR has 2^n outputs; n={domain_size} exceeds the "
+            f"{MAX_RAPPOR_DOMAIN}-type limit for explicit materialization"
+        )
+    keep = np.exp(epsilon / 2.0)
+    keep_probability = keep / (keep + 1.0)
+    outputs = np.arange(1 << domain_size, dtype=np.int64)
+    one_hots = np.int64(1) << np.arange(domain_size, dtype=np.int64)
+    flips = popcount(outputs[:, None] ^ one_hots[None, :])
+    matrix = keep_probability ** (domain_size - flips) * (
+        1.0 - keep_probability
+    ) ** flips
+    return StrategyMatrix(matrix, epsilon, name="RAPPOR")

@@ -1,0 +1,64 @@
+"""Registry of the comparison mechanisms from the paper's experiments.
+
+:func:`paper_baselines` returns the six competitors of Section 6 (the
+"Optimized" mechanism itself lives in :mod:`repro.optimization.optimized`
+and is appended by the experiment harness).  :func:`by_name` resolves a
+display name to a fresh mechanism instance.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ReproError
+from repro.mechanisms.fourier import fourier
+from repro.mechanisms.gaussian import GaussianMechanism
+from repro.mechanisms.hadamard_response import hadamard_response
+from repro.mechanisms.hierarchical import hierarchical
+from repro.mechanisms.interface import Mechanism, StrategyMechanism
+from repro.mechanisms.local_hashing import olh
+from repro.mechanisms.matrix_mechanism import DistributedMatrixMechanism
+from repro.mechanisms.randomized_response import randomized_response
+from repro.mechanisms.rappor import rappor
+from repro.mechanisms.subset_selection import subset_selection
+from repro.mechanisms.unary import oue
+
+
+def paper_baselines() -> list[Mechanism]:
+    """The six competitors of Figures 1-3, in the paper's legend order."""
+    return [
+        StrategyMechanism("Randomized Response", randomized_response),
+        StrategyMechanism("Hadamard", hadamard_response),
+        StrategyMechanism("Hierarchical", hierarchical),
+        StrategyMechanism("Fourier", fourier),
+        DistributedMatrixMechanism(norm=1),
+        DistributedMatrixMechanism(norm=2),
+    ]
+
+
+def by_name(name: str) -> Mechanism:
+    """Resolve a mechanism display name to a fresh instance.
+
+    Includes the Table 1 mechanisms that the experiments omit (RAPPOR,
+    Subset Selection) and the Gaussian extension.
+    """
+    factories = {
+        "Randomized Response": lambda: StrategyMechanism(
+            "Randomized Response", randomized_response
+        ),
+        "Hadamard": lambda: StrategyMechanism("Hadamard", hadamard_response),
+        "Hierarchical": lambda: StrategyMechanism("Hierarchical", hierarchical),
+        "Fourier": lambda: StrategyMechanism("Fourier", fourier),
+        "RAPPOR": lambda: StrategyMechanism("RAPPOR", rappor),
+        "Subset Selection": lambda: StrategyMechanism(
+            "Subset Selection", subset_selection
+        ),
+        "Matrix Mechanism (L1)": lambda: DistributedMatrixMechanism(norm=1),
+        "Matrix Mechanism (L2)": lambda: DistributedMatrixMechanism(norm=2),
+        "Gaussian": GaussianMechanism,
+        "OUE": lambda: StrategyMechanism("OUE", oue),
+        "OLH": lambda: StrategyMechanism("OLH", olh),
+    }
+    if name not in factories:
+        raise ReproError(
+            f"unknown mechanism {name!r}; known: {sorted(factories)}"
+        )
+    return factories[name]()

@@ -1,0 +1,48 @@
+"""Optimized Unary Encoding (OUE; Wang et al. 2017, cited as [41]).
+
+Like RAPPOR the user one-hot encodes and perturbs each bit independently,
+but asymmetrically: the user's own bit is kept with probability 1/2, while
+every other bit is set with probability ``q = 1 / (e^eps + 1)``.  Wang et
+al. show this choice minimizes frequency-estimation variance within the
+unary-encoding family.  The output range is ``{0,1}^n``, so like RAPPOR the
+explicit strategy matrix is only materialized for small domains.
+
+Per-bit report distribution:
+
+    own bit:    Pr[1] = 1/2
+    other bit:  Pr[1] = q = 1 / (e^eps + 1)
+
+Privacy: flipping the user's type changes two bit distributions; the worst
+output likelihood ratio is ``(1/2) (1-q) / ((1/2) q) = e^eps`` — exactly
+eps-LDP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DomainError
+from repro.mechanisms.base import StrategyMatrix
+from repro.mechanisms.rappor import MAX_RAPPOR_DOMAIN
+
+
+def oue(domain_size: int, epsilon: float) -> StrategyMatrix:
+    """Build the explicit OUE strategy matrix (``2^n`` outputs)."""
+    if domain_size < 2:
+        raise DomainError("OUE needs a domain of size >= 2")
+    if domain_size > MAX_RAPPOR_DOMAIN:
+        raise DomainError(
+            f"OUE has 2^n outputs; n={domain_size} exceeds the "
+            f"{MAX_RAPPOR_DOMAIN}-type limit for explicit materialization"
+        )
+    off_probability = 1.0 / (np.exp(epsilon) + 1.0)
+    outputs = np.arange(1 << domain_size, dtype=np.int64)
+    bits = (outputs[:, None] >> np.arange(domain_size)[None, :]) & 1
+
+    matrix = np.empty((outputs.size, domain_size))
+    for user_type in range(domain_size):
+        per_bit_on = np.full(domain_size, off_probability)
+        per_bit_on[user_type] = 0.5
+        probabilities = np.where(bits == 1, per_bit_on, 1.0 - per_bit_on)
+        matrix[:, user_type] = probabilities.prod(axis=1)
+    return StrategyMatrix(matrix, epsilon, name="OUE")

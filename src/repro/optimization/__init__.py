@@ -1,0 +1,57 @@
+"""Strategy optimization — the paper's core contribution (Sections 3-4).
+
+* :mod:`repro.optimization.projection` — Algorithm 1 (bounded-simplex
+  projection) and its backprop rule.
+* :mod:`repro.optimization.objective` — ``L(Q)`` of Theorem 3.11 with a
+  manual analytic gradient.
+* :mod:`repro.optimization.pgd` — Algorithm 2 (projected gradient descent).
+* :mod:`repro.optimization.optimized` — the "Optimized" mechanism wrapper.
+* :mod:`repro.optimization.search` — hyper-parameter sweeps (m, restarts).
+"""
+
+from repro.optimization.objective import objective_and_gradient, objective_value
+from repro.optimization.optimized import OptimizedMechanism
+from repro.optimization.pgd import (
+    DEFAULT_OUTPUT_FACTOR,
+    OptimizationResult,
+    OptimizerConfig,
+    initial_bounds,
+    initialize,
+    optimize_strategy,
+)
+from repro.optimization.projection import (
+    ProjectionState,
+    feasible_bounds,
+    project_column_bisection,
+    project_columns,
+    projection_vjp,
+)
+from repro.optimization.search import (
+    SweepPoint,
+    best_of_restarts,
+    sample_complexity_of_result,
+    search_num_outputs,
+    worst_case_of_result,
+)
+
+__all__ = [
+    "DEFAULT_OUTPUT_FACTOR",
+    "OptimizationResult",
+    "OptimizedMechanism",
+    "OptimizerConfig",
+    "ProjectionState",
+    "SweepPoint",
+    "best_of_restarts",
+    "feasible_bounds",
+    "initial_bounds",
+    "initialize",
+    "objective_and_gradient",
+    "objective_value",
+    "optimize_strategy",
+    "project_column_bisection",
+    "project_columns",
+    "projection_vjp",
+    "sample_complexity_of_result",
+    "search_num_outputs",
+    "worst_case_of_result",
+]

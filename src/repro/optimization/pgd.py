@@ -1,0 +1,434 @@
+"""Projected gradient descent for strategy optimization (Algorithm 2).
+
+Each iteration performs the paper's two coupled updates:
+
+    z <- clip(z - alpha * grad_z L(Q), 0, 1)
+    Q <- Pi_{z, eps}(Q - beta * grad_Q L(Q))
+
+where ``grad_z`` is obtained by backpropagating through the previous
+projection (the multi-variate chain rule noted in Section 4) and
+``alpha = beta / (n e^eps)`` is the paper's smaller z step.  The
+factorization constraint ``W = W Q^+ Q`` is handled "for free": the
+objective blows up near the constraint boundary, so descent directions never
+cross it as long as steps are modest; a divergence guard halves the step and
+restores the best iterate if a step does overshoot.
+
+The paper's initialization is used verbatim: ``R ~ U[0,1]^{m x n}`` with
+``m = 4n`` by default and ``z = (1 + e^-eps) / (2m)`` (their
+``(1 + e^-eps) / 8n`` for ``m = 4n``), projected onto the constraint set.
+When no step size is supplied, a short geometric grid search picks the one
+with the best objective after a few trial iterations (Section 4's
+hyper-parameter search, which consumes no privacy budget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import OptimizationError
+from repro.mechanisms.base import StrategyMatrix
+from repro.optimization.objective import objective_and_gradient, objective_value
+from repro.optimization.projection import (
+    ProjectionState,
+    project_columns,
+    projection_vjp,
+)
+from repro.workloads.base import Workload
+
+#: Default ratio of strategy outputs to domain size (the paper's m = 4n).
+DEFAULT_OUTPUT_FACTOR = 4
+
+
+@dataclass
+class OptimizerConfig:
+    """Tunable knobs of Algorithm 2.
+
+    Attributes
+    ----------
+    num_iterations:
+        Gradient steps for the main run.
+    num_outputs:
+        Number of strategy rows ``m``; defaults to ``4n``.
+    step_size:
+        The Q step ``beta``.  ``None`` triggers the grid search.
+    seed:
+        Seed for the random initialization.
+    search_points, search_iterations:
+        Size of the step-size grid and trial length per candidate.
+    tolerance, patience:
+        Stop early when the relative objective improvement stays below
+        ``tolerance`` for ``patience`` consecutive iterations.
+    track_history:
+        Record the objective value at every iteration.
+    """
+
+    num_iterations: int = 500
+    num_outputs: int | None = None
+    step_size: float | None = None
+    seed: int | None = None
+    search_points: int = 7
+    search_iterations: int = 25
+    tolerance: float = 1e-10
+    patience: int = 100
+    track_history: bool = False
+    line_search: bool = True
+    step_growth: float = 1.25
+    initial_strategy: np.ndarray | None = None
+    prior: np.ndarray | None = None
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of a strategy optimization run."""
+
+    strategy: StrategyMatrix
+    bounds: np.ndarray
+    objective: float
+    step_size: float
+    iterations_run: int
+    history: list[float] = field(default_factory=list)
+
+
+def initial_bounds(num_outputs: int, epsilon: float) -> np.ndarray:
+    """The paper's initial ``z = (1 + e^-eps) / (2m) * 1``."""
+    return np.full(num_outputs, (1.0 + np.exp(-epsilon)) / (2.0 * num_outputs))
+
+
+def initialize(
+    domain_size: int,
+    num_outputs: int,
+    epsilon: float,
+    rng: np.random.Generator,
+) -> tuple[ProjectionState, np.ndarray]:
+    """Random uniform initialization projected onto the constraint set."""
+    raw = rng.random((num_outputs, domain_size))
+    bounds = initial_bounds(num_outputs, epsilon)
+    return project_columns(raw, bounds, epsilon), bounds
+
+
+def warm_start(
+    strategy: np.ndarray, epsilon: float
+) -> tuple[ProjectionState, np.ndarray]:
+    """Start Algorithm 2 from an existing eps-LDP strategy (Section 4's
+    "initialize with the strategy matrix from an existing mechanism").
+
+    The corridor is derived from the strategy's own row ranges,
+    ``z_o = max(min_u Q[o,u], max_u Q[o,u] / e^eps)``.  A small uniform
+    mixing (1e-3) is applied first: strategies whose entries take exactly
+    two values with ratio ``e^eps`` (RR, Hadamard, ...) otherwise start with
+    every entry pinned to a corridor bound and zero room to move.
+    """
+    strategy = np.asarray(strategy, dtype=float)
+    slack = 1e-3
+    strategy = (1.0 - slack) * strategy + slack / strategy.shape[0]
+    row_min = strategy.min(axis=1)
+    row_max = strategy.max(axis=1)
+    bounds = _repair_bounds(np.maximum(row_min, row_max * np.exp(-epsilon)), epsilon)
+    return project_columns(strategy, bounds, epsilon), bounds
+
+
+def _repair_bounds(bounds: np.ndarray, epsilon: float) -> np.ndarray:
+    """Keep ``z`` inside the feasible region of the projection.
+
+    Algorithm 2 only clips ``z`` to ``[0, 1]``; the rescalings below are a
+    numerical safeguard ensuring ``sum(z) <= 1 <= e^eps sum(z)`` so that the
+    next projection always has a solution.
+    """
+    bounds = np.clip(bounds, 0.0, 1.0)
+    total = bounds.sum()
+    if total <= 0.0:
+        # z collapsed entirely; restart it from the paper's initial value.
+        return initial_bounds(bounds.shape[0], epsilon)
+    if total > 1.0:
+        bounds = bounds * ((1.0 - 1e-9) / total)
+        total = bounds.sum()
+    if np.exp(epsilon) * total < 1.0:
+        bounds = bounds * ((1.0 + 1e-9) / (np.exp(epsilon) * total))
+    return bounds
+
+
+def _resolve_gram(workload: Workload | np.ndarray) -> tuple[np.ndarray, int]:
+    if isinstance(workload, Workload):
+        gram = workload.gram()
+    else:
+        gram = np.asarray(workload, dtype=float)
+        if gram.ndim != 2 or gram.shape[0] != gram.shape[1]:
+            raise OptimizationError(
+                f"expected a Workload or square Gram matrix, got shape {gram.shape}"
+            )
+    return gram, gram.shape[0]
+
+
+def _descend(
+    gram: np.ndarray,
+    state: ProjectionState,
+    bounds: np.ndarray,
+    epsilon: float,
+    step_size: float,
+    num_iterations: int,
+    tolerance: float,
+    patience: int,
+    history: list[float] | None,
+    line_search: bool = True,
+    step_growth: float = 1.25,
+    weights: np.ndarray | None = None,
+) -> tuple[ProjectionState, np.ndarray, float, int]:
+    """Run PGD from a starting point; returns the best iterate found.
+
+    With ``line_search`` the Q step backtracks until it satisfies the
+    projected-gradient sufficient-decrease condition
+
+        f(Q+) <= f(Q) - (c / beta) ||Q+ - Q||_F^2,   c = 1e-4,
+
+    and grows by ``step_growth`` after each accepted step — Algorithm 2 with
+    an automatic step size instead of a fixed hyper-parameter.  With
+    ``line_search=False`` this is the paper's fixed-step loop verbatim
+    (plus a divergence guard).
+    """
+    best_value = np.inf
+    best_state, best_bounds = state, bounds
+    stall = 0
+    iterations_run = 0
+    for iteration in range(num_iterations):
+        iterations_run = iteration + 1
+        value, gradient = objective_and_gradient(state.matrix, gram, weights)
+        if history is not None:
+            history.append(value)
+        if not np.isfinite(value):
+            # Overshot into the infeasible/degenerate region: back off.
+            state, bounds = best_state, best_bounds
+            step_size *= 0.5
+            continue
+        if value < best_value * (1.0 - tolerance):
+            stall = 0
+        else:
+            stall += 1
+            if stall >= patience:
+                if value < best_value:
+                    best_value, best_state, best_bounds = value, state, bounds
+                break
+        if value < best_value:
+            best_value, best_state, best_bounds = value, state, bounds
+
+        z_scale = gram.shape[0] * np.exp(epsilon)
+
+        if not line_search:
+            # Verbatim Algorithm 2: fixed-step z and Q updates.
+            bound_gradient = projection_vjp(gradient, state, epsilon)
+            bounds = _repair_bounds(
+                bounds - step_size / z_scale * bound_gradient, epsilon
+            )
+            state = project_columns(
+                state.matrix - step_size * gradient, bounds, epsilon
+            )
+            continue
+
+        # --- Q step: backtracking line search with z held fixed. ---
+        accepted = None
+        raw = state.matrix
+        for attempt in range(40):
+            raw = state.matrix - step_size * gradient
+            candidate = project_columns(raw, bounds, epsilon)
+            movement = float(np.sum((candidate.matrix - state.matrix) ** 2))
+            if movement <= 1e-30:
+                break
+            candidate_value = objective_value(candidate.matrix, gram, weights)
+            if candidate_value <= value - 1e-4 / step_size * movement or (
+                attempt == 39 and candidate_value < value
+            ):
+                accepted = (candidate, candidate_value)
+                break
+            step_size *= 0.5
+
+        if accepted is not None:
+            candidate, candidate_value = accepted
+            accepted_step = step_size
+            step_size *= step_growth
+        else:
+            # Q is stationary inside the current corridor; only a corridor
+            # (z) move can make further progress.
+            candidate, candidate_value = state, value
+            raw = state.matrix
+            accepted_step = step_size
+
+        # --- z step, re-projecting the same pre-projection point so the
+        # backprop linearization is valid (strict clip margins there). ---
+        best_candidate, best_bounds_candidate = candidate, bounds
+        best_candidate_value = candidate_value
+        for proposal in _bound_proposals(
+            candidate, bounds, gradient, accepted_step / z_scale, epsilon
+        ):
+            reprojected = project_columns(raw, proposal, epsilon)
+            reprojected_value = objective_value(reprojected.matrix, gram, weights)
+            if reprojected_value < best_candidate_value:
+                best_candidate = reprojected
+                best_bounds_candidate = proposal
+                best_candidate_value = reprojected_value
+        if accepted is None and best_candidate_value >= value:
+            # Neither the Q direction nor any corridor move helps: stop.
+            break
+        state, bounds = best_candidate, best_bounds_candidate
+    if not np.isfinite(best_value):
+        raise OptimizationError("optimization diverged from the first step")
+    return best_state, best_bounds, float(best_value), iterations_run
+
+
+def _bound_proposals(
+    candidate: ProjectionState,
+    bounds: np.ndarray,
+    gradient: np.ndarray,
+    z_step: float,
+    epsilon: float,
+) -> list[np.ndarray]:
+    """Candidate updates for the corridor vector ``z``.
+
+    Two proposals, each evaluated by the caller and accepted only when the
+    objective improves (monotone safeguard):
+
+    1. The paper's gradient step ``z - alpha * grad_z L`` with the gradient
+       backpropagated through the accepted projection.
+    2. A corridor re-centring on the current strategy: per row,
+       ``z_o = max(tau * min_u Q[o,u], max_u Q[o,u] / e^eps)``, which keeps
+       the iterate feasible while letting row masses drift downward — this
+       lets rows specialize even where the backprop direction stalls.
+    """
+    bound_gradient = projection_vjp(gradient, candidate, epsilon)
+    gradient_proposal = _repair_bounds(bounds - z_step * bound_gradient, epsilon)
+
+    matrix = candidate.matrix
+    row_min = matrix.min(axis=1)
+    row_max = matrix.max(axis=1)
+    recentred = np.maximum(0.5 * row_min, row_max * np.exp(-epsilon))
+    recentre_proposal = _repair_bounds(recentred, epsilon)
+    return [gradient_proposal, recentre_proposal]
+
+
+def _search_step_size(
+    gram: np.ndarray,
+    state: ProjectionState,
+    bounds: np.ndarray,
+    epsilon: float,
+    config: OptimizerConfig,
+    weights: np.ndarray | None = None,
+) -> float:
+    """Short trial runs over a geometric grid of step sizes (Section 4)."""
+    base = _base_step(gram, state, weights)
+    exponents = np.linspace(-2.0, 1.0, config.search_points)
+    best_step, best_value = base, np.inf
+    for exponent in exponents:
+        candidate = base * 10.0**exponent
+        try:
+            _, _, value, _ = _descend(
+                gram,
+                state,
+                bounds,
+                epsilon,
+                candidate,
+                config.search_iterations,
+                config.tolerance,
+                config.patience,
+                history=None,
+                line_search=config.line_search,
+                step_growth=config.step_growth,
+                weights=weights,
+            )
+        except OptimizationError:
+            continue
+        if value < best_value:
+            best_step, best_value = candidate, value
+    return best_step
+
+
+def _base_step(
+    gram: np.ndarray, state: ProjectionState, weights: np.ndarray | None = None
+) -> float:
+    """Heuristic step scale: move the steepest entry by one typical entry
+    magnitude (columns sum to 1 over m rows, so a typical entry is 1/m)."""
+    _, gradient = objective_and_gradient(state.matrix, gram, weights)
+    scale = np.abs(gradient).max()
+    if not np.isfinite(scale) or scale <= 0:
+        return 1e-3
+    return 1.0 / (state.matrix.shape[0] * scale)
+
+
+def optimize_strategy(
+    workload: Workload | np.ndarray,
+    epsilon: float,
+    config: OptimizerConfig | None = None,
+) -> OptimizationResult:
+    """Algorithm 2: find an optimized eps-LDP strategy for a workload.
+
+    Parameters
+    ----------
+    workload:
+        A :class:`~repro.workloads.base.Workload` or a raw Gram matrix
+        ``W^T W``.
+    epsilon:
+        Privacy budget.
+    config:
+        Optimizer knobs; sensible defaults otherwise.
+
+    Returns
+    -------
+    OptimizationResult
+        Best strategy found (validated epsilon-LDP), its objective value
+        ``L(Q)``, and diagnostics.
+    """
+    config = config or OptimizerConfig()
+    if epsilon <= 0:
+        raise OptimizationError(f"epsilon must be positive, got {epsilon}")
+    gram, domain_size = _resolve_gram(workload)
+    num_outputs = config.num_outputs or DEFAULT_OUTPUT_FACTOR * domain_size
+    if num_outputs < domain_size:
+        # Allowed (low-rank workloads), but must remain feasible for W.
+        if num_outputs < 1:
+            raise OptimizationError(f"num_outputs must be >= 1, got {num_outputs}")
+    weights = None
+    if config.prior is not None:
+        from repro.analysis.reconstruction import prior_weights
+
+        weights = prior_weights(config.prior, domain_size)
+    rng = np.random.default_rng(config.seed)
+    if config.initial_strategy is not None:
+        state, bounds = warm_start(config.initial_strategy, epsilon)
+    else:
+        state, bounds = initialize(domain_size, num_outputs, epsilon, rng)
+
+    step_size = config.step_size
+    if step_size is None:
+        if config.line_search:
+            # Backtracking adapts on the fly; a scale heuristic suffices.
+            step_size = _base_step(gram, state, weights)
+        else:
+            step_size = _search_step_size(
+                gram, state, bounds, epsilon, config, weights
+            )
+
+    history: list[float] | None = [] if config.track_history else None
+    state, bounds, value, iterations = _descend(
+        gram,
+        state,
+        bounds,
+        epsilon,
+        step_size,
+        config.num_iterations,
+        config.tolerance,
+        config.patience,
+        history,
+        line_search=config.line_search,
+        step_growth=config.step_growth,
+        weights=weights,
+    )
+    strategy = StrategyMatrix(
+        state.matrix, epsilon, name="Optimized"
+    )
+    return OptimizationResult(
+        strategy=strategy,
+        bounds=bounds,
+        objective=value,
+        step_size=step_size,
+        iterations_run=iterations,
+        history=history or [],
+    )

@@ -1,0 +1,88 @@
+"""Hyper-parameter searches around Algorithm 2 (Sections 4 and 6.5).
+
+Strategy quality can be evaluated analytically without touching any private
+data, so both searches below are free in privacy terms:
+
+* :func:`search_num_outputs` — sweep the number of strategy rows ``m``
+  (Figure 3b studies m between n and 16n).
+* :func:`best_of_restarts` — rerun the optimizer with different random
+  initializations and keep the best strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.analysis.sample_complexity import PAPER_ALPHA
+from repro.analysis.variance import per_user_variances
+from repro.optimization.pgd import OptimizationResult, OptimizerConfig, optimize_strategy
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated configuration in a hyper-parameter sweep."""
+
+    num_outputs: int
+    seed: int
+    objective: float
+    worst_case_variance: float
+
+
+def worst_case_of_result(result: OptimizationResult, workload: Workload) -> float:
+    """Single-user ``L_worst`` of an optimized strategy on its workload."""
+    t = per_user_variances(result.strategy.probabilities, workload.gram())
+    return float(np.max(t))
+
+
+def search_num_outputs(
+    workload: Workload,
+    epsilon: float,
+    output_counts: list[int],
+    seeds: list[int],
+    config: OptimizerConfig | None = None,
+) -> list[SweepPoint]:
+    """Optimize for every ``(m, seed)`` pair and report both loss metrics."""
+    config = config or OptimizerConfig()
+    points = []
+    for num_outputs in output_counts:
+        for seed in seeds:
+            run_config = replace(config, num_outputs=num_outputs, seed=seed)
+            result = optimize_strategy(workload, epsilon, run_config)
+            points.append(
+                SweepPoint(
+                    num_outputs=num_outputs,
+                    seed=seed,
+                    objective=result.objective,
+                    worst_case_variance=worst_case_of_result(result, workload),
+                )
+            )
+    return points
+
+
+def best_of_restarts(
+    workload: Workload,
+    epsilon: float,
+    seeds: list[int],
+    config: OptimizerConfig | None = None,
+) -> OptimizationResult:
+    """Run the optimizer once per seed and keep the lowest-objective result."""
+    config = config or OptimizerConfig()
+    best: OptimizationResult | None = None
+    for seed in seeds:
+        result = optimize_strategy(workload, epsilon, replace(config, seed=seed))
+        if best is None or result.objective < best.objective:
+            best = result
+    return best
+
+
+def sample_complexity_of_result(
+    result: OptimizationResult,
+    workload: Workload,
+    alpha: float = PAPER_ALPHA,
+) -> float:
+    """Sample complexity (Corollary 5.4) of an optimized strategy."""
+    t = per_user_variances(result.strategy.probabilities, workload.gram())
+    return float(np.max(t) / (workload.num_queries * alpha))

@@ -1,0 +1,34 @@
+"""Client/server LDP protocol simulation.
+
+* :class:`repro.protocol.client.LocalRandomizer` — per-user randomization.
+* :class:`repro.protocol.server.Aggregator` — response collection and
+  unbiased estimation.
+* :func:`repro.protocol.simulation.run_protocol` — end-to-end execution.
+* :mod:`repro.protocol.audit` — exact and empirical privacy audits.
+"""
+
+from repro.protocol.accounting import (
+    CostReport,
+    communication_bits,
+    compare_costs,
+    cost_report,
+)
+from repro.protocol.audit import AuditReport, audit_strategy, empirical_ratio_audit
+from repro.protocol.client import LocalRandomizer
+from repro.protocol.server import Aggregator
+from repro.protocol.simulation import ProtocolResult, expand_users, run_protocol
+
+__all__ = [
+    "Aggregator",
+    "AuditReport",
+    "CostReport",
+    "LocalRandomizer",
+    "ProtocolResult",
+    "audit_strategy",
+    "communication_bits",
+    "compare_costs",
+    "cost_report",
+    "empirical_ratio_audit",
+    "expand_users",
+    "run_protocol",
+]

@@ -1,0 +1,64 @@
+"""Resource accounting for LDP mechanisms.
+
+The paper's related work points to the comparison of computational, sample
+and communication complexity across histogram mechanisms in [1]; this module
+makes those quantities inspectable for any strategy-matrix mechanism in the
+library.
+
+For a strategy with ``m`` outputs over ``n`` types:
+
+* each client sends one output id — ``ceil(log2 m)`` bits;
+* a client needs its own column of ``Q`` to randomize — ``m`` floats
+  (often far fewer in practice when the column has repeated values, which
+  the report also counts);
+* the server keeps ``m`` counters and reconstructs with an ``n x m``
+  operator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mechanisms.base import StrategyMatrix
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Resource footprint of one strategy-matrix mechanism."""
+
+    mechanism: str
+    num_outputs: int
+    communication_bits: int
+    client_column_entries: int
+    client_distinct_levels: int
+    server_counters: int
+    reconstruction_entries: int
+
+
+def communication_bits(num_outputs: int) -> int:
+    """Bits per client report: ``ceil(log2 m)`` (minimum 1)."""
+    return max(1, math.ceil(math.log2(max(num_outputs, 2))))
+
+
+def cost_report(strategy: StrategyMatrix) -> CostReport:
+    """Account for a single mechanism's client/server resource use."""
+    matrix = strategy.probabilities
+    distinct = int(np.unique(np.round(matrix, 12)).size)
+    return CostReport(
+        mechanism=strategy.name,
+        num_outputs=strategy.num_outputs,
+        communication_bits=communication_bits(strategy.num_outputs),
+        client_column_entries=strategy.num_outputs,
+        client_distinct_levels=distinct,
+        server_counters=strategy.num_outputs,
+        reconstruction_entries=strategy.domain_size * strategy.num_outputs,
+    )
+
+
+def compare_costs(strategies: list[StrategyMatrix]) -> list[CostReport]:
+    """Cost reports for several mechanisms, sorted by communication bits."""
+    reports = [cost_report(strategy) for strategy in strategies]
+    return sorted(reports, key=lambda report: report.communication_bits)

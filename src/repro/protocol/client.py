@@ -1,0 +1,62 @@
+"""Client-side local randomizer.
+
+In a real deployment each user's device holds one :class:`LocalRandomizer`
+(built from the publicly distributed strategy matrix) and reports a single
+randomized output.  The class exists so the end-to-end simulation follows the
+actual message flow of an LDP system rather than shortcutting to matrix
+algebra; nothing a client sends depends on any other user's data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ProtocolError
+from repro.mechanisms.base import StrategyMatrix
+
+
+class LocalRandomizer:
+    """One user's view of the protocol: randomize my type, nothing else.
+
+    Parameters
+    ----------
+    strategy:
+        The public strategy matrix ``Q`` (validated epsilon-LDP).
+    rng:
+        Source of randomness; defaults to a fresh generator.
+
+    Examples
+    --------
+    >>> from repro.mechanisms import randomized_response
+    >>> randomizer = LocalRandomizer(randomized_response(4, 1.0))
+    >>> response = randomizer.respond(2)
+    >>> 0 <= response < 4
+    True
+    """
+
+    def __init__(
+        self, strategy: StrategyMatrix, rng: np.random.Generator | None = None
+    ) -> None:
+        self.strategy = strategy
+        self._rng = rng or np.random.default_rng()
+
+    def respond(self, user_type: int) -> int:
+        """Produce this user's randomized report."""
+        if not 0 <= user_type < self.strategy.domain_size:
+            raise ProtocolError(
+                f"user type {user_type} outside domain "
+                f"[0, {self.strategy.domain_size})"
+            )
+        return self.strategy.sample_response(user_type, self._rng)
+
+    def respond_many(self, user_types: np.ndarray) -> np.ndarray:
+        """Randomize a batch of users (one independent report each)."""
+        user_types = np.asarray(user_types)
+        if user_types.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if user_types.min() < 0 or user_types.max() >= self.strategy.domain_size:
+            raise ProtocolError("user types outside the strategy's domain")
+        cumulative = np.cumsum(self.strategy.probabilities, axis=0)
+        draws = self._rng.random(user_types.shape[0])
+        columns = cumulative[:, user_types]
+        return (draws[None, :] > columns).sum(axis=0)

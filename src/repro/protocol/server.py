@@ -1,0 +1,92 @@
+"""Server-side aggregation and estimation.
+
+The server never sees raw types; it collects the categorical reports,
+histograms them into the response vector ``y``, and post-processes with the
+reconstruction operator.  Post-processing cannot degrade the privacy
+guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reconstruction import reconstruction_operator
+from repro.exceptions import ProtocolError
+from repro.mechanisms.base import StrategyMatrix
+from repro.workloads.base import Workload
+
+
+class Aggregator:
+    """Collects randomized reports and produces unbiased estimates.
+
+    Parameters
+    ----------
+    strategy:
+        The public strategy matrix the clients used.
+    workload:
+        The analyst's target workload.
+    """
+
+    def __init__(self, strategy: StrategyMatrix, workload: Workload) -> None:
+        if workload.domain_size != strategy.domain_size:
+            raise ProtocolError(
+                f"workload domain {workload.domain_size} != strategy domain "
+                f"{strategy.domain_size}"
+            )
+        self.strategy = strategy
+        self.workload = workload
+        self.operator = reconstruction_operator(strategy.probabilities)
+        self._histogram = np.zeros(strategy.num_outputs)
+        self._num_reports = 0
+
+    @property
+    def num_reports(self) -> int:
+        """Number of client reports folded in so far."""
+        return self._num_reports
+
+    def response_vector(self) -> np.ndarray:
+        """The current response histogram ``y`` (a copy)."""
+        return self._histogram.copy()
+
+    def submit(self, report: int) -> None:
+        """Fold in one client report."""
+        if not 0 <= report < self.strategy.num_outputs:
+            raise ProtocolError(
+                f"report {report} outside output range "
+                f"[0, {self.strategy.num_outputs})"
+            )
+        self._histogram[report] += 1
+        self._num_reports += 1
+
+    def submit_many(self, reports: np.ndarray) -> None:
+        """Fold in a batch of client reports."""
+        reports = np.asarray(reports)
+        if reports.size == 0:
+            return
+        if reports.min() < 0 or reports.max() >= self.strategy.num_outputs:
+            raise ProtocolError("report outside the strategy's output range")
+        self._histogram += np.bincount(
+            reports, minlength=self.strategy.num_outputs
+        )
+        self._num_reports += reports.shape[0]
+
+    def submit_histogram(self, histogram: np.ndarray) -> None:
+        """Fold in a pre-aggregated response histogram (e.g. from a shard)."""
+        histogram = np.asarray(histogram, dtype=float)
+        if histogram.shape != (self.strategy.num_outputs,):
+            raise ProtocolError(
+                f"histogram shape {histogram.shape} != "
+                f"({self.strategy.num_outputs},)"
+            )
+        if histogram.min() < 0:
+            raise ProtocolError("histogram has negative counts")
+        self._histogram += histogram
+        self._num_reports += int(round(histogram.sum()))
+
+    def estimate_data_vector(self) -> np.ndarray:
+        """Unbiased estimate ``x_hat = B y`` of the population histogram."""
+        return self.operator @ self._histogram
+
+    def estimate_workload(self) -> np.ndarray:
+        """Unbiased workload answers ``W x_hat``."""
+        return self.workload.matvec(self.estimate_data_vector())

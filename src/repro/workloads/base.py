@@ -1,0 +1,185 @@
+"""Core workload abstraction.
+
+A workload is a ``p x n`` matrix ``W`` of linear counting queries.  Most of
+the paper's analysis only touches ``W`` through three derived quantities:
+
+* the Gram matrix ``W^T W`` (the optimization objective, Theorem 3.11),
+* the squared Frobenius norm ``||W||_F^2`` (variance offsets, Theorem 3.9),
+* matrix-vector products ``W x`` and ``W^T a`` (query answering and
+  post-processing).
+
+:class:`Workload` exposes exactly those, which lets very large workloads
+(AllRange at n = 512 has ~131k queries) participate in every experiment
+without ever materializing the full matrix.  Subclasses with closed-form
+Grams override :meth:`Workload._compute_gram`; everything else derives from
+the explicit matrix.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+
+#: Refuse to materialize explicit matrices above this many entries.
+MAX_EXPLICIT_ENTRIES = 50_000_000
+
+
+class Workload(abc.ABC):
+    """Abstract base class for linear query workloads.
+
+    Parameters
+    ----------
+    domain_size:
+        Number of user types ``n``.
+    num_queries:
+        Number of workload rows ``p``.
+    name:
+        Human-readable name used in reports and experiment tables.
+    """
+
+    def __init__(self, domain_size: int, num_queries: int, name: str) -> None:
+        if domain_size < 1:
+            raise WorkloadError(f"domain size must be >= 1, got {domain_size}")
+        if num_queries < 1:
+            raise WorkloadError(f"workload needs >= 1 query, got {num_queries}")
+        self.domain_size = domain_size
+        self.num_queries = num_queries
+        self.name = name
+        self._gram: np.ndarray | None = None
+
+    # -- representations -------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def matrix(self) -> np.ndarray:
+        """The explicit ``(p, n)`` query matrix.
+
+        Raises
+        ------
+        WorkloadError
+            If the matrix would exceed :data:`MAX_EXPLICIT_ENTRIES`.
+        """
+
+    def gram(self) -> np.ndarray:
+        """The ``(n, n)`` Gram matrix ``W^T W`` (cached after first call)."""
+        if self._gram is None:
+            self._gram = self._compute_gram()
+        return self._gram
+
+    def _compute_gram(self) -> np.ndarray:
+        return self.matrix.T @ self.matrix
+
+    def frobenius_norm_squared(self) -> float:
+        """``||W||_F^2 = tr(W^T W)``."""
+        return float(np.trace(self.gram()))
+
+    # -- products ---------------------------------------------------------
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Workload answers ``W x`` for a data vector ``x``."""
+        x = self._check_domain_vector(x)
+        return self.matrix @ x
+
+    def rmatvec(self, a: np.ndarray) -> np.ndarray:
+        """Adjoint product ``W^T a`` for a per-query vector ``a``."""
+        a = np.asarray(a, dtype=float)
+        if a.shape != (self.num_queries,):
+            raise WorkloadError(
+                f"expected {self.num_queries} query values, got shape {a.shape}"
+            )
+        return self.matrix.T @ a
+
+    # -- analysis helpers ---------------------------------------------------
+
+    def singular_values(self) -> np.ndarray:
+        """Singular values of ``W`` in descending order.
+
+        Computed from the Gram matrix, so available for implicit workloads.
+        Eigenvalues below ``1e-12`` of the largest are round-off and are
+        reported as exactly zero (the sqrt would otherwise inflate them).
+        Used by the SVD lower bound (Theorem 5.6).
+        """
+        eigenvalues = np.linalg.eigvalsh(self.gram())
+        cutoff = 1e-12 * max(float(eigenvalues.max(initial=0.0)), 0.0)
+        eigenvalues = np.where(eigenvalues > cutoff, eigenvalues, 0.0)
+        return np.sqrt(eigenvalues)[::-1]
+
+    def error_quadratic(self, delta: np.ndarray) -> float:
+        """Squared workload error ``||W delta||_2^2 = delta^T (W^T W) delta``.
+
+        This Gram-space form is how experiments measure error against the
+        truth without forming per-query answers for huge workloads.
+        """
+        delta = self._check_domain_vector(delta)
+        return float(delta @ self.gram() @ delta)
+
+    def _check_domain_vector(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.domain_size,):
+            raise WorkloadError(
+                f"expected a vector over {self.domain_size} types, "
+                f"got shape {x.shape}"
+            )
+        return x
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"n={self.domain_size}, p={self.num_queries})"
+        )
+
+
+class ExplicitWorkload(Workload):
+    """A workload backed by an explicit in-memory matrix.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> w = ExplicitWorkload(np.eye(3), name="Histogram")
+    >>> w.num_queries
+    3
+    """
+
+    def __init__(self, matrix: np.ndarray, name: str = "Custom") -> None:
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise WorkloadError(f"workload matrix must be 2-D, got {matrix.ndim}-D")
+        if matrix.size > MAX_EXPLICIT_ENTRIES:
+            raise WorkloadError(
+                f"explicit workload with {matrix.size} entries exceeds the "
+                f"{MAX_EXPLICIT_ENTRIES} entry limit"
+            )
+        if not np.isfinite(matrix).all():
+            raise WorkloadError("workload matrix contains non-finite entries")
+        super().__init__(matrix.shape[1], matrix.shape[0], name)
+        self._matrix = matrix
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return self._matrix
+
+
+def stack(workloads: list[Workload], name: str = "Stacked") -> ExplicitWorkload:
+    """Vertically stack several explicit workloads over the same domain.
+
+    Useful for building composite analyst workloads (e.g. histogram +
+    a handful of range queries with different importance weights).
+    """
+    if not workloads:
+        raise WorkloadError("cannot stack an empty list of workloads")
+    sizes = {w.domain_size for w in workloads}
+    if len(sizes) > 1:
+        raise WorkloadError(f"workloads span different domains: {sorted(sizes)}")
+    return ExplicitWorkload(np.vstack([w.matrix for w in workloads]), name=name)
+
+
+def weighted(workload: Workload, weight: float) -> ExplicitWorkload:
+    """Scale every query of a workload by ``weight`` (importance weighting)."""
+    if weight <= 0:
+        raise WorkloadError(f"weight must be positive, got {weight}")
+    return ExplicitWorkload(
+        weight * workload.matrix, name=f"{workload.name}*{weight:g}"
+    )

@@ -1,0 +1,221 @@
+"""Kronecker-structured workloads over product domains.
+
+Real deployments rarely have purely binary attributes; queries over a
+product domain ``d_1 x ... x d_k`` (age group x region x device, ...)
+factor as Kronecker products of small per-attribute query matrices.  This
+module provides:
+
+* :class:`KronWorkload` — ``W = F_k (x) ... (x) F_1`` with the Gram matrix,
+  Frobenius norm and mat-vec products computed factor-wise (never forming
+  the full ``W`` unless it is small);
+* general marginal workloads over arbitrary-arity attributes
+  (:func:`product_marginals`, :func:`all_product_marginals`,
+  :func:`k_way_product_marginals`), generalizing the binary
+  :mod:`repro.workloads.marginals`.
+
+Conventions: attribute 0 is the fastest-varying index of the flat domain
+(matching :class:`repro.domains.ProductDomain`), so the flat matrix is
+``kron(F_{k-1}, ..., F_0)``.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from itertools import combinations
+
+import numpy as np
+
+from repro.domains import ProductDomain
+from repro.exceptions import WorkloadError
+from repro.workloads.base import MAX_EXPLICIT_ENTRIES, Workload
+
+
+def _kron_all(factors: list[np.ndarray]) -> np.ndarray:
+    """``kron(F_{k-1}, ..., F_0)`` for factors listed attribute-0 first."""
+    return reduce(np.kron, reversed(factors))
+
+
+def _apply_factors(factors: list[np.ndarray], x: np.ndarray) -> np.ndarray:
+    """Apply ``kron(F_{k-1}, ..., F_0)`` to a flat vector factor-wise.
+
+    Reshapes ``x`` into a tensor with attribute ``k-1`` as the leading axis
+    (C order matches the mixed-radix convention) and contracts each factor
+    along its own axis — far cheaper than forming the full product.
+    """
+    shape = [factor.shape[1] for factor in reversed(factors)]
+    tensor = np.asarray(x, dtype=float).reshape(shape)
+    for axis, factor in enumerate(reversed(factors)):
+        moved = np.moveaxis(tensor, axis, 0)
+        tail_shape = moved.shape[1:]
+        applied = factor @ moved.reshape(factor.shape[1], -1)
+        tensor = np.moveaxis(
+            applied.reshape((factor.shape[0],) + tail_shape), 0, axis
+        )
+    return tensor.reshape(-1)
+
+
+class KronWorkload(Workload):
+    """A workload that factors over the attributes of a product domain.
+
+    Parameters
+    ----------
+    factors:
+        One query matrix per attribute, attribute 0 first; factor ``i`` has
+        shape ``(p_i, d_i)``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> cdf_by_group = KronWorkload([np.tril(np.ones((3, 3))), np.eye(2)])
+    >>> cdf_by_group.num_queries, cdf_by_group.domain_size
+    (6, 6)
+    """
+
+    def __init__(self, factors: list[np.ndarray], name: str = "Kron") -> None:
+        if not factors:
+            raise WorkloadError("KronWorkload needs at least one factor")
+        self.factors = [np.asarray(factor, dtype=float) for factor in factors]
+        for factor in self.factors:
+            if factor.ndim != 2:
+                raise WorkloadError("Kron factors must be 2-D matrices")
+        num_queries = 1
+        domain_size = 1
+        for factor in self.factors:
+            num_queries *= factor.shape[0]
+            domain_size *= factor.shape[1]
+        super().__init__(domain_size, num_queries, name)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        if self.num_queries * self.domain_size > MAX_EXPLICIT_ENTRIES:
+            raise WorkloadError(
+                f"Kron workload with {self.num_queries}x{self.domain_size} "
+                "entries exceeds the explicit limit; use gram()/matvec()"
+            )
+        return _kron_all(self.factors)
+
+    def _compute_gram(self) -> np.ndarray:
+        return _kron_all([factor.T @ factor for factor in self.factors])
+
+    def frobenius_norm_squared(self) -> float:
+        product = 1.0
+        for factor in self.factors:
+            product *= float(np.sum(factor**2))
+        return product
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_domain_vector(x)
+        return _apply_factors(self.factors, x)
+
+    def rmatvec(self, a: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=float)
+        if a.shape != (self.num_queries,):
+            raise WorkloadError(
+                f"expected {self.num_queries} query values, got shape {a.shape}"
+            )
+        return _apply_factors([factor.T for factor in self.factors], a)
+
+
+class ProductMarginalsWorkload(Workload):
+    """Marginals over arbitrary-arity attribute subsets.
+
+    The marginal on subset ``S`` is the Kron workload with ``I_{d_i}`` for
+    attributes in ``S`` and the total row ``1^T`` elsewhere; the workload
+    stacks the marginals of every requested subset.
+    """
+
+    def __init__(
+        self,
+        domain: ProductDomain,
+        subsets: list[tuple[int, ...]],
+        name: str = "ProductMarginals",
+    ) -> None:
+        if not subsets:
+            raise WorkloadError("needs at least one attribute subset")
+        for subset in subsets:
+            if any(not 0 <= a < domain.num_attributes for a in subset):
+                raise WorkloadError(f"subset {subset} outside the attributes")
+            if len(set(subset)) != len(subset):
+                raise WorkloadError(f"subset {subset} repeats an attribute")
+        self.product_domain = domain
+        self.subsets = [tuple(sorted(subset)) for subset in subsets]
+        self._blocks = [
+            KronWorkload(self._factors(subset), name=f"marginal{subset}")
+            for subset in self.subsets
+        ]
+        super().__init__(
+            domain.size, sum(block.num_queries for block in self._blocks), name
+        )
+
+    def _factors(self, subset: tuple[int, ...]) -> list[np.ndarray]:
+        keep = set(subset)
+        return [
+            np.eye(size) if index in keep else np.ones((1, size))
+            for index, size in enumerate(self.product_domain.sizes)
+        ]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        if self.num_queries * self.domain_size > MAX_EXPLICIT_ENTRIES:
+            raise WorkloadError(
+                "product marginals too large to materialize; use gram()/matvec()"
+            )
+        return np.vstack([block.matrix for block in self._blocks])
+
+    def _compute_gram(self) -> np.ndarray:
+        gram = np.zeros((self.domain_size, self.domain_size))
+        for block in self._blocks:
+            gram += block.gram()
+        return gram
+
+    def frobenius_norm_squared(self) -> float:
+        return sum(block.frobenius_norm_squared() for block in self._blocks)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_domain_vector(x)
+        return np.concatenate([block.matvec(x) for block in self._blocks])
+
+    def rmatvec(self, a: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=float)
+        if a.shape != (self.num_queries,):
+            raise WorkloadError(
+                f"expected {self.num_queries} query values, got shape {a.shape}"
+            )
+        result = np.zeros(self.domain_size)
+        offset = 0
+        for block in self._blocks:
+            result += block.rmatvec(a[offset : offset + block.num_queries])
+            offset += block.num_queries
+        return result
+
+
+def product_marginals(
+    sizes: tuple[int, ...], subsets: list[tuple[int, ...]]
+) -> ProductMarginalsWorkload:
+    """Marginals on explicit attribute subsets of a product domain."""
+    return ProductMarginalsWorkload(ProductDomain(tuple(sizes)), subsets)
+
+
+def all_product_marginals(sizes: tuple[int, ...]) -> ProductMarginalsWorkload:
+    """All ``2^k`` marginals (including the total) — ``prod(1 + d_i)`` queries."""
+    domain = ProductDomain(tuple(sizes))
+    attributes = range(domain.num_attributes)
+    subsets: list[tuple[int, ...]] = []
+    for size in range(domain.num_attributes + 1):
+        subsets.extend(combinations(attributes, size))
+    return ProductMarginalsWorkload(domain, subsets, name="AllProductMarginals")
+
+
+def k_way_product_marginals(
+    sizes: tuple[int, ...], way: int
+) -> ProductMarginalsWorkload:
+    """All marginals on exactly ``way`` attributes of a product domain."""
+    domain = ProductDomain(tuple(sizes))
+    if not 1 <= way <= domain.num_attributes:
+        raise WorkloadError(
+            f"way must be in [1, {domain.num_attributes}], got {way}"
+        )
+    subsets = list(combinations(range(domain.num_attributes), way))
+    return ProductMarginalsWorkload(
+        domain, subsets, name=f"{way}-Way ProductMarginals"
+    )

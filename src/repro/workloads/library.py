@@ -1,0 +1,49 @@
+"""The simple 1-D workloads from the paper: Histogram and Prefix.
+
+Histogram is the ``n x n`` identity (Example 2.2 context); Prefix is the
+lower-triangular all-ones matrix computing the unnormalized empirical CDF
+(Example 2.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import ExplicitWorkload, Workload
+
+
+class HistogramWorkload(ExplicitWorkload):
+    """The identity workload ``W = I_n`` — one point query per user type."""
+
+    def __init__(self, domain_size: int) -> None:
+        super().__init__(np.eye(domain_size), name="Histogram")
+
+    def _compute_gram(self) -> np.ndarray:
+        return np.eye(self.domain_size)
+
+
+class PrefixWorkload(ExplicitWorkload):
+    """All prefix (CDF) queries: row ``i`` sums counts of types ``0..i``.
+
+    The Gram matrix has the closed form ``(W^T W)_{ab} = n - max(a, b)``:
+    prefix row ``i`` covers both ``a`` and ``b`` exactly when
+    ``i >= max(a, b)``.
+    """
+
+    def __init__(self, domain_size: int) -> None:
+        super().__init__(np.tril(np.ones((domain_size, domain_size))), name="Prefix")
+
+    def _compute_gram(self) -> np.ndarray:
+        n = self.domain_size
+        idx = np.arange(n)
+        return (n - np.maximum(idx[:, None], idx[None, :])).astype(float)
+
+
+def histogram(domain_size: int) -> Workload:
+    """The Histogram workload (identity matrix) over ``domain_size`` types."""
+    return HistogramWorkload(domain_size)
+
+
+def prefix(domain_size: int) -> Workload:
+    """The Prefix (empirical CDF) workload over ``domain_size`` types."""
+    return PrefixWorkload(domain_size)

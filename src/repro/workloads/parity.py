@@ -1,0 +1,52 @@
+"""Parity workloads over binary product domains (studied in [19]).
+
+A parity query for a non-empty subset ``S`` of attributes is the +-1-valued
+character ``chi_S(u) = (-1)^{<S, u>}``; its answer is the number of users
+with even parity on ``S`` minus the number with odd parity.  The workload
+contains all parities of degree ``1..degree`` (``degree = 3`` by default,
+matching the low-order parities of [19]).  With ``k`` attributes this gives
+``p = C(k,1) + ... + C(k,degree)`` queries — far fewer than ``n = 2^k``, so
+the workload is low-rank, which is exactly the property Section 6.5 of the
+paper calls out for Parity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.domains import BinaryDomain
+from repro.exceptions import WorkloadError
+from repro.linalg.bits import popcount, subsets_of_size
+from repro.workloads.base import Workload
+
+
+class ParityWorkload(Workload):
+    """All parity queries of degree ``1..degree`` over ``{0,1}^k``."""
+
+    def __init__(
+        self, num_attributes: int, degree: int = 3, include_total: bool = False
+    ) -> None:
+        if not 1 <= degree <= num_attributes:
+            raise WorkloadError(
+                f"degree must be in [1, {num_attributes}], got {degree}"
+            )
+        self.binary_domain = BinaryDomain(num_attributes)
+        self.degree = degree
+        self.subset_masks: list[int] = [0] if include_total else []
+        for size in range(1, degree + 1):
+            self.subset_masks.extend(subsets_of_size(num_attributes, size))
+        super().__init__(
+            self.binary_domain.size, len(self.subset_masks), name="Parity"
+        )
+
+    @property
+    def matrix(self) -> np.ndarray:
+        types = np.arange(self.domain_size)
+        masks = np.asarray(self.subset_masks)
+        parities = popcount(masks[:, None] & types[None, :]) & 1
+        return np.where(parities == 1, -1.0, 1.0)
+
+
+def parity(num_attributes: int, degree: int = 3) -> Workload:
+    """The Parity workload of degree <= ``degree`` over ``{0,1}^k``."""
+    return ParityWorkload(num_attributes, degree)

@@ -1,0 +1,51 @@
+"""Random workloads, used by tests and robustness experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+from repro.workloads.base import ExplicitWorkload, Workload
+
+
+def random_workload(
+    num_queries: int,
+    domain_size: int,
+    seed: int | None = None,
+    density: float = 1.0,
+) -> Workload:
+    """A random +-1 / 0 workload with the given sparsity.
+
+    Parameters
+    ----------
+    num_queries, domain_size:
+        Shape of the workload matrix.
+    seed:
+        Seed for reproducibility.
+    density:
+        Fraction of non-zero entries in ``(0, 1]``.
+    """
+    if not 0.0 < density <= 1.0:
+        raise WorkloadError(f"density must be in (0, 1], got {density}")
+    rng = np.random.default_rng(seed)
+    signs = rng.choice([-1.0, 1.0], size=(num_queries, domain_size))
+    mask = rng.random((num_queries, domain_size)) < density
+    matrix = signs * mask
+    # Guarantee no all-zero query rows, which would be degenerate.
+    dead = ~mask.any(axis=1)
+    if dead.any():
+        cols = rng.integers(0, domain_size, size=int(dead.sum()))
+        matrix[np.flatnonzero(dead), cols] = 1.0
+    return ExplicitWorkload(matrix, name=f"Random({num_queries}x{domain_size})")
+
+
+def random_range_workload(
+    num_queries: int, domain_size: int, seed: int | None = None
+) -> Workload:
+    """A workload of ``num_queries`` uniformly random range queries."""
+    rng = np.random.default_rng(seed)
+    matrix = np.zeros((num_queries, domain_size))
+    for row in range(num_queries):
+        start, stop = sorted(rng.integers(0, domain_size, size=2))
+        matrix[row, start : stop + 1] = 1.0
+    return ExplicitWorkload(matrix, name=f"RandomRange({num_queries})")

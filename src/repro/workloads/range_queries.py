@@ -1,0 +1,97 @@
+"""The AllRange workload: every contiguous range query over a 1-D domain.
+
+AllRange has ``p = n(n+1)/2`` queries, which at the paper's n = 512 is
+131,328 rows — too large to keep as a dense matrix alongside strategy
+matrices.  The class below is *implicit*: the Gram matrix, Frobenius norm,
+``matvec`` and ``rmatvec`` all have closed forms, and the explicit matrix is
+only built on demand for small domains (tests, examples).
+
+Closed-form Gram: range ``[i, j]`` (inclusive, 0-indexed) covers both ``a``
+and ``b`` iff ``i <= min(a,b)`` and ``j >= max(a,b)``, so
+
+    (W^T W)_{ab} = (min(a,b) + 1) * (n - max(a,b)).
+
+Queries are enumerated in lexicographic order of ``(i, j)`` with
+``0 <= i <= j < n``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+from repro.workloads.base import MAX_EXPLICIT_ENTRIES, Workload
+
+
+class AllRangeWorkload(Workload):
+    """All ``n(n+1)/2`` contiguous range queries over a domain of size n."""
+
+    def __init__(self, domain_size: int) -> None:
+        super().__init__(
+            domain_size, domain_size * (domain_size + 1) // 2, name="AllRange"
+        )
+
+    @property
+    def matrix(self) -> np.ndarray:
+        n = self.domain_size
+        if self.num_queries * n > MAX_EXPLICIT_ENTRIES:
+            raise WorkloadError(
+                f"AllRange at n={n} has {self.num_queries} queries; use the "
+                "implicit gram()/matvec()/rmatvec() interface instead"
+            )
+        rows = np.zeros((self.num_queries, n))
+        row = 0
+        for start in range(n):
+            for stop in range(start, n):
+                rows[row, start : stop + 1] = 1.0
+                row += 1
+        return rows
+
+    def _compute_gram(self) -> np.ndarray:
+        n = self.domain_size
+        idx = np.arange(n, dtype=float)
+        lower = np.minimum(idx[:, None], idx[None, :]) + 1.0
+        upper = n - np.maximum(idx[:, None], idx[None, :])
+        return lower * upper
+
+    def frobenius_norm_squared(self) -> float:
+        n = self.domain_size
+        idx = np.arange(n, dtype=float)
+        return float(np.sum((idx + 1.0) * (n - idx)))
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """All range sums via prefix sums, ``O(p)`` time and memory."""
+        x = self._check_domain_vector(x)
+        n = self.domain_size
+        prefix_sums = np.concatenate(([0.0], np.cumsum(x)))
+        answers = np.empty(self.num_queries)
+        row = 0
+        for start in range(n):
+            count = n - start
+            answers[row : row + count] = prefix_sums[start + 1 :] - prefix_sums[start]
+            row += count
+        return answers
+
+    def rmatvec(self, a: np.ndarray) -> np.ndarray:
+        """``(W^T a)_u = sum of a over ranges containing u`` via 2-D cumsums."""
+        a = np.asarray(a, dtype=float)
+        if a.shape != (self.num_queries,):
+            raise WorkloadError(
+                f"expected {self.num_queries} query values, got shape {a.shape}"
+            )
+        n = self.domain_size
+        table = np.zeros((n, n))
+        row = 0
+        for start in range(n):
+            count = n - start
+            table[start, start:] = a[row : row + count]
+            row += count
+        # suffix-sum along j so tail[i, u] = sum_{j >= u} a[i, j], then
+        # prefix-sum along i; entry (u, u) is sum_{i <= u} sum_{j >= u} a[i, j].
+        tail = np.cumsum(table[:, ::-1], axis=1)[:, ::-1]
+        return np.cumsum(tail, axis=0).diagonal().copy()
+
+
+def all_range(domain_size: int) -> Workload:
+    """The AllRange workload over ``domain_size`` types."""
+    return AllRangeWorkload(domain_size)

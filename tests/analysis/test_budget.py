@@ -1,0 +1,69 @@
+"""Tests for privacy-budget planning."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import achievable_alpha, epsilon_for_population
+from repro.exceptions import OptimizationError
+from repro.mechanisms import by_name
+from repro.workloads import histogram, prefix
+
+
+class TestEpsilonForPopulation:
+    def test_meets_the_requirement(self):
+        mechanism = by_name("Hadamard")
+        workload = histogram(16)
+        epsilon = epsilon_for_population(mechanism, workload, num_users=5_000)
+        assert mechanism.sample_complexity(workload, epsilon) <= 5_000
+
+    def test_near_minimal(self):
+        mechanism = by_name("Hadamard")
+        workload = histogram(16)
+        epsilon = epsilon_for_population(
+            mechanism, workload, num_users=5_000, tolerance=1e-4
+        )
+        slightly_less = max(0.05, epsilon - 0.05)
+        if slightly_less < epsilon:
+            assert mechanism.sample_complexity(workload, slightly_less) > 5_000 * 0.99
+
+    def test_more_users_allow_smaller_epsilon(self):
+        mechanism = by_name("Randomized Response")
+        workload = prefix(8)
+        small_pop = epsilon_for_population(mechanism, workload, 2_000)
+        large_pop = epsilon_for_population(mechanism, workload, 200_000)
+        assert large_pop < small_pop
+
+    def test_insufficient_population_rejected(self):
+        # Cap the search at eps = 0.5, where Prefix needs tens of thousands
+        # of users — one user can never satisfy it.
+        mechanism = by_name("Randomized Response")
+        with pytest.raises(OptimizationError):
+            epsilon_for_population(mechanism, prefix(16), num_users=1, high=0.5)
+
+    def test_generous_population_returns_low(self):
+        mechanism = by_name("Hadamard")
+        epsilon = epsilon_for_population(
+            mechanism, histogram(8), num_users=1e12, low=0.1
+        )
+        assert epsilon == 0.1
+
+    def test_rejects_nonpositive_population(self):
+        with pytest.raises(OptimizationError):
+            epsilon_for_population(by_name("Hadamard"), histogram(8), 0)
+
+
+class TestAchievableAlpha:
+    def test_inverts_sample_complexity(self):
+        mechanism = by_name("Hadamard")
+        workload = histogram(16)
+        alpha = achievable_alpha(mechanism, workload, num_users=10_000, epsilon=1.0)
+        assert np.isclose(
+            mechanism.sample_complexity(workload, 1.0, alpha=alpha), 10_000
+        )
+
+    def test_shrinks_with_population(self):
+        mechanism = by_name("Hadamard")
+        workload = histogram(16)
+        small = achievable_alpha(mechanism, workload, 1_000, 1.0)
+        large = achievable_alpha(mechanism, workload, 100_000, 1.0)
+        assert large < small

@@ -1,0 +1,100 @@
+"""Tests for Theorem 3.10 (optimal reconstruction) and feasibility checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    factorization_residual,
+    is_factorizable,
+    optimal_reconstruction,
+    reconstruction_operator,
+    scaled_gram,
+    strategy_row_sums,
+)
+from repro.analysis.variance import trace_objective
+from repro.mechanisms import fourier, hadamard_response, hierarchical, randomized_response
+from repro.workloads import histogram, prefix
+
+
+def random_feasible_strategy(num_outputs, domain_size, epsilon, seed):
+    from repro.optimization import initial_bounds, project_columns
+
+    raw = np.random.default_rng(seed).random((num_outputs, domain_size))
+    return project_columns(raw, initial_bounds(num_outputs, epsilon), epsilon).matrix
+
+
+class TestRowSumsAndScaledGram:
+    def test_row_sums(self):
+        matrix = np.array([[0.25, 0.75], [0.75, 0.25]])
+        assert np.array_equal(strategy_row_sums(matrix), [1.0, 1.0])
+
+    def test_scaled_gram_definition(self):
+        strategy = hierarchical(8, 1.0).probabilities
+        d = strategy.sum(axis=1)
+        expected = strategy.T @ (strategy / d[:, None])
+        assert np.allclose(scaled_gram(strategy), expected)
+
+    def test_scaled_gram_skips_dead_rows(self):
+        strategy = np.array([[0.5, 0.5], [0.0, 0.0], [0.5, 0.5]])
+        assert np.all(np.isfinite(scaled_gram(strategy)))
+
+
+class TestReconstructionOperator:
+    def test_factorizes_through_workload(self):
+        strategy = hadamard_response(6, 1.0).probabilities
+        operator = reconstruction_operator(strategy)
+        # B Q is the identity when Q has full column rank.
+        assert np.allclose(operator @ strategy, np.eye(6), atol=1e-8)
+
+    def test_optimal_reconstruction_equals_w_times_b(self):
+        workload = prefix(5)
+        strategy = randomized_response(5, 1.0).probabilities
+        v = optimal_reconstruction(workload.matrix, strategy)
+        assert np.allclose(v, workload.matrix @ reconstruction_operator(strategy))
+
+    def test_optimality_against_perturbations(self):
+        # Theorem 3.10: the returned V minimizes tr[V D V^T] among all valid
+        # factorizations, so any perturbation in the null space of Q^T can
+        # only increase the objective.
+        workload = prefix(4)
+        strategy = random_feasible_strategy(12, 4, 1.0, seed=0)
+        operator = reconstruction_operator(strategy)
+        baseline = trace_objective(strategy, workload.gram(), operator)
+        generator = np.random.default_rng(1)
+        null_space = np.eye(12) - strategy @ np.linalg.pinv(strategy)
+        for _ in range(10):
+            perturbation = generator.normal(size=(4, 12)) @ null_space
+            disturbed = operator + 0.1 * perturbation
+            # Still a valid factorization (W = W B' Q).
+            assert np.allclose(disturbed @ strategy, operator @ strategy, atol=1e-8)
+            assert (
+                trace_objective(strategy, workload.gram(), disturbed)
+                >= baseline - 1e-9
+            )
+
+    def test_handles_dead_rows(self):
+        strategy = np.vstack([randomized_response(4, 1.0).probabilities, np.zeros(4)])
+        operator = reconstruction_operator(strategy)
+        assert operator.shape == (4, 5)
+        assert np.allclose(operator[:, -1], 0.0)
+
+
+class TestFeasibility:
+    def test_full_rank_strategy_factorizes_everything(self):
+        strategy = randomized_response(6, 1.0).probabilities
+        assert is_factorizable(prefix(6).gram(), strategy)
+
+    def test_residual_zero_for_feasible(self):
+        strategy = hadamard_response(5, 1.0).probabilities
+        assert factorization_residual(histogram(5).gram(), strategy) < 1e-9
+
+    def test_residual_positive_for_infeasible(self):
+        limited = fourier(8, 1.0, degree=1).probabilities
+        assert factorization_residual(histogram(8).gram(), limited) > 0.1
+
+    @given(st.integers(min_value=0, max_value=50))
+    def test_random_full_rank_strategies_feasible(self, seed):
+        strategy = random_feasible_strategy(16, 4, 1.0, seed)
+        assert is_factorizable(prefix(4).gram(), strategy)

@@ -1,0 +1,103 @@
+"""Tests for sample complexity (Corollaries 5.3/5.4, Examples 5.5/5.8)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    PAPER_ALPHA,
+    randomized_response_sample_complexity,
+    randomized_response_variance,
+    sample_complexity,
+    sample_complexity_from_variances,
+    sample_complexity_on_distribution,
+)
+from repro.exceptions import WorkloadError
+from repro.mechanisms import randomized_response
+from repro.workloads import histogram, prefix
+
+
+class TestFromVariances:
+    def test_formula(self):
+        t = np.array([1.0, 4.0, 2.0])
+        assert sample_complexity_from_variances(t, num_queries=10, alpha=0.1) == 4.0
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(WorkloadError):
+            sample_complexity_from_variances(np.ones(3), 5, alpha=0.0)
+
+
+class TestExample55:
+    @pytest.mark.parametrize("size,epsilon", [(8, 0.5), (16, 1.0), (64, 2.0)])
+    def test_closed_form_matches_numeric(self, size, epsilon):
+        strategy = randomized_response(size, epsilon)
+        numeric = sample_complexity(
+            strategy.probabilities, np.eye(size), num_queries=size
+        )
+        closed = randomized_response_sample_complexity(size, epsilon)
+        assert np.isclose(numeric, closed, rtol=1e-10)
+
+    def test_consistent_with_variance_closed_form(self):
+        size, epsilon = 8, 1.0
+        variance = randomized_response_variance(size, epsilon)
+        expected = variance / (size * PAPER_ALPHA)
+        assert np.isclose(
+            randomized_response_sample_complexity(size, epsilon), expected
+        )
+
+    def test_roughly_linear_in_domain_size(self):
+        # Example 5.5's observation: RR sample complexity grows ~ linearly.
+        small = randomized_response_sample_complexity(64, 1.0)
+        large = randomized_response_sample_complexity(256, 1.0)
+        assert 2.0 < large / small < 8.0
+
+
+class TestDataDependent:
+    def test_point_mass_on_worst_type_equals_worst_case(self):
+        strategy = randomized_response(4, 1.0)
+        from repro.analysis import per_user_variances
+
+        gram = prefix(4).gram()
+        t = per_user_variances(strategy.probabilities, gram)
+        distribution = np.zeros(4)
+        distribution[np.argmax(t)] = 1.0
+        worst = sample_complexity(strategy.probabilities, gram, 4)
+        data = sample_complexity_on_distribution(
+            strategy.probabilities, gram, 4, distribution
+        )
+        assert np.isclose(worst, data)
+
+    def test_never_exceeds_worst_case(self, rng):
+        strategy = randomized_response(6, 1.0)
+        gram = prefix(6).gram()
+        worst = sample_complexity(strategy.probabilities, gram, 6)
+        for _ in range(10):
+            distribution = rng.dirichlet(np.ones(6))
+            data = sample_complexity_on_distribution(
+                strategy.probabilities, gram, 6, distribution
+            )
+            assert data <= worst + 1e-9
+
+    def test_unnormalized_distribution_accepted(self):
+        strategy = randomized_response(4, 1.0)
+        gram = np.eye(4)
+        a = sample_complexity_on_distribution(
+            strategy.probabilities, gram, 4, np.array([1.0, 1.0, 1.0, 1.0])
+        )
+        b = sample_complexity_on_distribution(
+            strategy.probabilities, gram, 4, np.array([25.0, 25.0, 25.0, 25.0])
+        )
+        assert np.isclose(a, b)
+
+    def test_rejects_negative_distribution(self):
+        strategy = randomized_response(4, 1.0)
+        with pytest.raises(WorkloadError):
+            sample_complexity_on_distribution(
+                strategy.probabilities, np.eye(4), 4, np.array([1.0, -1.0, 1.0, 1.0])
+            )
+
+    def test_rejects_zero_distribution(self):
+        strategy = randomized_response(4, 1.0)
+        with pytest.raises(WorkloadError):
+            sample_complexity_on_distribution(
+                strategy.probabilities, np.eye(4), 4, np.zeros(4)
+            )

@@ -1,0 +1,115 @@
+"""Tests for the variance formulas (Theorem 3.4, Corollaries 3.5/3.6,
+Theorem 3.9) — including a statistical check against protocol simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    average_case_variance,
+    per_user_variances,
+    total_variance,
+    trace_objective,
+    worst_case_variance,
+)
+from repro.exceptions import WorkloadError
+from repro.mechanisms import hadamard_response, hierarchical, randomized_response
+from repro.workloads import histogram, prefix
+
+
+class TestPerUserVariances:
+    def test_non_negative(self):
+        for build in (randomized_response, hadamard_response, hierarchical):
+            strategy = build(8, 1.0).probabilities
+            t = per_user_variances(strategy, prefix(8).gram())
+            assert t.min() >= -1e-9
+
+    def test_rr_symmetric_on_histogram(self):
+        strategy = randomized_response(6, 1.0).probabilities
+        t = per_user_variances(strategy, np.eye(6))
+        assert np.allclose(t, t[0])
+
+    def test_matches_direct_formula(self):
+        # Direct evaluation of Theorem 3.4 with explicit V.
+        workload = prefix(5)
+        strategy = hadamard_response(5, 1.0).probabilities
+        from repro.analysis import optimal_reconstruction
+
+        v = optimal_reconstruction(workload.matrix, strategy)
+        direct = np.zeros(5)
+        for u in range(5):
+            q = strategy[:, u]
+            for i in range(v.shape[0]):
+                direct[u] += v[i] @ (q * v[i]) - (v[i] @ q) ** 2
+        assert np.allclose(per_user_variances(strategy, workload.gram()), direct)
+
+    def test_custom_operator_never_beats_optimal(self, rng):
+        workload = prefix(6)
+        strategy = hierarchical(6, 1.0).probabilities
+        optimal = per_user_variances(strategy, workload.gram()).sum()
+        # A valid but sub-optimal reconstruction: plain pseudo-inverse.
+        operator = np.linalg.pinv(strategy)
+        suboptimal = per_user_variances(strategy, workload.gram(), operator).sum()
+        assert optimal <= suboptimal + 1e-9
+
+
+class TestAggregates:
+    def test_total_variance_weights_by_counts(self):
+        strategy = randomized_response(4, 1.0).probabilities
+        gram = prefix(4).gram()
+        t = per_user_variances(strategy, gram)
+        x = np.array([3.0, 0.0, 5.0, 2.0])
+        assert np.isclose(total_variance(strategy, gram, x), x @ t)
+
+    def test_total_variance_shape_check(self):
+        strategy = randomized_response(4, 1.0).probabilities
+        with pytest.raises(WorkloadError):
+            total_variance(strategy, prefix(4).gram(), np.ones(5))
+
+    def test_worst_at_least_average(self):
+        strategy = hierarchical(8, 1.0).probabilities
+        gram = prefix(8).gram()
+        assert worst_case_variance(strategy, gram) >= average_case_variance(
+            strategy, gram
+        )
+
+    def test_scaling_with_num_users(self):
+        strategy = randomized_response(4, 1.0).probabilities
+        gram = np.eye(4)
+        assert np.isclose(
+            worst_case_variance(strategy, gram, num_users=10.0),
+            10.0 * worst_case_variance(strategy, gram),
+        )
+
+
+class TestTheorem39:
+    @pytest.mark.parametrize("build", [randomized_response, hadamard_response, hierarchical])
+    def test_trace_objective_relation(self, build):
+        # L_avg = (N/n)(L(V,Q) - ||W||_F^2) with N = n here.
+        workload = prefix(6)
+        strategy = build(6, 1.0).probabilities
+        left = average_case_variance(strategy, workload.gram(), num_users=6.0)
+        right = trace_objective(strategy, workload.gram()) - workload.frobenius_norm_squared()
+        assert np.isclose(left, right, rtol=1e-8)
+
+
+class TestAgainstSimulation:
+    def test_empirical_variance_matches_theorem_3_4(self, rng):
+        # Simulate the mechanism many times and compare the empirical total
+        # squared error with the analytic prediction.
+        workload = prefix(4)
+        strategy = randomized_response(4, 1.0)
+        from repro.analysis import reconstruction_operator
+
+        operator = reconstruction_operator(strategy.probabilities)
+        x = np.array([30.0, 10.0, 5.0, 15.0])
+        truth = workload.matvec(x)
+        predicted = total_variance(strategy.probabilities, workload.gram(), x)
+        errors = []
+        for _ in range(400):
+            y = strategy.sample_histogram(x, rng)
+            estimate = workload.matvec(operator @ y)
+            errors.append(np.sum((estimate - truth) ** 2))
+        empirical = np.mean(errors)
+        assert np.isclose(empirical, predicted, rtol=0.15)

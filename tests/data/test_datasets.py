@@ -1,0 +1,61 @@
+"""Tests for the DPBench-like dataset surrogates."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DPBENCH_NAMES,
+    Dataset,
+    by_name,
+    dpbench_like,
+    hepth_like,
+    medcost_like,
+    nettrace_like,
+)
+from repro.exceptions import DataError
+
+
+class TestDatasets:
+    def test_all_three_present(self):
+        datasets = dpbench_like(128)
+        assert [d.name for d in datasets] == list(DPBENCH_NAMES)
+
+    @pytest.mark.parametrize("builder", [hepth_like, medcost_like, nettrace_like])
+    def test_sizes(self, builder):
+        dataset = builder(64, num_users=5_000)
+        assert dataset.data_vector.shape == (64,)
+        assert dataset.num_users == 5_000
+
+    def test_distribution_normalized(self):
+        dataset = hepth_like(32, 1_000)
+        distribution = dataset.distribution()
+        assert np.isclose(distribution.sum(), 1.0)
+        assert (distribution >= 0).all()
+
+    def test_empty_dataset_rejected(self):
+        dataset = Dataset("empty", np.zeros(4), "nothing")
+        with pytest.raises(DataError):
+            dataset.distribution()
+
+    def test_by_name(self):
+        assert by_name("MEDCOST", 64).name == "MEDCOST"
+
+    def test_by_name_unknown(self):
+        with pytest.raises(DataError):
+            by_name("ADULT", 64)
+
+    def test_shapes_differ_across_datasets(self):
+        # The surrogates should be genuinely different distributions.
+        datasets = dpbench_like(256, num_users=200_000)
+        distributions = [d.distribution() for d in datasets]
+        for i in range(3):
+            for j in range(i + 1, 3):
+                overlap = np.minimum(distributions[i], distributions[j]).sum()
+                assert overlap < 0.9
+
+    def test_nettrace_sparsest(self):
+        datasets = {d.name: d for d in dpbench_like(256, num_users=100_000)}
+        occupancy = {
+            name: (d.data_vector > 0).mean() for name, d in datasets.items()
+        }
+        assert occupancy["NETTRACE"] <= occupancy["MEDCOST"]

@@ -1,0 +1,66 @@
+"""Tests for synthetic data generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    bimodal_data,
+    geometric_data,
+    sparse_spike_data,
+    uniform_data,
+    zipf_data,
+)
+from repro.exceptions import DataError
+
+
+@pytest.mark.parametrize(
+    "generator",
+    [uniform_data, zipf_data, geometric_data, bimodal_data, sparse_spike_data],
+)
+class TestCommonProperties:
+    def test_total_count(self, generator):
+        data = generator(64, 10_000, seed=0)
+        assert data.sum() == 10_000
+
+    def test_nonnegative_integers(self, generator):
+        data = generator(32, 5_000, seed=1)
+        assert (data >= 0).all()
+        assert np.allclose(data, np.round(data))
+
+    def test_deterministic_with_seed(self, generator):
+        assert np.array_equal(generator(16, 1_000, seed=9), generator(16, 1_000, seed=9))
+
+
+class TestShapes:
+    def test_zipf_head_heavy(self):
+        data = zipf_data(100, 100_000, exponent=1.5, seed=0)
+        assert data[0] > data[50]
+
+    def test_zipf_rejects_bad_exponent(self):
+        with pytest.raises(DataError):
+            zipf_data(10, 100, exponent=0.0)
+
+    def test_geometric_decays(self):
+        data = geometric_data(50, 100_000, decay=0.2, seed=0)
+        assert data[0] > data[20] > data[45] - 5
+
+    def test_geometric_rejects_bad_decay(self):
+        with pytest.raises(DataError):
+            geometric_data(10, 100, decay=1.5)
+
+    def test_sparse_spikes_concentrated(self):
+        data = sparse_spike_data(256, 100_000, num_spikes=4, seed=0)
+        top4 = np.sort(data)[-4:].sum()
+        assert top4 > 0.8 * data.sum()
+
+    def test_sparse_rejects_bad_spikes(self):
+        with pytest.raises(DataError):
+            sparse_spike_data(10, 100, num_spikes=11)
+
+    def test_bimodal_has_two_bumps(self):
+        data = bimodal_data(200, 500_000, seed=0)
+        first_peak = data[30:70].sum()
+        valley = data[85:115].sum()
+        second_peak = data[120:160].sum()
+        assert first_peak > valley
+        assert second_peak > valley

@@ -1,0 +1,59 @@
+"""Tests for ProductDomain."""
+
+import numpy as np
+import pytest
+
+from repro.domains import BinaryDomain, ProductDomain
+from repro.exceptions import DomainError
+
+
+class TestProductDomain:
+    def test_size(self):
+        assert ProductDomain((3, 4, 2)).size == 24
+
+    def test_flat(self):
+        assert ProductDomain((3, 4)).flat().size == 12
+
+    def test_rejects_empty(self):
+        with pytest.raises(DomainError):
+            ProductDomain(())
+
+    def test_rejects_unary_attribute(self):
+        with pytest.raises(DomainError):
+            ProductDomain((3, 1))
+
+    def test_rejects_huge(self):
+        with pytest.raises(DomainError):
+            ProductDomain((2,) * 40)
+
+    def test_attribute_values_mixed_radix(self):
+        domain = ProductDomain((3, 4))
+        # u = u0 + 3 * u1.
+        assert np.array_equal(domain.attribute_values(7), [1, 2])
+
+    def test_roundtrip(self):
+        domain = ProductDomain((3, 2, 4))
+        for user_type in range(domain.size):
+            values = domain.attribute_values(user_type)
+            assert domain.index_of(values) == user_type
+
+    def test_index_of_rejects_bad_values(self):
+        domain = ProductDomain((3, 4))
+        with pytest.raises(DomainError):
+            domain.index_of(np.array([3, 0]))
+        with pytest.raises(DomainError):
+            domain.index_of(np.array([0]))
+
+    def test_out_of_range_type(self):
+        with pytest.raises(DomainError):
+            ProductDomain((3, 4)).attribute_values(12)
+
+    def test_binary_special_case_agrees(self):
+        binary = BinaryDomain(3)
+        product = ProductDomain((2, 2, 2))
+        assert product.size == binary.size
+        for user_type in range(8):
+            assert np.array_equal(
+                product.attribute_values(user_type),
+                binary.attribute_values(user_type),
+            )

@@ -1,0 +1,78 @@
+"""Tests for the CLI."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_lists_all_experiments(self):
+        assert set(EXPERIMENTS) == {
+            "table1",
+            "figure1",
+            "figure2",
+            "figure3a",
+            "figure3b",
+            "figure3c",
+            "figure4",
+        }
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "figure9"])
+
+    def test_scale_option(self):
+        arguments = build_parser().parse_args(["run", "table1", "--scale", "paper"])
+        assert arguments.scale == "paper"
+
+    def test_plan_defaults(self):
+        arguments = build_parser().parse_args(["plan"])
+        assert arguments.workload == "Prefix"
+        assert arguments.domain == 64
+
+
+class TestMain:
+    def test_runs_table1_shorthand(self, capsys, monkeypatch):
+        # `python -m repro table1` still works without the `run` prefix.
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "RAPPOR" in output
+        assert "scale=ci" in output
+
+    def test_runs_table1_explicit(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert main(["run", "table1"]) == 0
+        assert "RAPPOR" in capsys.readouterr().out
+
+    def test_scale_flag_sets_env(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        main(["run", "table1", "--scale", "ci"])
+        import os
+
+        assert os.environ["REPRO_SCALE"] == "ci"
+
+    def test_plan_reports_mechanisms(self, capsys):
+        assert (
+            main(
+                [
+                    "plan",
+                    "--workload",
+                    "Histogram",
+                    "--domain",
+                    "8",
+                    "--users",
+                    "10000",
+                    "--iterations",
+                    "60",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "Optimized" in output
+        assert "min epsilon" in output
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "repro" in capsys.readouterr().out

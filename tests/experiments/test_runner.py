@@ -1,0 +1,49 @@
+"""Tests for the shared experiment runner helpers."""
+
+import numpy as np
+
+from repro.experiments.runner import (
+    MECHANISM_ORDER,
+    mechanism_roster,
+    paper_workloads,
+    safe_sample_complexity,
+)
+from repro.workloads import histogram
+
+
+class TestRoster:
+    def test_legend_order(self):
+        roster = mechanism_roster(optimizer_iterations=10)
+        assert tuple(m.name for m in roster) == MECHANISM_ORDER
+
+    def test_optimized_last(self):
+        roster = mechanism_roster(optimizer_iterations=10)
+        assert roster[-1].name == "Optimized"
+
+
+class TestPaperWorkloads:
+    def test_six_workloads(self):
+        workloads = paper_workloads(16)
+        assert len(workloads) == 6
+        assert all(w.domain_size == 16 for w in workloads)
+
+
+class TestSafeSampleComplexity:
+    def test_finite_for_valid_pair(self):
+        roster = mechanism_roster(optimizer_iterations=30)
+        value = safe_sample_complexity(roster[0], histogram(8), 1.0)
+        assert np.isfinite(value)
+
+    def test_infinite_for_unsupported_domain(self):
+        # Fourier on a non-power-of-two domain raises internally; the sweep
+        # records inf instead of aborting.
+        roster = mechanism_roster(optimizer_iterations=30)
+        fourier = [m for m in roster if m.name == "Fourier"][0]
+        assert safe_sample_complexity(fourier, histogram(12), 1.0) == np.inf
+
+    def test_distribution_variant(self):
+        roster = mechanism_roster(optimizer_iterations=30)
+        value = safe_sample_complexity(
+            roster[0], histogram(8), 1.0, distribution=np.full(8, 1 / 8)
+        )
+        assert np.isfinite(value)

@@ -1,0 +1,61 @@
+"""Tests for experiment scaffolding (scale profiles, reporting)."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.experiments.reporting import format_table, format_value, pivot
+from repro.experiments.scale import current_scale, scale_by_name
+
+
+class TestScale:
+    def test_default_is_ci(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert current_scale().name == "ci"
+
+    def test_env_selects_paper(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert current_scale().name == "paper"
+        assert current_scale().domain_size == 512
+
+    def test_unknown_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "huge")
+        with pytest.raises(ReproError):
+            current_scale()
+
+    def test_scale_by_name(self):
+        assert scale_by_name("paper").epsilons[0] == 0.5
+        with pytest.raises(ReproError):
+            scale_by_name("nope")
+
+    def test_paper_profile_matches_paper_parameters(self):
+        paper = scale_by_name("paper")
+        assert paper.domain_size == 512
+        assert paper.init_domain_size == 64
+        assert len(paper.init_seeds) == 10
+        assert paper.wnnls_num_simulations == 100
+        assert 4096 in paper.timing_domain_sizes
+
+
+class TestFormatting:
+    def test_format_value_styles(self):
+        assert format_value(float("inf")) == "inf"
+        assert format_value(1234567.0) == "1.235e+06"
+        assert format_value(0.25) == "0.25"
+        assert format_value(123.456) == "123.5"
+
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"], [["a", 1.0], ["bb", 2.5]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+
+    def test_pivot(self):
+        rows = [
+            {"m": "A", "eps": 0.5, "v": 1.0},
+            {"m": "A", "eps": 1.0, "v": 2.0},
+            {"m": "B", "eps": 0.5, "v": 3.0},
+        ]
+        headers, table = pivot(rows, "m", "eps", "v")
+        assert headers == ["m", "0.5", "1.0"]
+        assert table[0] == ["A", 1.0, 2.0]
+        assert table[1] == ["B", 3.0, "-"]

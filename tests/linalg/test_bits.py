@@ -1,0 +1,41 @@
+"""Tests for repro.linalg.bits."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.linalg.bits import popcount, subsets_of_size
+
+
+class TestPopcount:
+    def test_known_values(self):
+        assert np.array_equal(popcount(np.array([0, 1, 2, 3, 255])), [0, 1, 1, 2, 8])
+
+    def test_preserves_shape(self):
+        values = np.arange(16).reshape(4, 4)
+        assert popcount(values).shape == (4, 4)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            popcount(np.array([-1]))
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_matches_python_bit_count(self, value):
+        assert popcount(np.array([value]))[0] == value.bit_count()
+
+
+class TestSubsetsOfSize:
+    def test_counts(self):
+        assert len(subsets_of_size(5, 2)) == 10
+        assert len(subsets_of_size(4, 4)) == 1
+        assert subsets_of_size(3, 0) == [0]
+
+    def test_all_have_requested_popcount(self):
+        for mask in subsets_of_size(6, 3):
+            assert bin(mask).count("1") == 3
+
+    def test_masks_unique_and_within_range(self):
+        masks = subsets_of_size(5, 2)
+        assert len(set(masks)) == len(masks)
+        assert all(0 <= mask < 32 for mask in masks)

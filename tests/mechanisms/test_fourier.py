@@ -1,0 +1,69 @@
+"""Tests for the Fourier mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import is_factorizable
+from repro.exceptions import DomainError
+from repro.mechanisms import fourier
+from repro.workloads import histogram, k_way_marginals, parity
+
+
+class TestFourier:
+    def test_output_count_full(self):
+        # All non-empty subsets, two outputs each.
+        strategy = fourier(8, 1.0)
+        assert strategy.num_outputs == 2 * 7
+
+    def test_output_count_degree_limited(self):
+        strategy = fourier(16, 1.0, degree=2)
+        assert strategy.num_outputs == 2 * (4 + 6)
+
+    def test_columns_stochastic_and_private(self):
+        strategy = fourier(16, 1.2)
+        assert np.allclose(strategy.probabilities.sum(axis=0), 1.0)
+        assert np.isclose(strategy.realized_ratio(), np.exp(1.2))
+
+    def test_block_structure_follows_characters(self):
+        epsilon = 1.0
+        strategy = fourier(4, epsilon)
+        boost = np.exp(epsilon)
+        high = boost / (boost + 1) / 3  # weight 1/3 per mask
+        low = 1 / (boost + 1) / 3
+        # First block is the mask {attribute 0}: chi(u) = +1 for u in {0, 2}.
+        first_row = strategy.probabilities[0]
+        assert np.allclose(first_row, [high, low, high, low])
+
+    def test_full_degree_answers_any_workload(self):
+        strategy = fourier(16, 1.0)
+        assert is_factorizable(histogram(16).gram(), strategy.probabilities)
+
+    def test_degree_limited_answers_matching_workloads_only(self):
+        strategy = fourier(16, 1.0, degree=2)
+        two_way = k_way_marginals(4, 2)
+        assert is_factorizable(two_way.gram(), strategy.probabilities)
+        assert not is_factorizable(histogram(16).gram(), strategy.probabilities)
+
+    def test_degree_limited_beats_full_on_low_order_workload(self):
+        from repro.analysis import per_user_variances
+
+        workload = parity(4, 2)
+        full = per_user_variances(fourier(16, 1.0).probabilities, workload.gram()).max()
+        limited = per_user_variances(
+            fourier(16, 1.0, degree=2).probabilities, workload.gram()
+        ).max()
+        assert limited < full
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(DomainError):
+            fourier(12, 1.0)
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(DomainError):
+            fourier(8, 1.0, degree=0)
+        with pytest.raises(DomainError):
+            fourier(8, 1.0, degree=4)
+
+    def test_name_reflects_degree(self):
+        assert fourier(8, 1.0).name == "Fourier"
+        assert "deg=2" in fourier(8, 1.0, degree=2).name

@@ -1,0 +1,48 @@
+"""Tests for the Hadamard response encoding (Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DomainError
+from repro.linalg import hadamard_matrix, next_power_of_two
+from repro.mechanisms import hadamard_response
+
+
+class TestHadamardResponse:
+    @pytest.mark.parametrize("size,expected", [(3, 4), (4, 8), (7, 8), (8, 16), (15, 16)])
+    def test_output_count(self, size, expected):
+        assert hadamard_response(size, 1.0).num_outputs == expected
+        assert next_power_of_two(size + 1) == expected
+
+    def test_columns_stochastic_and_private(self):
+        strategy = hadamard_response(6, 1.5)
+        assert np.allclose(strategy.probabilities.sum(axis=0), 1.0)
+        assert np.isclose(strategy.realized_ratio(), np.exp(1.5))
+
+    def test_table1_structure(self):
+        epsilon, size = 1.0, 5
+        strategy = hadamard_response(size, epsilon)
+        order = strategy.num_outputs
+        hadamard = hadamard_matrix(order)
+        boost = np.exp(epsilon)
+        normalizer = order / 2 * (boost + 1)
+        for user_type in range(size):
+            column = strategy.probabilities[:, user_type]
+            signs = hadamard[:, user_type + 1]
+            assert np.allclose(
+                column, np.where(signs > 0, boost, 1.0) / normalizer
+            )
+
+    def test_two_probability_levels(self):
+        strategy = hadamard_response(4, 1.0)
+        assert np.unique(np.round(strategy.probabilities, 12)).size == 2
+
+    def test_balanced_boosted_outputs(self):
+        # Each user type boosts exactly half of the outputs.
+        strategy = hadamard_response(7, 2.0)
+        boosted = strategy.probabilities > strategy.probabilities.min() * 1.5
+        assert np.all(boosted.sum(axis=0) == strategy.num_outputs // 2)
+
+    def test_rejects_tiny_domain(self):
+        with pytest.raises(DomainError):
+            hadamard_response(1, 1.0)

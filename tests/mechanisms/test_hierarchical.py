@@ -1,0 +1,73 @@
+"""Tests for the hierarchical mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DomainError
+from repro.mechanisms import hierarchical, level_cells
+from repro.workloads import all_range, histogram, prefix
+
+
+class TestLevelCells:
+    def test_power_of_branching(self):
+        assert level_cells(16, 4) == [16, 4]
+
+    def test_uneven_domain(self):
+        assert level_cells(10, 4) == [10, 3]
+
+    def test_tiny_domain_single_level(self):
+        assert level_cells(2, 4) == [2]
+
+    def test_binary_branching(self):
+        assert level_cells(8, 2) == [8, 4, 2]
+
+
+class TestHierarchical:
+    def test_output_count_is_total_cells(self):
+        strategy = hierarchical(16, 1.0, branching=4)
+        assert strategy.num_outputs == 16 + 4
+
+    def test_columns_stochastic_and_private(self):
+        strategy = hierarchical(20, 1.0)
+        assert np.allclose(strategy.probabilities.sum(axis=0), 1.0)
+        assert strategy.realized_ratio() <= np.exp(1.0) * (1 + 1e-9)
+
+    def test_adjacent_types_share_coarse_behaviour(self):
+        # Types 0 and 1 are in the same level-1 cell, so their columns agree
+        # on every coarse-level row.
+        strategy = hierarchical(16, 1.0, branching=4)
+        coarse = strategy.probabilities[16:, :]
+        assert np.allclose(coarse[:, 0], coarse[:, 1])
+        assert not np.allclose(coarse[:, 0], coarse[:, 4])
+
+    def test_full_rank_for_range_answering(self):
+        from repro.analysis import is_factorizable
+
+        strategy = hierarchical(16, 1.0)
+        for workload in (histogram(16), prefix(16), all_range(16)):
+            assert is_factorizable(workload.gram(), strategy.probabilities)
+
+    def test_better_than_rr_on_prefix(self):
+        # The design goal: hierarchy helps on range-style workloads at
+        # moderately large domains.
+        from repro.analysis import per_user_variances
+
+        n, epsilon = 64, 1.0
+        workload = prefix(n)
+        from repro.mechanisms import randomized_response
+
+        hier = per_user_variances(
+            hierarchical(n, epsilon).probabilities, workload.gram()
+        ).max()
+        flat = per_user_variances(
+            randomized_response(n, epsilon).probabilities, workload.gram()
+        ).max()
+        assert hier < flat
+
+    def test_rejects_bad_branching(self):
+        with pytest.raises(DomainError):
+            hierarchical(8, 1.0, branching=1)
+
+    def test_rejects_tiny_domain(self):
+        with pytest.raises(DomainError):
+            hierarchical(1, 1.0)

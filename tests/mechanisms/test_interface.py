@@ -1,0 +1,103 @@
+"""Tests for the Mechanism comparison interface and FactorizationMechanism."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FactorizationError
+from repro.mechanisms import (
+    FactorizationMechanism,
+    StrategyMechanism,
+    fourier,
+    randomized_response,
+)
+from repro.workloads import histogram, parity, prefix
+
+
+class TestStrategyMechanism:
+    def test_caches_per_domain_and_epsilon(self):
+        mechanism = StrategyMechanism("RR", randomized_response)
+        first = mechanism.strategy_for(histogram(8), 1.0)
+        second = mechanism.strategy_for(prefix(8), 1.0)
+        assert first is second  # same (n, eps) -> shared strategy
+        third = mechanism.strategy_for(histogram(8), 2.0)
+        assert third is not first
+
+    def test_sample_complexity_positive_and_finite(self):
+        mechanism = StrategyMechanism("RR", randomized_response)
+        value = mechanism.sample_complexity(prefix(8), 1.0)
+        assert 0 < value < np.inf
+
+    def test_infeasible_workload_reports_infinity(self):
+        limited = StrategyMechanism(
+            "Fourier(deg=1)", lambda n, eps: fourier(n, eps, degree=1)
+        )
+        assert limited.sample_complexity(histogram(8), 1.0) == np.inf
+
+    def test_feasible_low_rank_workload(self):
+        limited = StrategyMechanism(
+            "Fourier(deg=2)", lambda n, eps: fourier(n, eps, degree=2)
+        )
+        assert limited.sample_complexity(parity(3, 2), 1.0) < np.inf
+
+    def test_worst_at_least_average(self):
+        mechanism = StrategyMechanism("RR", randomized_response)
+        workload = prefix(8)
+        worst = mechanism.worst_case_variance(workload, 1.0)
+        average = mechanism.average_case_variance(workload, 1.0)
+        assert worst >= average - 1e-9
+
+    def test_data_dependent_at_most_worst_case(self, rng):
+        mechanism = StrategyMechanism("RR", randomized_response)
+        workload = prefix(8)
+        distribution = rng.dirichlet(np.ones(8))
+        data_dependent = mechanism.sample_complexity_on_distribution(
+            workload, 1.0, distribution
+        )
+        assert data_dependent <= mechanism.sample_complexity(workload, 1.0) + 1e-9
+
+    def test_run_produces_estimates(self, rng):
+        mechanism = StrategyMechanism("RR", randomized_response)
+        estimates = mechanism.run(prefix(4), np.array([5.0, 5.0, 5.0, 5.0]), 1.0, rng)
+        assert estimates.shape == (4,)
+
+
+class TestFactorizationMechanism:
+    def test_domain_mismatch_rejected(self):
+        with pytest.raises(FactorizationError):
+            FactorizationMechanism(histogram(5), randomized_response(4, 1.0))
+
+    def test_infeasible_pair_rejected(self):
+        limited = fourier(8, 1.0, degree=1)
+        with pytest.raises(FactorizationError):
+            FactorizationMechanism(histogram(8), limited)
+
+    def test_operator_shape_validated(self):
+        strategy = randomized_response(4, 1.0)
+        with pytest.raises(FactorizationError):
+            FactorizationMechanism(histogram(4), strategy, operator=np.ones((4, 5)))
+
+    def test_reconstruction_matrix_factorizes_workload(self):
+        workload = prefix(5)
+        strategy = randomized_response(5, 1.0)
+        mechanism = FactorizationMechanism(workload, strategy)
+        v = mechanism.reconstruction_matrix()
+        assert np.allclose(v @ strategy.probabilities, workload.matrix, atol=1e-8)
+
+    def test_estimates_unbiased_in_expectation(self):
+        # E[V y] = V Q x = W x exactly, so averaging the exact expectation:
+        workload = prefix(4)
+        strategy = randomized_response(4, 1.0)
+        mechanism = FactorizationMechanism(workload, strategy)
+        x = np.array([7.0, 1.0, 2.0, 0.0])
+        expected_y = strategy.probabilities @ x
+        assert np.allclose(
+            mechanism.estimate_workload(expected_y), workload.matvec(x), atol=1e-8
+        )
+
+    def test_run_end_to_end(self, rng):
+        workload = histogram(4)
+        strategy = randomized_response(4, 2.0)
+        mechanism = FactorizationMechanism(workload, strategy)
+        x = np.array([100.0, 50.0, 25.0, 25.0])
+        average = np.mean([mechanism.run(x, rng) for _ in range(200)], axis=0)
+        assert np.allclose(average, x, atol=6.0)

@@ -1,0 +1,87 @@
+"""Tests for Optimized Local Hashing."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import per_user_variances
+from repro.exceptions import DomainError
+from repro.mechanisms import (
+    affine_hashes,
+    hadamard_response,
+    olh,
+    optimal_bucket_count,
+)
+
+
+class TestBucketCount:
+    def test_formula(self):
+        assert optimal_bucket_count(1.0) == round(np.e + 1)
+
+    def test_minimum_two(self):
+        assert optimal_bucket_count(0.01) >= 2
+
+    def test_grows_with_epsilon(self):
+        assert optimal_bucket_count(3.0) > optimal_bucket_count(1.0)
+
+
+class TestAffineHashes:
+    def test_shape_and_range(self):
+        table = affine_hashes(20, 4, 7, seed=0)
+        assert table.shape == (7, 20)
+        assert table.min() >= 0
+        assert table.max() < 4
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            affine_hashes(10, 3, 5, seed=1), affine_hashes(10, 3, 5, seed=1)
+        )
+
+    def test_roughly_balanced(self):
+        table = affine_hashes(64, 4, 200, seed=2)
+        occupancy = np.bincount(table.ravel(), minlength=4) / table.size
+        assert np.allclose(occupancy, 0.25, atol=0.05)
+
+
+class TestOlh:
+    def test_output_count(self):
+        strategy = olh(8, 1.0, num_hashes=10)
+        assert strategy.num_outputs == 10 * optimal_bucket_count(1.0)
+
+    def test_columns_stochastic_and_private(self):
+        strategy = olh(10, 1.0)
+        assert np.allclose(strategy.probabilities.sum(axis=0), 1.0)
+        assert strategy.realized_ratio() <= np.e * (1 + 1e-9)
+
+    def test_competitive_with_hadamard_on_histogram(self):
+        # OLH is near-optimal for frequency estimation; it should land in
+        # the same variance ballpark as Hadamard response.
+        size, epsilon = 16, 1.0
+        gram = np.eye(size)
+        olh_variance = per_user_variances(
+            olh(size, epsilon, num_hashes=64, seed=0).probabilities, gram
+        ).max()
+        hadamard_variance = per_user_variances(
+            hadamard_response(size, epsilon).probabilities, gram
+        ).max()
+        assert olh_variance < 2.0 * hadamard_variance
+
+    def test_more_hashes_reduce_variance_spread(self):
+        # With few hashes some types collide badly; more hashes smooth the
+        # worst-case over types.
+        size, epsilon = 12, 1.0
+        gram = np.eye(size)
+        few = per_user_variances(
+            olh(size, epsilon, num_hashes=3, seed=0).probabilities, gram
+        )
+        many = per_user_variances(
+            olh(size, epsilon, num_hashes=96, seed=0).probabilities, gram
+        )
+        assert many.max() / many.min() < few.max() / few.min() + 1e-9
+
+    def test_guards(self):
+        with pytest.raises(DomainError):
+            olh(1, 1.0)
+        with pytest.raises(DomainError):
+            olh(8, 1.0, num_buckets=1)
+        with pytest.raises(DomainError):
+            olh(8, 1.0, num_hashes=0)

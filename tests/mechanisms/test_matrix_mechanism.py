@@ -1,0 +1,120 @@
+"""Tests for the distributed Matrix Mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import OptimizationError
+from repro.mechanisms import DistributedMatrixMechanism, square_root_strategy
+from repro.mechanisms.matrix_mechanism import (
+    local_sensitivity,
+    per_coordinate_noise_variance,
+)
+from repro.workloads import histogram, parity, prefix
+
+
+class TestSquareRootStrategy:
+    def test_gram_reproduces_sqrt(self):
+        gram = prefix(6).gram()
+        strategy = square_root_strategy(gram)
+        eigenvalues, eigenvectors = np.linalg.eigh(gram)
+        sqrt_gram = (eigenvectors * np.sqrt(eigenvalues)) @ eigenvectors.T
+        assert np.allclose(strategy.T @ strategy, sqrt_gram, atol=1e-8)
+
+    def test_rank_reduction(self):
+        workload = parity(4, 2)  # rank 10 over n = 16
+        strategy = square_root_strategy(workload.gram())
+        assert strategy.shape == (10, 16)
+
+    def test_rejects_zero_gram(self):
+        with pytest.raises(OptimizationError):
+            square_root_strategy(np.zeros((3, 3)))
+
+
+class TestSensitivity:
+    def test_identity_l1_diameter(self):
+        assert local_sensitivity(np.eye(5), norm=1) == 2.0
+
+    def test_identity_l2_diameter(self):
+        assert np.isclose(local_sensitivity(np.eye(5), norm=2), np.sqrt(2.0))
+
+    def test_l2_exact_pairwise(self):
+        strategy = np.array([[1.0, 0.0, 3.0], [0.0, 2.0, 0.0]])
+        distances = [
+            np.linalg.norm(strategy[:, a] - strategy[:, b])
+            for a in range(3)
+            for b in range(3)
+        ]
+        assert np.isclose(local_sensitivity(strategy, norm=2), max(distances))
+
+    def test_constant_columns_zero_l2(self):
+        strategy = np.ones((3, 4))
+        assert local_sensitivity(strategy, norm=2) <= 1e-9
+
+
+class TestNoiseVariance:
+    def test_l1_laplace(self):
+        assert per_coordinate_noise_variance(10, 2.0, norm=1) == 2.0 / 4.0
+
+    def test_l2_knorm_grows_with_rows(self):
+        small = per_coordinate_noise_variance(5, 1.0, norm=2)
+        large = per_coordinate_noise_variance(50, 1.0, norm=2)
+        assert large > small
+
+    def test_sensitivity_scaling(self):
+        base = per_coordinate_noise_variance(5, 1.0, norm=1, sensitivity=1.0)
+        scaled = per_coordinate_noise_variance(5, 1.0, norm=1, sensitivity=3.0)
+        assert np.isclose(scaled, 9.0 * base)
+
+
+class TestMechanism:
+    def test_rejects_bad_norm(self):
+        with pytest.raises(OptimizationError):
+            DistributedMatrixMechanism(norm=3)
+
+    def test_per_user_variances_constant(self):
+        mechanism = DistributedMatrixMechanism(norm=1)
+        t = mechanism.per_user_variances(prefix(8), 1.0)
+        assert np.allclose(t, t[0])
+
+    def test_variance_scales_inverse_epsilon_squared(self):
+        mechanism = DistributedMatrixMechanism(norm=1)
+        workload = histogram(8)
+        low = mechanism.worst_case_variance(workload, 0.5)
+        high = mechanism.worst_case_variance(workload, 1.0)
+        assert np.isclose(low / high, 4.0)
+
+    def test_l2_benefits_from_low_rank(self):
+        # The K-norm noise grows with the strategy row count, so the
+        # rank-reduced strategy matters on low-rank workloads.
+        mechanism = DistributedMatrixMechanism(norm=2)
+        workload = parity(4, 2)
+        variance = mechanism.worst_case_variance(workload, 1.0)
+        strategy = mechanism.strategy_for(workload)
+        assert strategy.shape[0] == 10
+        assert np.isfinite(variance)
+
+    def test_run_unbiased(self, rng):
+        mechanism = DistributedMatrixMechanism(norm=1)
+        workload = histogram(4)
+        x = np.array([50.0, 10.0, 30.0, 10.0])
+        estimates = np.mean(
+            [mechanism.run(workload, x, 5.0, rng) for _ in range(200)], axis=0
+        )
+        assert np.allclose(estimates, x, atol=2.0)
+
+    def test_run_l2_unbiased(self, rng):
+        mechanism = DistributedMatrixMechanism(norm=2)
+        workload = histogram(4)
+        x = np.array([25.0, 25.0, 25.0, 25.0])
+        estimates = np.mean(
+            [mechanism.run(workload, x, 5.0, rng) for _ in range(200)], axis=0
+        )
+        assert np.allclose(estimates, x, atol=4.0)
+
+    def test_sample_noise_l2_radius_distribution(self, rng):
+        mechanism = DistributedMatrixMechanism(norm=2)
+        radii = [
+            np.linalg.norm(mechanism.sample_noise(6, 2.0, rng)) for _ in range(2000)
+        ]
+        # Radius ~ Gamma(k, 1/eps): mean k/eps = 3.
+        assert np.isclose(np.mean(radii), 3.0, atol=0.15)

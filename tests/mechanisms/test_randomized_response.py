@@ -1,0 +1,66 @@
+"""Tests for randomized response (Example 2.7 / 3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    per_user_variances,
+    randomized_response_variance,
+    reconstruction_operator,
+)
+from repro.exceptions import DomainError
+from repro.mechanisms import randomized_response, randomized_response_inverse
+
+
+class TestEncoding:
+    def test_table1_structure(self):
+        epsilon = 1.5
+        strategy = randomized_response(4, epsilon)
+        boost = np.exp(epsilon)
+        normalizer = boost + 3
+        assert np.allclose(np.diag(strategy.probabilities), boost / normalizer)
+        off_diagonal = strategy.probabilities[~np.eye(4, dtype=bool)]
+        assert np.allclose(off_diagonal, 1.0 / normalizer)
+
+    def test_exactly_achieves_epsilon(self):
+        strategy = randomized_response(6, 0.7)
+        assert np.isclose(strategy.realized_ratio(), np.exp(0.7))
+
+    def test_doubly_stochastic(self):
+        strategy = randomized_response(5, 1.0)
+        assert np.allclose(strategy.probabilities.sum(axis=0), 1.0)
+        assert np.allclose(strategy.probabilities.sum(axis=1), 1.0)
+
+    def test_rejects_tiny_domain(self):
+        with pytest.raises(DomainError):
+            randomized_response(1, 1.0)
+
+
+class TestInverse:
+    @pytest.mark.parametrize("size,epsilon", [(3, 0.5), (5, 1.0), (8, 2.0)])
+    def test_closed_form_inverse(self, size, epsilon):
+        strategy = randomized_response(size, epsilon)
+        inverse = randomized_response_inverse(size, epsilon)
+        assert np.allclose(inverse @ strategy.probabilities, np.eye(size))
+
+    def test_theorem_3_10_recovers_classical_estimator(self):
+        # D_Q = I for RR, so the optimal reconstruction is exactly Q^{-1}
+        # (Example 3.3).
+        strategy = randomized_response(6, 1.0)
+        operator = reconstruction_operator(strategy.probabilities)
+        assert np.allclose(operator, randomized_response_inverse(6, 1.0), atol=1e-8)
+
+
+class TestVarianceClosedForm:
+    @pytest.mark.parametrize("size,epsilon", [(4, 0.5), (8, 1.0), (16, 2.0)])
+    def test_example_3_7(self, size, epsilon):
+        # Worst-case = average-case variance on Histogram (Example 3.7).
+        strategy = randomized_response(size, epsilon)
+        t = per_user_variances(strategy.probabilities, np.eye(size))
+        expected = randomized_response_variance(size, epsilon)
+        assert np.allclose(t, expected)
+
+    def test_variance_decreases_with_epsilon(self):
+        low = randomized_response_variance(8, 0.5)
+        high = randomized_response_variance(8, 2.0)
+        assert high < low

@@ -1,0 +1,57 @@
+"""Tests for the RAPPOR encoding (Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DomainError
+from repro.linalg.bits import popcount
+from repro.mechanisms import MAX_RAPPOR_DOMAIN, rappor
+
+
+class TestRappor:
+    def test_output_count(self):
+        assert rappor(4, 1.0).num_outputs == 16
+
+    def test_columns_stochastic_and_private(self):
+        strategy = rappor(5, 1.0)
+        assert np.allclose(strategy.probabilities.sum(axis=0), 1.0)
+        assert strategy.realized_ratio() <= np.exp(1.0) * (1 + 1e-9)
+
+    def test_table1_proportionality(self):
+        # Q[o, u] proportional to exp(eps/2)^(n - ||o - e_u||_1).
+        epsilon, size = 1.2, 4
+        strategy = rappor(size, epsilon)
+        outputs = np.arange(16)
+        one_hot = np.array([1 << u for u in range(size)])
+        distances = popcount(outputs[:, None] ^ one_hot[None, :])
+        expected = np.exp(epsilon / 2.0) ** (size - distances)
+        expected = expected / expected.sum(axis=0)
+        assert np.allclose(strategy.probabilities, expected)
+
+    def test_most_likely_output_is_truthful_encoding(self):
+        strategy = rappor(4, 3.0)
+        for user_type in range(4):
+            best = np.argmax(strategy.probabilities[:, user_type])
+            assert best == 1 << user_type
+
+    def test_bitflip_factorization(self):
+        # The column for type u equals independent per-bit keep/flip draws.
+        epsilon, size = 0.8, 3
+        strategy = rappor(size, epsilon)
+        keep = np.exp(epsilon / 2) / (np.exp(epsilon / 2) + 1)
+        column = strategy.probabilities[:, 1]  # one-hot = 0b010
+        for output in range(8):
+            bits = [(output >> j) & 1 for j in range(size)]
+            expected = 1.0
+            for j, bit in enumerate(bits):
+                truthful = 1 if j == 1 else 0
+                expected *= keep if bit == truthful else 1 - keep
+            assert np.isclose(column[output], expected)
+
+    def test_guard_on_large_domain(self):
+        with pytest.raises(DomainError):
+            rappor(MAX_RAPPOR_DOMAIN + 1, 1.0)
+
+    def test_rejects_tiny_domain(self):
+        with pytest.raises(DomainError):
+            rappor(1, 1.0)

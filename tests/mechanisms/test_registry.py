@@ -1,0 +1,51 @@
+"""Tests for the mechanism registry."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.mechanisms import by_name, paper_baselines
+
+
+class TestPaperBaselines:
+    def test_six_mechanisms_in_legend_order(self):
+        names = [mechanism.name for mechanism in paper_baselines()]
+        assert names == [
+            "Randomized Response",
+            "Hadamard",
+            "Hierarchical",
+            "Fourier",
+            "Matrix Mechanism (L1)",
+            "Matrix Mechanism (L2)",
+        ]
+
+    def test_fresh_instances(self):
+        assert paper_baselines()[0] is not paper_baselines()[0]
+
+
+class TestByName:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "Randomized Response",
+            "Hadamard",
+            "Hierarchical",
+            "Fourier",
+            "RAPPOR",
+            "Subset Selection",
+            "Matrix Mechanism (L1)",
+            "Matrix Mechanism (L2)",
+            "Gaussian",
+        ],
+    )
+    def test_known_names_resolve(self, name):
+        assert by_name(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ReproError):
+            by_name("Wavelet")
+
+    def test_resolved_mechanism_is_usable(self):
+        from repro.workloads import histogram
+
+        mechanism = by_name("Hadamard")
+        assert mechanism.sample_complexity(histogram(8), 1.0) > 0

@@ -1,0 +1,56 @@
+"""Tests for strategy matrix save/load."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PrivacyViolationError
+from repro.mechanisms import StrategyMatrix, hierarchical, randomized_response
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        strategy = hierarchical(12, 1.3)
+        path = tmp_path / "strategy.npz"
+        strategy.save(path)
+        loaded = StrategyMatrix.load(path)
+        assert np.array_equal(loaded.probabilities, strategy.probabilities)
+        assert loaded.epsilon == strategy.epsilon
+        assert loaded.name == strategy.name
+
+    def test_loaded_strategy_usable(self, tmp_path, rng):
+        strategy = randomized_response(4, 1.0)
+        path = tmp_path / "rr.npz"
+        strategy.save(path)
+        loaded = StrategyMatrix.load(path)
+        histogram = loaded.sample_histogram(np.array([5.0, 5.0, 5.0, 5.0]), rng)
+        assert histogram.sum() == 20
+
+    def test_tampered_file_rejected(self, tmp_path):
+        strategy = randomized_response(4, 1.0)
+        path = tmp_path / "rr.npz"
+        strategy.save(path)
+        with np.load(path) as archive:
+            probabilities = archive["probabilities"].copy()
+            name = archive["name"]
+        probabilities[0, 0] = 0.999  # break stochasticity / privacy
+        probabilities[1:, 0] = 0.001 / 3
+        np.savez_compressed(
+            path,
+            probabilities=probabilities,
+            epsilon=np.asarray(1.0),
+            name=name,
+        )
+        with pytest.raises(PrivacyViolationError):
+            StrategyMatrix.load(path)
+
+    def test_optimized_strategy_roundtrip(self, tmp_path):
+        from repro.optimization import OptimizerConfig, optimize_strategy
+        from repro.workloads import prefix
+
+        result = optimize_strategy(
+            prefix(5), 1.0, OptimizerConfig(num_iterations=40, seed=0)
+        )
+        path = tmp_path / "optimized.npz"
+        result.strategy.save(path)
+        loaded = StrategyMatrix.load(path)
+        assert np.array_equal(loaded.probabilities, result.strategy.probabilities)

@@ -1,0 +1,110 @@
+"""Tests for StrategyMatrix and the mixture combinator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PrivacyViolationError, StochasticityError
+from repro.mechanisms import StrategyMatrix, randomized_response, stack_strategies
+
+
+class TestValidation:
+    def test_accepts_valid_strategy(self):
+        strategy = randomized_response(4, 1.0)
+        assert strategy.shape == (4, 4)
+
+    def test_rejects_non_stochastic(self):
+        matrix = np.full((2, 2), 0.4)
+        with pytest.raises(StochasticityError):
+            StrategyMatrix(matrix, 1.0)
+
+    def test_rejects_negative_entries(self):
+        matrix = np.array([[1.2, 0.5], [-0.2, 0.5]])
+        with pytest.raises(StochasticityError):
+            StrategyMatrix(matrix, 1.0)
+
+    def test_rejects_privacy_violation(self):
+        matrix = np.array([[0.9, 0.1], [0.1, 0.9]])  # ratio 9 > e
+        with pytest.raises(PrivacyViolationError):
+            StrategyMatrix(matrix, 1.0)
+
+    def test_rejects_nonpositive_epsilon(self):
+        with pytest.raises(PrivacyViolationError):
+            StrategyMatrix(np.full((2, 2), 0.5), 0.0)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(StochasticityError):
+            StrategyMatrix(np.full(4, 0.25), 1.0)
+
+    def test_validate_false_skips_checks(self):
+        matrix = np.array([[0.9, 0.1], [0.1, 0.9]])
+        strategy = StrategyMatrix(matrix, 1.0, validate=False)
+        assert strategy.realized_ratio() == 9.0
+
+    def test_error_message_contains_numbers(self):
+        matrix = np.array([[0.9, 0.1], [0.1, 0.9]])
+        with pytest.raises(PrivacyViolationError, match="ratio"):
+            StrategyMatrix(matrix, 1.0)
+
+
+class TestStructure:
+    def test_row_sums(self):
+        strategy = randomized_response(3, 1.0)
+        assert np.allclose(strategy.row_sums(), np.ones(3))
+
+    def test_condensed_drops_dead_rows(self):
+        matrix = np.array([[0.5, 0.5], [0.0, 0.0], [0.5, 0.5]])
+        strategy = StrategyMatrix(matrix, 1.0)
+        condensed = strategy.condensed()
+        assert condensed.shape == (2, 2)
+
+    def test_condensed_noop_when_all_live(self):
+        strategy = randomized_response(3, 1.0)
+        assert strategy.condensed() is strategy
+
+
+class TestSampling:
+    def test_sample_response_in_range(self, rng):
+        strategy = randomized_response(5, 2.0)
+        for user_type in range(5):
+            assert 0 <= strategy.sample_response(user_type, rng) < 5
+
+    def test_sample_histogram_total(self, rng):
+        strategy = randomized_response(4, 1.0)
+        x = np.array([5.0, 0.0, 3.0, 2.0])
+        histogram = strategy.sample_histogram(x, rng)
+        assert histogram.sum() == 10
+        assert (histogram >= 0).all()
+
+    def test_sample_histogram_shape_check(self, rng):
+        strategy = randomized_response(4, 1.0)
+        with pytest.raises(StochasticityError):
+            strategy.sample_histogram(np.ones(3), rng)
+
+    def test_high_epsilon_mostly_truthful(self, rng):
+        strategy = randomized_response(4, 8.0)
+        histogram = strategy.sample_histogram(np.array([0, 1000, 0, 0]), rng)
+        assert histogram[1] > 900
+
+    def test_empirical_frequencies_match_column(self, rng):
+        strategy = randomized_response(3, 1.0)
+        histogram = strategy.sample_histogram(np.array([0, 50_000, 0]), rng)
+        frequencies = histogram / histogram.sum()
+        assert np.allclose(frequencies, strategy.probabilities[:, 1], atol=0.01)
+
+
+class TestStackStrategies:
+    def test_uniform_mixture_valid(self):
+        rr = randomized_response(4, 1.0).probabilities
+        stacked = stack_strategies([(0.5, rr), (0.5, rr)], 1.0, name="Mix")
+        assert stacked.shape == (8, 4)
+        assert np.allclose(stacked.probabilities.sum(axis=0), 1.0)
+
+    def test_rejects_bad_weights(self):
+        rr = randomized_response(3, 1.0).probabilities
+        with pytest.raises(StochasticityError):
+            stack_strategies([(0.7, rr), (0.7, rr)], 1.0, name="Bad")
+
+    def test_mixture_preserves_privacy_ratio(self):
+        rr = randomized_response(3, 1.0).probabilities
+        stacked = stack_strategies([(0.3, rr), (0.7, rr)], 1.0, name="Mix")
+        assert stacked.realized_ratio() <= np.exp(1.0) * (1 + 1e-9)

@@ -1,0 +1,58 @@
+"""Tests for the subset selection encoding (Table 1)."""
+
+import numpy as np
+import pytest
+from scipy.special import comb
+
+from repro.exceptions import DomainError
+from repro.mechanisms import recommended_subset_size, subset_selection
+
+
+class TestRecommendedSize:
+    def test_formula(self):
+        assert recommended_subset_size(16, 1.0) == round(16 / (np.e + 1))
+
+    def test_at_least_one(self):
+        assert recommended_subset_size(2, 5.0) == 1
+
+    def test_shrinks_with_epsilon(self):
+        assert recommended_subset_size(100, 3.0) < recommended_subset_size(100, 0.5)
+
+
+class TestSubsetSelection:
+    def test_output_count(self):
+        strategy = subset_selection(6, 1.0, subset_size=2)
+        assert strategy.num_outputs == comb(6, 2, exact=True)
+
+    def test_columns_stochastic_and_private(self):
+        strategy = subset_selection(7, 1.0)
+        assert np.allclose(strategy.probabilities.sum(axis=0), 1.0)
+        assert np.isclose(strategy.realized_ratio(), np.exp(1.0))
+
+    def test_table1_structure(self):
+        epsilon, size, d = 1.0, 5, 2
+        strategy = subset_selection(size, epsilon, subset_size=d)
+        boost = np.exp(epsilon)
+        normalizer = boost * comb(size - 1, d - 1, exact=True) + comb(
+            size - 1, d, exact=True
+        )
+        from itertools import combinations
+
+        for row, subset in enumerate(combinations(range(size), d)):
+            for user_type in range(size):
+                expected = (boost if user_type in subset else 1.0) / normalizer
+                assert np.isclose(strategy.probabilities[row, user_type], expected)
+
+    def test_two_probability_levels(self):
+        strategy = subset_selection(6, 1.0)
+        assert np.unique(np.round(strategy.probabilities, 12)).size == 2
+
+    def test_guard_on_huge_output_space(self):
+        with pytest.raises(DomainError):
+            subset_selection(40, 1.0, subset_size=15)
+
+    def test_rejects_bad_subset_size(self):
+        with pytest.raises(DomainError):
+            subset_selection(5, 1.0, subset_size=0)
+        with pytest.raises(DomainError):
+            subset_selection(5, 1.0, subset_size=6)

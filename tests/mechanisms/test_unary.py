@@ -1,0 +1,54 @@
+"""Tests for Optimized Unary Encoding."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import per_user_variances
+from repro.exceptions import DomainError
+from repro.mechanisms import oue, rappor
+
+
+class TestOue:
+    def test_output_count(self):
+        assert oue(4, 1.0).num_outputs == 16
+
+    def test_columns_stochastic_and_private(self):
+        strategy = oue(5, 1.0)
+        assert np.allclose(strategy.probabilities.sum(axis=0), 1.0)
+        assert np.isclose(strategy.realized_ratio(), np.e)
+
+    def test_own_bit_fifty_fifty(self):
+        strategy = oue(3, 1.0)
+        # Marginal of bit u being set, for a type-u user, equals 1/2.
+        outputs = np.arange(8)
+        for user_type in range(3):
+            set_mask = (outputs >> user_type) & 1
+            marginal = strategy.probabilities[set_mask == 1, user_type].sum()
+            assert np.isclose(marginal, 0.5)
+
+    def test_other_bits_rarely_set(self):
+        epsilon = 1.0
+        strategy = oue(3, epsilon)
+        outputs = np.arange(8)
+        expected = 1.0 / (np.exp(epsilon) + 1.0)
+        for user_type, other in ((0, 1), (1, 2), (2, 0)):
+            set_mask = (outputs >> other) & 1
+            marginal = strategy.probabilities[set_mask == 1, user_type].sum()
+            assert np.isclose(marginal, expected)
+
+    def test_beats_rappor_on_histogram(self):
+        # The design goal of OUE: lower frequency-estimation variance than
+        # symmetric RAPPOR at the same epsilon.
+        size, epsilon = 6, 1.0
+        gram = np.eye(size)
+        oue_variance = per_user_variances(oue(size, epsilon).probabilities, gram).max()
+        rappor_variance = per_user_variances(
+            rappor(size, epsilon).probabilities, gram
+        ).max()
+        assert oue_variance < rappor_variance
+
+    def test_guards(self):
+        with pytest.raises(DomainError):
+            oue(1, 1.0)
+        with pytest.raises(DomainError):
+            oue(30, 1.0)

@@ -1,0 +1,163 @@
+"""Tests for Algorithm 2 (projected gradient descent)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    strategy_objective,
+    strategy_objective_lower_bound,
+)
+from repro.exceptions import OptimizationError
+from repro.optimization import (
+    OptimizerConfig,
+    initial_bounds,
+    initialize,
+    optimize_strategy,
+)
+from repro.optimization.pgd import _repair_bounds, warm_start
+from repro.mechanisms import randomized_response
+from repro.workloads import histogram, parity, prefix
+
+
+class TestInitialization:
+    def test_paper_initial_bounds(self):
+        # z = (1 + e^-eps) / (2m), the paper's (1 + e^-eps)/(8n) at m = 4n.
+        bounds = initial_bounds(32, 1.0)
+        assert np.allclose(bounds, (1 + np.exp(-1.0)) / 64)
+
+    def test_initialize_produces_feasible_strategy(self, rng):
+        state, bounds = initialize(6, 24, 1.0, rng)
+        assert state.matrix.shape == (24, 6)
+        assert np.allclose(state.matrix.sum(axis=0), 1.0, atol=1e-8)
+
+    def test_warm_start_close_to_original(self):
+        strategy = randomized_response(6, 1.0).probabilities
+        state, _ = warm_start(strategy, 1.0)
+        assert np.allclose(state.matrix, strategy, atol=2e-3)
+
+
+class TestRepairBounds:
+    def test_noop_when_feasible(self):
+        bounds = initial_bounds(8, 1.0)
+        assert np.allclose(_repair_bounds(bounds, 1.0), bounds)
+
+    def test_rescales_oversized(self):
+        bounds = _repair_bounds(np.full(8, 0.5), 1.0)
+        assert bounds.sum() <= 1.0
+
+    def test_rescues_undersized(self):
+        bounds = _repair_bounds(np.full(8, 1e-9), 1.0)
+        assert np.exp(1.0) * bounds.sum() >= 1.0
+
+    def test_recovers_from_collapse(self):
+        bounds = _repair_bounds(np.zeros(8), 1.0)
+        assert bounds.sum() > 0
+
+
+class TestOptimizeStrategy:
+    def test_output_is_valid_ldp_strategy(self):
+        result = optimize_strategy(prefix(6), 1.0, OptimizerConfig(num_iterations=50, seed=0))
+        strategy = result.strategy
+        assert strategy.epsilon == 1.0
+        assert strategy.realized_ratio() <= np.e * (1 + 1e-8)
+        assert np.allclose(strategy.probabilities.sum(axis=0), 1.0, atol=1e-7)
+
+    def test_objective_matches_returned_strategy(self):
+        result = optimize_strategy(prefix(5), 1.0, OptimizerConfig(num_iterations=60, seed=1))
+        recomputed = strategy_objective(result.strategy.probabilities, prefix(5).gram())
+        assert np.isclose(result.objective, recomputed, rtol=1e-8)
+
+    def test_improves_over_initialization(self, rng):
+        workload = prefix(6)
+        state, _ = initialize(6, 24, 1.0, np.random.default_rng(0))
+        start_value = strategy_objective(state.matrix, workload.gram())
+        result = optimize_strategy(workload, 1.0, OptimizerConfig(num_iterations=100, seed=0))
+        assert result.objective < start_value
+
+    def test_respects_lower_bound(self):
+        for epsilon in (0.5, 1.0, 2.0):
+            result = optimize_strategy(
+                histogram(6), epsilon, OptimizerConfig(num_iterations=100, seed=0)
+            )
+            bound = strategy_objective_lower_bound(histogram(6), epsilon)
+            assert result.objective >= bound * (1 - 1e-9)
+
+    def test_accepts_raw_gram(self):
+        result = optimize_strategy(np.eye(5), 1.0, OptimizerConfig(num_iterations=30, seed=0))
+        assert result.strategy.domain_size == 5
+
+    def test_rejects_bad_gram_shape(self):
+        with pytest.raises(OptimizationError):
+            optimize_strategy(np.ones((3, 4)), 1.0)
+
+    def test_rejects_nonpositive_epsilon(self):
+        with pytest.raises(OptimizationError):
+            optimize_strategy(histogram(4), 0.0)
+
+    def test_custom_num_outputs(self):
+        result = optimize_strategy(
+            prefix(4), 1.0, OptimizerConfig(num_iterations=30, seed=0, num_outputs=10)
+        )
+        assert result.strategy.num_outputs == 10
+
+    def test_low_rank_strategy_for_low_rank_workload(self):
+        # Parity is low rank; m < n strategies are allowed and feasible.
+        workload = parity(3, 1)  # rank 3 over n = 8
+        result = optimize_strategy(
+            workload, 1.0, OptimizerConfig(num_iterations=60, seed=0, num_outputs=8)
+        )
+        assert np.isfinite(result.objective)
+
+    def test_history_tracking(self):
+        result = optimize_strategy(
+            prefix(4),
+            1.0,
+            OptimizerConfig(num_iterations=40, seed=0, track_history=True),
+        )
+        assert len(result.history) == result.iterations_run
+        finite = [v for v in result.history if np.isfinite(v)]
+        assert finite[-1] <= finite[0]
+
+    def test_deterministic_given_seed(self):
+        config = OptimizerConfig(num_iterations=40, seed=42)
+        first = optimize_strategy(prefix(4), 1.0, config)
+        second = optimize_strategy(prefix(4), 1.0, config)
+        assert np.array_equal(
+            first.strategy.probabilities, second.strategy.probabilities
+        )
+
+    def test_fixed_step_mode_runs(self):
+        # The paper-faithful loop (no line search) with an explicit step.
+        result = optimize_strategy(
+            prefix(4),
+            1.0,
+            OptimizerConfig(
+                num_iterations=60, seed=0, line_search=False, step_size=1e-4
+            ),
+        )
+        assert np.isfinite(result.objective)
+
+    def test_fixed_step_mode_with_search(self):
+        result = optimize_strategy(
+            prefix(4),
+            1.0,
+            OptimizerConfig(
+                num_iterations=40,
+                seed=0,
+                line_search=False,
+                search_points=3,
+                search_iterations=10,
+            ),
+        )
+        assert np.isfinite(result.objective)
+
+    def test_warm_start_from_baseline(self):
+        baseline = randomized_response(5, 1.0)
+        result = optimize_strategy(
+            histogram(5),
+            1.0,
+            OptimizerConfig(num_iterations=40, initial_strategy=baseline.probabilities),
+        )
+        base_value = strategy_objective(baseline.probabilities, np.eye(5))
+        # Never meaningfully worse than the seeding mechanism.
+        assert result.objective <= base_value * 1.01

@@ -1,0 +1,98 @@
+"""Tests for prior-weighted optimization (the paper's footnote 2)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import per_user_variances, reconstruction_operator
+from repro.analysis.reconstruction import prior_weights
+from repro.exceptions import WorkloadError
+from repro.optimization import OptimizerConfig, optimize_strategy
+from repro.optimization.objective import objective_and_gradient, objective_value
+from repro.workloads import prefix
+
+
+class TestPriorWeights:
+    def test_uniform_default(self):
+        assert np.array_equal(prior_weights(None, 4), np.ones(4))
+
+    def test_uniform_prior_equals_default(self):
+        assert np.allclose(prior_weights(np.full(4, 0.25), 4), np.ones(4))
+
+    def test_normalization(self):
+        weights = prior_weights(np.array([2.0, 2.0, 4.0, 0.0]), 4)
+        assert np.isclose(weights.sum(), 4.0)
+
+    def test_rejects_bad_priors(self):
+        with pytest.raises(WorkloadError):
+            prior_weights(np.array([0.5, -0.5]), 2)
+        with pytest.raises(WorkloadError):
+            prior_weights(np.zeros(3), 3)
+        with pytest.raises(WorkloadError):
+            prior_weights(np.ones(3), 4)
+
+
+class TestWeightedObjective:
+    def test_uniform_weights_match_default(self, feasible_strategy, small_gram):
+        default = objective_value(feasible_strategy, small_gram)
+        weighted = objective_value(feasible_strategy, small_gram, np.ones(5))
+        assert np.isclose(default, weighted)
+
+    def test_weighted_gradient_finite_differences(self, feasible_strategy, small_gram):
+        generator = np.random.default_rng(0)
+        weights = prior_weights(generator.dirichlet(np.ones(5)), 5)
+        value, gradient = objective_and_gradient(
+            feasible_strategy, small_gram, weights
+        )
+        step = 1e-6
+        for _ in range(8):
+            i = generator.integers(feasible_strategy.shape[0])
+            j = generator.integers(5)
+            plus = feasible_strategy.copy()
+            plus[i, j] += step
+            minus = feasible_strategy.copy()
+            minus[i, j] -= step
+            finite = (
+                objective_value(plus, small_gram, weights)
+                - objective_value(minus, small_gram, weights)
+            ) / (2 * step)
+            assert np.isclose(gradient[i, j], finite, rtol=1e-3, atol=1e-6)
+
+    def test_weights_shape_check(self, feasible_strategy, small_gram):
+        from repro.exceptions import OptimizationError
+
+        with pytest.raises(OptimizationError):
+            objective_value(feasible_strategy, small_gram, np.ones(4))
+
+
+class TestPriorAdaptedMechanism:
+    def test_prior_reconstruction_unbiased(self, feasible_strategy):
+        # B Q = I regardless of the prior (for full-rank strategies), so the
+        # estimator stays unbiased for every data vector.
+        prior = np.array([0.7, 0.1, 0.1, 0.05, 0.05])
+        operator = reconstruction_operator(feasible_strategy, prior)
+        assert np.allclose(operator @ feasible_strategy, np.eye(5), atol=1e-8)
+
+    def test_prior_optimization_helps_on_that_prior(self):
+        # Optimize for a concentrated prior; its expected variance under
+        # that prior should beat the uniform-optimized strategy's.
+        workload = prefix(8)
+        prior = np.array([0.4, 0.3, 0.1, 0.05, 0.05, 0.04, 0.03, 0.03])
+        uniform = optimize_strategy(
+            workload, 1.0, OptimizerConfig(num_iterations=300, seed=0)
+        )
+        adapted = optimize_strategy(
+            workload, 1.0, OptimizerConfig(num_iterations=300, seed=0, prior=prior)
+        )
+        uniform_t = per_user_variances(uniform.strategy.probabilities, workload.gram())
+        adapted_t = per_user_variances(
+            adapted.strategy.probabilities, workload.gram(), prior=prior
+        )
+        assert prior @ adapted_t < prior @ uniform_t
+
+    def test_prior_strategy_still_valid_ldp(self):
+        workload = prefix(6)
+        prior = np.array([0.5, 0.2, 0.1, 0.1, 0.05, 0.05])
+        result = optimize_strategy(
+            workload, 1.0, OptimizerConfig(num_iterations=100, seed=0, prior=prior)
+        )
+        assert result.strategy.realized_ratio() <= np.e * (1 + 1e-8)

@@ -1,0 +1,38 @@
+"""Tests for the consistency baselines."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.postprocess import truncate_and_rescale, truncate_negative
+
+
+class TestTruncateNegative:
+    def test_clips(self):
+        assert np.array_equal(
+            truncate_negative(np.array([1.0, -2.0, 3.0])), [1.0, 0.0, 3.0]
+        )
+
+    def test_noop_on_nonnegative(self):
+        values = np.array([0.0, 1.0, 2.0])
+        assert np.array_equal(truncate_negative(values), values)
+
+
+class TestTruncateAndRescale:
+    def test_preserves_requested_total(self):
+        result = truncate_and_rescale(np.array([5.0, -1.0, 6.0]), total=20.0)
+        assert np.isclose(result.sum(), 20.0)
+        assert (result >= 0).all()
+
+    def test_defaults_to_estimate_sum(self):
+        estimate = np.array([5.0, -1.0, 6.0])
+        result = truncate_and_rescale(estimate)
+        assert np.isclose(result.sum(), estimate.sum())
+
+    def test_all_negative_spreads_uniformly(self):
+        result = truncate_and_rescale(np.array([-1.0, -2.0]), total=10.0)
+        assert np.allclose(result, [5.0, 5.0])
+
+    def test_rejects_negative_total(self):
+        with pytest.raises(WorkloadError):
+            truncate_and_rescale(np.array([1.0]), total=-1.0)

@@ -1,0 +1,75 @@
+"""Tests for WNNLS post-processing (Appendix A)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.postprocess import wnnls_from_answers, wnnls_from_data_estimate
+from repro.workloads import all_range, histogram, prefix
+
+
+class TestFromDataEstimate:
+    def test_nonnegative_output(self):
+        estimate = np.array([5.0, -2.0, 3.0, -0.5])
+        result = wnnls_from_data_estimate(histogram(4), estimate)
+        assert (result >= 0).all()
+
+    def test_already_consistent_is_fixed_point(self):
+        estimate = np.array([5.0, 2.0, 3.0, 0.5])
+        result = wnnls_from_data_estimate(histogram(4), estimate)
+        assert np.allclose(result, estimate, atol=1e-6)
+
+    def test_histogram_projection_is_clipping(self):
+        # With W = I the WNNLS solution is exactly the positive part.
+        estimate = np.array([4.0, -3.0, 1.0, -1.0])
+        result = wnnls_from_data_estimate(histogram(4), estimate)
+        assert np.allclose(result, np.clip(estimate, 0, None), atol=1e-6)
+
+    def test_reduces_workload_error(self, rng):
+        # W x_hat should be at least as close to W x_true as W b was, in
+        # expectation over noisy b near a nonneg truth.
+        workload = prefix(6)
+        truth = np.array([10.0, 0.0, 5.0, 0.0, 2.0, 1.0])
+        improvements = []
+        for _ in range(30):
+            noisy = truth + rng.normal(scale=4.0, size=6)
+            fixed = wnnls_from_data_estimate(workload, noisy)
+            error_before = workload.error_quadratic(noisy - truth)
+            error_after = workload.error_quadratic(fixed - truth)
+            improvements.append(error_after <= error_before + 1e-9)
+        assert np.mean(improvements) > 0.7
+
+    def test_shape_check(self):
+        with pytest.raises(WorkloadError):
+            wnnls_from_data_estimate(histogram(4), np.ones(5))
+
+    def test_works_with_implicit_workload(self):
+        workload = all_range(32)
+        estimate = np.random.default_rng(0).normal(size=32)
+        result = wnnls_from_data_estimate(workload, estimate)
+        assert (result >= 0).all()
+
+
+class TestFromAnswers:
+    def test_recovers_exact_answers(self):
+        workload = prefix(4)
+        truth = np.array([3.0, 1.0, 0.0, 2.0])
+        answers = workload.matvec(truth)
+        recovered = wnnls_from_answers(workload, answers)
+        assert np.allclose(workload.matvec(recovered), answers, atol=1e-5)
+
+    def test_nonnegative_even_with_negative_answers(self):
+        workload = histogram(3)
+        answers = np.array([-5.0, 2.0, -1.0])
+        result = wnnls_from_answers(workload, answers)
+        assert (result >= 0).all()
+        assert np.allclose(result, [0.0, 2.0, 0.0], atol=1e-6)
+
+    def test_matches_data_estimate_variant_when_exact(self):
+        workload = prefix(5)
+        estimate = np.array([2.0, -1.0, 3.0, 0.5, -0.2])
+        via_answers = wnnls_from_answers(workload, workload.matvec(estimate))
+        via_estimate = wnnls_from_data_estimate(workload, estimate)
+        assert np.allclose(
+            workload.matvec(via_answers), workload.matvec(via_estimate), atol=1e-4
+        )

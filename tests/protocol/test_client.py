@@ -1,0 +1,53 @@
+"""Tests for the client-side randomizer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.mechanisms import hadamard_response, randomized_response
+from repro.protocol import LocalRandomizer
+
+
+class TestRespond:
+    def test_output_in_range(self, rng):
+        randomizer = LocalRandomizer(randomized_response(5, 1.0), rng)
+        for user_type in range(5):
+            assert 0 <= randomizer.respond(user_type) < 5
+
+    def test_rejects_out_of_domain(self, rng):
+        randomizer = LocalRandomizer(randomized_response(5, 1.0), rng)
+        with pytest.raises(ProtocolError):
+            randomizer.respond(5)
+        with pytest.raises(ProtocolError):
+            randomizer.respond(-1)
+
+    def test_high_epsilon_mostly_truthful(self, rng):
+        randomizer = LocalRandomizer(randomized_response(4, 8.0), rng)
+        responses = [randomizer.respond(2) for _ in range(200)]
+        assert np.mean(np.array(responses) == 2) > 0.9
+
+
+class TestRespondMany:
+    def test_shape(self, rng):
+        randomizer = LocalRandomizer(hadamard_response(5, 1.0), rng)
+        users = np.array([0, 1, 2, 3, 4, 0, 1])
+        responses = randomizer.respond_many(users)
+        assert responses.shape == (7,)
+        assert (responses >= 0).all()
+        assert (responses < randomizer.strategy.num_outputs).all()
+
+    def test_empty_batch(self, rng):
+        randomizer = LocalRandomizer(randomized_response(3, 1.0), rng)
+        assert randomizer.respond_many(np.array([], dtype=int)).size == 0
+
+    def test_rejects_out_of_domain(self, rng):
+        randomizer = LocalRandomizer(randomized_response(3, 1.0), rng)
+        with pytest.raises(ProtocolError):
+            randomizer.respond_many(np.array([0, 3]))
+
+    def test_distribution_matches_strategy_column(self, rng):
+        strategy = randomized_response(3, 1.0)
+        randomizer = LocalRandomizer(strategy, rng)
+        responses = randomizer.respond_many(np.full(60_000, 1))
+        frequencies = np.bincount(responses, minlength=3) / 60_000
+        assert np.allclose(frequencies, strategy.probabilities[:, 1], atol=0.01)

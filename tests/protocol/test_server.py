@@ -1,0 +1,70 @@
+"""Tests for the server-side aggregator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.mechanisms import randomized_response
+from repro.protocol import Aggregator
+from repro.workloads import histogram, prefix
+
+
+@pytest.fixture
+def aggregator() -> Aggregator:
+    return Aggregator(randomized_response(4, 1.0), prefix(4))
+
+
+class TestSubmission:
+    def test_counts_reports(self, aggregator):
+        aggregator.submit(0)
+        aggregator.submit(2)
+        aggregator.submit(2)
+        assert aggregator.num_reports == 3
+        assert np.array_equal(aggregator.response_vector(), [1, 0, 2, 0])
+
+    def test_submit_many(self, aggregator):
+        aggregator.submit_many(np.array([0, 1, 1, 3]))
+        assert aggregator.num_reports == 4
+        assert np.array_equal(aggregator.response_vector(), [1, 2, 0, 1])
+
+    def test_submit_many_empty(self, aggregator):
+        aggregator.submit_many(np.array([], dtype=int))
+        assert aggregator.num_reports == 0
+
+    def test_submit_histogram(self, aggregator):
+        aggregator.submit_histogram(np.array([2.0, 0.0, 1.0, 0.0]))
+        assert aggregator.num_reports == 3
+
+    def test_rejects_out_of_range_report(self, aggregator):
+        with pytest.raises(ProtocolError):
+            aggregator.submit(4)
+        with pytest.raises(ProtocolError):
+            aggregator.submit_many(np.array([0, 9]))
+
+    def test_rejects_bad_histogram(self, aggregator):
+        with pytest.raises(ProtocolError):
+            aggregator.submit_histogram(np.array([1.0, -1.0, 0.0, 0.0]))
+        with pytest.raises(ProtocolError):
+            aggregator.submit_histogram(np.ones(3))
+
+    def test_response_vector_is_copy(self, aggregator):
+        aggregator.submit(0)
+        vector = aggregator.response_vector()
+        vector[0] = 99
+        assert aggregator.response_vector()[0] == 1
+
+
+class TestEstimation:
+    def test_domain_mismatch_rejected(self):
+        with pytest.raises(ProtocolError):
+            Aggregator(randomized_response(4, 1.0), histogram(5))
+
+    def test_estimate_expected_response_recovers_truth(self):
+        strategy = randomized_response(4, 1.0)
+        aggregator = Aggregator(strategy, prefix(4))
+        x = np.array([10.0, 5.0, 3.0, 2.0])
+        aggregator.submit_histogram(strategy.probabilities @ x)
+        assert np.allclose(aggregator.estimate_data_vector(), x, atol=1e-8)
+        assert np.allclose(
+            aggregator.estimate_workload(), prefix(4).matvec(x), atol=1e-8
+        )

@@ -1,0 +1,74 @@
+"""Tests for the end-to-end protocol simulation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.mechanisms import randomized_response
+from repro.protocol import expand_users, run_protocol
+from repro.workloads import histogram, prefix
+
+
+class TestExpandUsers:
+    def test_expansion(self):
+        users = expand_users(np.array([2, 0, 1]))
+        assert np.array_equal(users, [0, 0, 2])
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ProtocolError):
+            expand_users(np.array([1, -1]))
+
+
+class TestRunProtocol:
+    def test_fast_path_shapes(self, rng):
+        workload = prefix(4)
+        strategy = randomized_response(4, 1.0)
+        result = run_protocol(workload, strategy, np.array([5.0, 5.0, 5.0, 5.0]), rng)
+        assert result.workload_estimates.shape == (4,)
+        assert result.data_vector_estimate.shape == (4,)
+        assert result.response_vector.shape == (4,)
+        assert result.num_users == 20
+
+    def test_slow_path_matches_message_flow(self, rng):
+        workload = histogram(3)
+        strategy = randomized_response(3, 1.0)
+        x = np.array([10.0, 0.0, 5.0])
+        result = run_protocol(workload, strategy, x, rng, fast=False)
+        assert result.num_users == 15
+        assert result.response_vector.sum() == 15
+
+    def test_unbiasedness_statistical(self, rng):
+        workload = prefix(4)
+        strategy = randomized_response(4, 1.0)
+        x = np.array([50.0, 25.0, 15.0, 10.0])
+        truth = workload.matvec(x)
+        estimates = np.mean(
+            [
+                run_protocol(workload, strategy, x, rng).workload_estimates
+                for _ in range(300)
+            ],
+            axis=0,
+        )
+        assert np.allclose(estimates, truth, rtol=0.1, atol=4.0)
+
+    def test_fast_and_slow_same_distribution(self):
+        # Same seed won't give identical draws, but moments should agree.
+        workload = histogram(3)
+        strategy = randomized_response(3, 1.0)
+        x = np.array([40.0, 40.0, 20.0])
+        fast_rng, slow_rng = np.random.default_rng(1), np.random.default_rng(2)
+        fast = np.mean(
+            [
+                run_protocol(workload, strategy, x, fast_rng).workload_estimates
+                for _ in range(300)
+            ],
+            axis=0,
+        )
+        slow = np.mean(
+            [
+                run_protocol(workload, strategy, x, slow_rng, fast=False).workload_estimates
+                for _ in range(300)
+            ],
+            axis=0,
+        )
+        assert np.allclose(fast, slow, atol=4.0)

@@ -1,0 +1,63 @@
+"""Tests for the package's public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_exception_hierarchy(self):
+        for name in (
+            "DomainError",
+            "WorkloadError",
+            "PrivacyViolationError",
+            "StochasticityError",
+            "FactorizationError",
+            "OptimizationError",
+            "ProtocolError",
+            "DataError",
+        ):
+            exception = getattr(repro, name)
+            assert issubclass(exception, repro.ReproError)
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.analysis",
+            "repro.data",
+            "repro.domains",
+            "repro.experiments",
+            "repro.linalg",
+            "repro.mechanisms",
+            "repro.optimization",
+            "repro.postprocess",
+            "repro.protocol",
+            "repro.workloads",
+        ],
+    )
+    def test_subpackage_all_exports_resolve(self, module):
+        loaded = importlib.import_module(module)
+        for name in getattr(loaded, "__all__", []):
+            assert hasattr(loaded, name), f"{module}.{name}"
+
+    def test_docstring_quickstart_runs(self):
+        import numpy as np
+
+        from repro import OptimizedMechanism, OptimizerConfig, workloads
+        from repro.protocol import run_protocol
+
+        w = workloads.prefix(8)
+        mech = OptimizedMechanism(OptimizerConfig(num_iterations=30, seed=0))
+        strategy = mech.strategy_for(w, epsilon=1.0)
+        x = np.full(8, 10.0)
+        result = run_protocol(w, strategy, x, rng=np.random.default_rng(0))
+        assert result.workload_estimates.shape == (8,)

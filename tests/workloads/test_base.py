@@ -1,0 +1,104 @@
+"""Tests for repro.workloads.base."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import WorkloadError
+from repro.workloads import ExplicitWorkload, histogram, prefix, stack, weighted
+
+
+class TestExplicitWorkload:
+    def test_shape_attributes(self):
+        workload = ExplicitWorkload(np.ones((3, 5)))
+        assert workload.num_queries == 3
+        assert workload.domain_size == 5
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(WorkloadError):
+            ExplicitWorkload(np.ones(4))
+
+    def test_rejects_non_finite(self):
+        matrix = np.ones((2, 2))
+        matrix[0, 0] = np.nan
+        with pytest.raises(WorkloadError):
+            ExplicitWorkload(matrix)
+
+    def test_gram_matches_definition(self):
+        matrix = np.array([[1.0, 2.0], [0.0, -1.0], [3.0, 1.0]])
+        workload = ExplicitWorkload(matrix)
+        assert np.allclose(workload.gram(), matrix.T @ matrix)
+
+    def test_gram_cached(self):
+        workload = ExplicitWorkload(np.eye(3))
+        assert workload.gram() is workload.gram()
+
+    def test_frobenius_norm(self):
+        matrix = np.array([[3.0, 4.0]])
+        assert ExplicitWorkload(matrix).frobenius_norm_squared() == 25.0
+
+    def test_matvec(self):
+        matrix = np.array([[1.0, 1.0], [1.0, -1.0]])
+        workload = ExplicitWorkload(matrix)
+        assert np.array_equal(workload.matvec(np.array([2.0, 3.0])), [5.0, -1.0])
+
+    def test_matvec_shape_check(self):
+        with pytest.raises(WorkloadError):
+            ExplicitWorkload(np.eye(3)).matvec(np.ones(4))
+
+    def test_rmatvec(self):
+        matrix = np.array([[1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+        workload = ExplicitWorkload(matrix)
+        assert np.array_equal(workload.rmatvec(np.ones(3)), [2.0, 2.0])
+
+    def test_rmatvec_shape_check(self):
+        with pytest.raises(WorkloadError):
+            ExplicitWorkload(np.eye(3)).rmatvec(np.ones(4))
+
+    def test_error_quadratic_matches_norm(self):
+        workload = prefix(6)
+        delta = np.linspace(-1, 1, 6)
+        direct = np.sum((workload.matrix @ delta) ** 2)
+        assert np.isclose(workload.error_quadratic(delta), direct)
+
+    def test_singular_values_match_numpy(self):
+        workload = prefix(5)
+        expected = np.linalg.svd(workload.matrix, compute_uv=False)
+        assert np.allclose(workload.singular_values(), expected)
+
+    def test_repr_mentions_name(self):
+        assert "Histogram" in repr(histogram(4))
+
+
+class TestStack:
+    def test_stacks_rows(self):
+        stacked = stack([histogram(3), prefix(3)])
+        assert stacked.num_queries == 6
+        assert stacked.domain_size == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(WorkloadError):
+            stack([])
+
+    def test_rejects_mismatched_domains(self):
+        with pytest.raises(WorkloadError):
+            stack([histogram(3), histogram(4)])
+
+
+class TestWeighted:
+    def test_scales_matrix(self):
+        doubled = weighted(histogram(3), 2.0)
+        assert np.allclose(doubled.matrix, 2.0 * np.eye(3))
+
+    def test_scales_gram_quadratically(self):
+        tripled = weighted(prefix(4), 3.0)
+        assert np.allclose(tripled.gram(), 9.0 * prefix(4).gram())
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(WorkloadError):
+            weighted(histogram(3), 0.0)
+
+    @given(st.floats(min_value=0.1, max_value=10.0))
+    def test_weight_in_name(self, weight):
+        assert f"{weight:g}" in weighted(histogram(2), weight).name

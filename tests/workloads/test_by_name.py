@@ -1,0 +1,30 @@
+"""Tests for the workload name registry."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads import PAPER_WORKLOADS, by_name
+
+
+class TestByName:
+    @pytest.mark.parametrize("name", PAPER_WORKLOADS)
+    def test_all_paper_workloads_resolve(self, name):
+        workload = by_name(name, 16)
+        assert workload.domain_size == 16
+        assert workload.name == name
+
+    def test_binary_workloads_need_power_of_two(self):
+        with pytest.raises(WorkloadError):
+            by_name("AllMarginals", 12)
+
+    def test_flat_workloads_accept_any_size(self):
+        assert by_name("Prefix", 12).domain_size == 12
+
+    def test_unknown_name(self):
+        with pytest.raises(WorkloadError):
+            by_name("Wavelet", 8)
+
+    def test_three_way_clamps_small_domains(self):
+        # n = 4 has only 2 attributes, so the 3-way workload degrades to 2-way.
+        workload = by_name("3-Way Marginals", 4)
+        assert workload.domain_size == 4

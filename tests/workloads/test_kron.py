@@ -1,0 +1,177 @@
+"""Tests for Kronecker-structured workloads and product marginals."""
+
+import numpy as np
+import pytest
+
+from repro.domains import ProductDomain
+from repro.exceptions import WorkloadError
+from repro.workloads import (
+    KronWorkload,
+    all_marginals,
+    all_product_marginals,
+    k_way_product_marginals,
+    product_marginals,
+)
+
+
+def small_kron() -> KronWorkload:
+    prefix3 = np.tril(np.ones((3, 3)))
+    identity2 = np.eye(2)
+    ranges4 = np.array([[1.0, 1.0, 0.0, 0.0], [0.0, 0.0, 1.0, 1.0]])
+    return KronWorkload([prefix3, identity2, ranges4], name="Mixed")
+
+
+class TestKronWorkload:
+    def test_shapes(self):
+        workload = small_kron()
+        assert workload.domain_size == 3 * 2 * 4
+        assert workload.num_queries == 3 * 2 * 2
+
+    def test_matrix_is_kron_product(self):
+        workload = small_kron()
+        expected = np.kron(
+            workload.factors[2], np.kron(workload.factors[1], workload.factors[0])
+        )
+        assert np.array_equal(workload.matrix, expected)
+
+    def test_gram_factorizes(self):
+        workload = small_kron()
+        explicit = workload.matrix
+        assert np.allclose(workload.gram(), explicit.T @ explicit)
+
+    def test_frobenius_factorizes(self):
+        workload = small_kron()
+        assert np.isclose(
+            workload.frobenius_norm_squared(), np.sum(workload.matrix**2)
+        )
+
+    def test_matvec_matches_matrix(self, rng):
+        workload = small_kron()
+        x = rng.normal(size=workload.domain_size)
+        assert np.allclose(workload.matvec(x), workload.matrix @ x)
+
+    def test_rmatvec_matches_matrix(self, rng):
+        workload = small_kron()
+        a = rng.normal(size=workload.num_queries)
+        assert np.allclose(workload.rmatvec(a), workload.matrix.T @ a)
+
+    def test_single_factor_degenerates(self):
+        matrix = np.tril(np.ones((4, 4)))
+        workload = KronWorkload([matrix])
+        assert np.array_equal(workload.matrix, matrix)
+
+    def test_rejects_empty_and_bad_factors(self):
+        with pytest.raises(WorkloadError):
+            KronWorkload([])
+        with pytest.raises(WorkloadError):
+            KronWorkload([np.ones(3)])
+
+
+class TestProductMarginals:
+    def test_query_count(self):
+        workload = product_marginals((3, 4), [(0,), (1,), (0, 1)])
+        assert workload.num_queries == 3 + 4 + 12
+
+    def test_matrix_rows_are_indicators(self):
+        workload = product_marginals((3, 2), [(0, 1)])
+        assert set(np.unique(workload.matrix)) <= {0.0, 1.0}
+        # The (0,1) marginal partitions the domain.
+        assert np.array_equal(workload.matrix.sum(axis=0), np.ones(6))
+
+    def test_gram_matches_explicit(self, rng):
+        workload = product_marginals((3, 4, 2), [(0,), (2,), (0, 2), (1, 2)])
+        explicit = workload.matrix
+        assert np.allclose(workload.gram(), explicit.T @ explicit)
+
+    def test_matvec_and_rmatvec(self, rng):
+        workload = product_marginals((3, 4), [(0,), (0, 1)])
+        x = rng.normal(size=12)
+        assert np.allclose(workload.matvec(x), workload.matrix @ x)
+        a = rng.normal(size=workload.num_queries)
+        assert np.allclose(workload.rmatvec(a), workload.matrix.T @ a)
+
+    def test_binary_case_matches_binary_marginals(self):
+        # Same query set as the binary AllMarginals workload, so the Gram
+        # matrices must agree (row order may differ).
+        binary = all_marginals(3)
+        general = all_product_marginals((2, 2, 2))
+        assert general.num_queries == binary.num_queries
+        assert np.allclose(general.gram(), binary.gram())
+
+    def test_all_product_marginals_count(self):
+        workload = all_product_marginals((3, 4))
+        # (1 + 3) * (1 + 4) = subsets {}, {0}, {1}, {0,1} -> 1 + 3 + 4 + 12.
+        assert workload.num_queries == 20
+
+    def test_k_way_count(self):
+        workload = k_way_product_marginals((3, 4, 5), 2)
+        assert workload.num_queries == 3 * 4 + 3 * 5 + 4 * 5
+
+    def test_k_way_rejects_bad_way(self):
+        with pytest.raises(WorkloadError):
+            k_way_product_marginals((3, 4), 3)
+
+    def test_rejects_bad_subsets(self):
+        domain = ProductDomain((3, 4))
+        with pytest.raises(WorkloadError):
+            product_marginals((3, 4), [])
+        with pytest.raises(WorkloadError):
+            product_marginals((3, 4), [(2,)])
+        with pytest.raises(WorkloadError):
+            product_marginals((3, 4), [(0, 0)])
+        assert domain.size == 12
+
+
+class TestKronProperties:
+    """Hypothesis checks of the factor-wise algebra."""
+
+    from hypothesis import given
+    from hypothesis import strategies as st
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=3),
+                st.integers(min_value=2, max_value=3),
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_matvec_agrees_with_explicit(self, shapes, seed):
+        generator = np.random.default_rng(seed)
+        factors = [generator.normal(size=shape) for shape in shapes]
+        workload = KronWorkload(factors)
+        x = generator.normal(size=workload.domain_size)
+        assert np.allclose(workload.matvec(x), workload.matrix @ x)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=3),
+                st.integers(min_value=2, max_value=3),
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_gram_agrees_with_explicit(self, shapes, seed):
+        generator = np.random.default_rng(seed)
+        factors = [generator.normal(size=shape) for shape in shapes]
+        workload = KronWorkload(factors)
+        explicit = workload.matrix
+        assert np.allclose(workload.gram(), explicit.T @ explicit)
+
+
+class TestOptimizationOverProductDomain:
+    def test_optimizer_beats_rr_on_product_marginals(self):
+        from repro.mechanisms import paper_baselines
+        from repro.optimization import OptimizedMechanism, OptimizerConfig
+
+        workload = k_way_product_marginals((3, 2, 2), 2)
+        mechanism = OptimizedMechanism(OptimizerConfig(num_iterations=150, seed=0))
+        ours = mechanism.sample_complexity(workload, 1.0)
+        rr = paper_baselines()[0]
+        assert ours < rr.sample_complexity(workload, 1.0)

@@ -1,0 +1,44 @@
+"""Tests for the Histogram and Prefix workloads."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import histogram, prefix
+
+
+class TestHistogram:
+    def test_identity_matrix(self):
+        assert np.array_equal(histogram(4).matrix, np.eye(4))
+
+    def test_gram_is_identity(self):
+        assert np.array_equal(histogram(5).gram(), np.eye(5))
+
+    def test_name(self):
+        assert histogram(3).name == "Histogram"
+
+    def test_answers_are_counts(self):
+        x = np.array([10.0, 20.0, 5.0])
+        assert np.array_equal(histogram(3).matvec(x), x)
+
+
+class TestPrefix:
+    def test_example_2_4_matrix(self):
+        # The student-grade prefix workload from Example 2.4.
+        expected = np.tril(np.ones((5, 5)))
+        assert np.array_equal(prefix(5).matrix, expected)
+
+    def test_answers_are_cumulative(self):
+        x = np.array([10.0, 20.0, 5.0, 0.0, 0.0])
+        assert np.array_equal(prefix(5).matvec(x), [10.0, 30.0, 35.0, 35.0, 35.0])
+
+    @pytest.mark.parametrize("size", [1, 2, 5, 9])
+    def test_gram_closed_form(self, size):
+        workload = prefix(size)
+        assert np.allclose(workload.gram(), workload.matrix.T @ workload.matrix)
+
+    def test_frobenius(self):
+        # ||W||_F^2 = 1 + 2 + ... + n.
+        assert prefix(6).frobenius_norm_squared() == 21.0
+
+    def test_full_rank(self):
+        assert prefix(7).singular_values().min() > 0

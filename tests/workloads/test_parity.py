@@ -1,0 +1,49 @@
+"""Tests for the Parity workload."""
+
+import numpy as np
+import pytest
+from scipy.special import comb
+
+from repro.exceptions import WorkloadError
+from repro.workloads import parity
+from repro.workloads.parity import ParityWorkload
+
+
+class TestParity:
+    def test_query_count(self):
+        workload = parity(5, 3)
+        expected = comb(5, 1, exact=True) + comb(5, 2, exact=True) + comb(5, 3, exact=True)
+        assert workload.num_queries == expected
+
+    def test_entries_are_pm_one(self):
+        assert set(np.unique(parity(4, 2).matrix)) == {-1.0, 1.0}
+
+    def test_rows_are_characters(self):
+        workload = parity(3, 3)
+        matrix = workload.matrix
+        for row, mask in zip(matrix, workload.subset_masks):
+            for user_type in range(8):
+                expected = (-1.0) ** bin(mask & user_type).count("1")
+                assert row[user_type] == expected
+
+    def test_characters_orthogonal(self):
+        matrix = parity(4, 4).matrix
+        gram_rows = matrix @ matrix.T
+        assert np.allclose(gram_rows, 16 * np.eye(matrix.shape[0]))
+
+    def test_low_rank(self):
+        # The property Section 6.5 calls out: rank p << n.
+        workload = parity(5, 3)
+        assert workload.num_queries < workload.domain_size
+        values = workload.singular_values()
+        assert np.sum(values > 1e-9) == workload.num_queries
+
+    def test_include_total_adds_constant_row(self):
+        workload = ParityWorkload(3, degree=1, include_total=True)
+        assert np.array_equal(workload.matrix[0], np.ones(8))
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(WorkloadError):
+            parity(3, 0)
+        with pytest.raises(WorkloadError):
+            parity(3, 4)

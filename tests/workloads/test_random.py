@@ -1,0 +1,46 @@
+"""Tests for random workload builders."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads import random_range_workload, random_workload
+
+
+class TestRandomWorkload:
+    def test_shape(self):
+        workload = random_workload(7, 4, seed=0)
+        assert workload.num_queries == 7
+        assert workload.domain_size == 4
+
+    def test_deterministic_with_seed(self):
+        first = random_workload(5, 5, seed=3).matrix
+        second = random_workload(5, 5, seed=3).matrix
+        assert np.array_equal(first, second)
+
+    def test_density_controls_sparsity(self):
+        dense = random_workload(50, 20, seed=1, density=1.0).matrix
+        sparse = random_workload(50, 20, seed=1, density=0.1).matrix
+        assert (sparse == 0).sum() > (dense == 0).sum()
+
+    def test_no_zero_rows(self):
+        matrix = random_workload(100, 30, seed=2, density=0.02).matrix
+        assert (np.abs(matrix).sum(axis=1) > 0).all()
+
+    def test_rejects_bad_density(self):
+        with pytest.raises(WorkloadError):
+            random_workload(3, 3, density=0.0)
+
+
+class TestRandomRangeWorkload:
+    def test_rows_are_contiguous_ranges(self):
+        matrix = random_range_workload(20, 10, seed=0).matrix
+        for row in matrix:
+            support = np.flatnonzero(row)
+            assert np.array_equal(support, np.arange(support[0], support[-1] + 1))
+            assert np.all(row[support] == 1.0)
+
+    def test_deterministic_with_seed(self):
+        first = random_range_workload(5, 8, seed=9).matrix
+        second = random_range_workload(5, 8, seed=9).matrix
+        assert np.array_equal(first, second)

@@ -1,0 +1,77 @@
+"""Tests for the implicit AllRange workload."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import WorkloadError
+from repro.workloads import all_range
+from repro.workloads.base import MAX_EXPLICIT_ENTRIES
+
+
+class TestAllRangeExplicit:
+    def test_query_count(self):
+        assert all_range(6).num_queries == 21
+
+    def test_matrix_rows_are_ranges(self):
+        matrix = all_range(3).matrix
+        expected = np.array(
+            [
+                [1, 0, 0],
+                [1, 1, 0],
+                [1, 1, 1],
+                [0, 1, 0],
+                [0, 1, 1],
+                [0, 0, 1],
+            ],
+            dtype=float,
+        )
+        assert np.array_equal(matrix, expected)
+
+    def test_refuses_huge_matrix(self):
+        big = all_range(1024)
+        assert big.num_queries * 1024 > MAX_EXPLICIT_ENTRIES
+        with pytest.raises(WorkloadError):
+            _ = big.matrix
+
+
+class TestAllRangeImplicit:
+    @pytest.mark.parametrize("size", [1, 2, 3, 7, 12])
+    def test_gram_closed_form(self, size):
+        workload = all_range(size)
+        explicit = workload.matrix
+        assert np.allclose(workload.gram(), explicit.T @ explicit)
+
+    @pytest.mark.parametrize("size", [1, 4, 9])
+    def test_frobenius_closed_form(self, size):
+        workload = all_range(size)
+        assert np.isclose(
+            workload.frobenius_norm_squared(), np.sum(workload.matrix**2)
+        )
+
+    def test_gram_works_at_large_scale(self):
+        # Never materializes the 131328 x 512 matrix.
+        workload = all_range(512)
+        gram = workload.gram()
+        assert gram.shape == (512, 512)
+        assert gram[0, 0] == 512.0  # ranges containing type 0: 1 * (n - 0)
+
+    @given(st.integers(min_value=1, max_value=10), st.integers(min_value=0, max_value=99))
+    def test_matvec_matches_matrix(self, size, seed):
+        workload = all_range(size)
+        x = np.random.default_rng(seed).normal(size=size)
+        assert np.allclose(workload.matvec(x), workload.matrix @ x)
+
+    @given(st.integers(min_value=1, max_value=10), st.integers(min_value=0, max_value=99))
+    def test_rmatvec_matches_matrix(self, size, seed):
+        workload = all_range(size)
+        a = np.random.default_rng(seed).normal(size=workload.num_queries)
+        assert np.allclose(workload.rmatvec(a), workload.matrix.T @ a)
+
+    def test_rmatvec_shape_check(self):
+        with pytest.raises(WorkloadError):
+            all_range(4).rmatvec(np.ones(3))
+
+    def test_singular_values_positive(self):
+        assert all_range(8).singular_values().min() > 0
