@@ -24,7 +24,7 @@ Subpackages
 ``repro.mechanisms``     baseline LDP mechanisms as strategy matrices
 ``repro.optimization``   Algorithms 1 & 2 (the paper's contribution)
 ``repro.analysis``       variance, sample complexity, lower bounds
-``repro.protocol``       client/server simulation & privacy audits
+``repro.protocol``       shard-parallel collection engine & privacy audits
 ``repro.postprocess``    WNNLS consistency post-processing
 ``repro.data``           synthetic datasets
 ``repro.experiments``    one module per paper figure/table
@@ -59,6 +59,7 @@ from repro.optimization import (
     OptimizerConfig,
     optimize_strategy,
 )
+from repro.protocol import ProtocolSession, ShardAccumulator
 from repro.workloads import Workload
 
 __version__ = "1.0.0"
@@ -75,7 +76,9 @@ __all__ = [
     "OptimizerConfig",
     "PrivacyViolationError",
     "ProtocolError",
+    "ProtocolSession",
     "ReproError",
+    "ShardAccumulator",
     "StochasticityError",
     "StrategyMatrix",
     "Workload",

@@ -4,7 +4,9 @@
 figures (``--scale paper`` for the paper's sizes); ``python -m repro plan``
 is a deployment-planning helper: it compares every applicable mechanism on
 your workload and reports the smallest privacy budget your population
-supports.
+supports; ``python -m repro protocol run`` executes a sharded collection
+campaign through the streaming protocol engine and reports throughput and
+accuracy.
 """
 
 from __future__ import annotations
@@ -12,6 +14,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 
 EXPERIMENTS = (
     "table1",
@@ -71,6 +74,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     plan.add_argument(
         "--iterations", type=int, default=500, help="optimizer iterations"
+    )
+
+    protocol = subcommands.add_parser(
+        "protocol", help="run the shard-parallel protocol engine"
+    )
+    protocol_commands = protocol.add_subparsers(dest="protocol_command")
+    protocol_run = protocol_commands.add_parser(
+        "run", help="execute a sharded collection campaign"
+    )
+    protocol_run.add_argument(
+        "--workload", default="Prefix", help="paper workload name"
+    )
+    protocol_run.add_argument("--domain", type=int, default=64, help="domain size n")
+    protocol_run.add_argument(
+        "--users", type=float, default=1_000_000, help="population size N"
+    )
+    protocol_run.add_argument(
+        "--epsilon", type=float, default=1.0, help="privacy budget"
+    )
+    protocol_run.add_argument(
+        "--mechanism",
+        default="Hadamard",
+        help="mechanism name (any strategy-matrix mechanism, or 'Optimized')",
+    )
+    protocol_run.add_argument(
+        "--shards", type=int, default=1, help="number of population shards K"
+    )
+    protocol_run.add_argument(
+        "--workers", type=int, default=None, help="concurrent shard workers J"
+    )
+    protocol_run.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process"),
+        default="serial",
+        help="shard execution backend",
+    )
+    protocol_run.add_argument(
+        "--seed", type=int, default=0, help="root seed (spawns one RNG per shard)"
+    )
+    protocol_run.add_argument(
+        "--message-level",
+        action="store_true",
+        help="sample every user's report individually (fast=False path)",
+    )
+    protocol_run.add_argument(
+        "--iterations", type=int, default=300, help="optimizer iterations"
     )
     return parser
 
@@ -142,6 +191,58 @@ def _run_plan(arguments) -> int:
     return 0
 
 
+def _run_protocol_engine(arguments) -> int:
+    import numpy as np
+
+    from repro.data import zipf_data
+    from repro.experiments.runner import protocol_session
+    from repro.mechanisms import by_name
+    from repro.optimization import OptimizedMechanism, OptimizerConfig
+    from repro.workloads import by_name as workload_by_name
+
+    workload = workload_by_name(arguments.workload, arguments.domain)
+    if arguments.mechanism == "Optimized":
+        mechanism = OptimizedMechanism(
+            OptimizerConfig(num_iterations=arguments.iterations, seed=0)
+        )
+    else:
+        mechanism = by_name(arguments.mechanism)
+    num_users = int(arguments.users)
+    truth = zipf_data(arguments.domain, num_users, seed=arguments.seed)
+
+    session = protocol_session(mechanism, workload, arguments.epsilon)
+    start = time.perf_counter()
+    result = session.run(
+        truth,
+        num_shards=arguments.shards,
+        num_workers=arguments.workers,
+        backend=arguments.backend,
+        fast=not arguments.message_level,
+        seed=arguments.seed,
+    )
+    elapsed = time.perf_counter() - start
+
+    true_answers = workload.matvec(truth)
+    error = np.abs(result.workload_estimates - true_answers)
+    path = "message-level" if arguments.message_level else "fast"
+    print(
+        f"mechanism {mechanism.name!r} on workload {workload.name!r}: "
+        f"n = {workload.domain_size}, m = {session.num_outputs} outputs, "
+        f"eps = {session.epsilon:g}"
+    )
+    print(
+        f"collected {result.num_users:,} reports over {arguments.shards} "
+        f"shard(s) [{arguments.backend}, {path} path] in {elapsed:.3f} s "
+        f"({result.num_users / max(elapsed, 1e-9):,.0f} users/sec)"
+    )
+    print(
+        f"workload error: mean |err| = {error.mean():.2f} users, "
+        f"max |err| = {error.max():.2f} users "
+        f"(over {workload.num_queries} queries)"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     # Backwards-compatible shorthand: `python -m repro figure1` etc.
@@ -152,6 +253,11 @@ def main(argv: list[str] | None = None) -> int:
         return _run_plan(arguments)
     if arguments.command == "run":
         return _run_experiments(arguments)
+    if arguments.command == "protocol":
+        if arguments.protocol_command == "run":
+            return _run_protocol_engine(arguments)
+        print("usage: repro protocol run [options] (see `repro protocol run -h`)")
+        return 2
     build_parser().print_help()
     return 2
 

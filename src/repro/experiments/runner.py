@@ -11,9 +11,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.exceptions import ReproError
+from repro.exceptions import ProtocolError, ReproError
 from repro.mechanisms import Mechanism, paper_baselines
+from repro.mechanisms.interface import StrategyMechanism
 from repro.optimization import OptimizedMechanism, OptimizerConfig
+from repro.protocol.engine import ProtocolSession
 from repro.workloads import PAPER_WORKLOADS, Workload, by_name
 
 #: Legend order of Figures 1-3.
@@ -39,6 +41,32 @@ def mechanism_roster(
 def paper_workloads(domain_size: int) -> list[Workload]:
     """The six evaluation workloads at a common (power-of-two) domain size."""
     return [by_name(name, domain_size) for name in PAPER_WORKLOADS]
+
+
+def protocol_session(
+    mechanism: Mechanism, workload: Workload, epsilon: float
+) -> ProtocolSession:
+    """Bind a mechanism's strategy to a reusable collection session.
+
+    Strategy selection (possibly an expensive optimization) runs once here;
+    the returned session can then serve any number of sequential or sharded
+    collection runs.  The mechanism's cached reconstruction operator is
+    reused so the engine does not recompute the pseudo-inverse.
+
+    Raises
+    ------
+    ProtocolError
+        If the mechanism is not strategy-matrix based (additive-noise
+        mechanisms have no client-side randomizer to shard).
+    """
+    if not isinstance(mechanism, StrategyMechanism):
+        raise ProtocolError(
+            f"{mechanism.name!r} is not a strategy-matrix mechanism; the "
+            "protocol engine needs an explicit local randomizer"
+        )
+    strategy = mechanism.strategy_for(workload, epsilon)
+    operator = mechanism.reconstruction_for(workload, epsilon)
+    return ProtocolSession(strategy, workload, operator)
 
 
 def safe_sample_complexity(

@@ -22,10 +22,15 @@ from repro.analysis.reconstruction import (
 from repro.exceptions import (
     FactorizationError,
     PrivacyViolationError,
+    ProtocolError,
     StochasticityError,
 )
 from repro.linalg import is_column_stochastic, is_ldp_matrix, ldp_ratio, max_abs_column_sum_error
 from repro.workloads.base import Workload
+
+#: Users randomized per vectorized sampling block; bounds sampler memory to
+#: ``O(chunk)`` scratch regardless of population size.
+DEFAULT_SAMPLE_CHUNK = 65_536
 
 
 @dataclass(frozen=True)
@@ -135,6 +140,79 @@ class StrategyMatrix:
             )
 
     # -- execution ----------------------------------------------------------
+
+    def response_cdf(self) -> np.ndarray:
+        """Per-column response CDFs, computed once and cached.
+
+        ``response_cdf()[o, u] = Pr[output <= o | type u]``.  The last row is
+        clamped to exactly 1.0 so a uniform draw in ``[0, 1)`` can never fall
+        past the end of a column (column sums are only stochastic up to
+        floating-point tolerance).
+        """
+        cached = self.__dict__.get("_response_cdf")
+        if cached is None:
+            cached = np.cumsum(self.probabilities, axis=0)
+            cached[-1, :] = 1.0
+            cached.setflags(write=False)
+            object.__setattr__(self, "_response_cdf", cached)
+        return cached
+
+    def _offset_cdf(self) -> np.ndarray:
+        """Flattened inverse-CDF lookup table for the vectorized sampler.
+
+        Column ``u``'s CDF is shifted by ``+u`` and the columns are laid out
+        contiguously, producing one globally sorted array: a single
+        ``searchsorted`` with key ``u + draw`` then inverts every user's CDF
+        at once, whatever their types are.
+        """
+        cached = self.__dict__.get("_offset_cdf_flat")
+        if cached is None:
+            offsets = np.arange(self.domain_size, dtype=float)
+            cached = np.ascontiguousarray(
+                (self.response_cdf() + offsets[None, :]).T
+            ).ravel()
+            cached.setflags(write=False)
+            object.__setattr__(self, "_offset_cdf_flat", cached)
+        return cached
+
+    def sample_responses(
+        self,
+        user_types: np.ndarray,
+        rng: np.random.Generator | None = None,
+        chunk_size: int = DEFAULT_SAMPLE_CHUNK,
+    ) -> np.ndarray:
+        """Randomize a batch of users: one independent report per entry.
+
+        Vectorized inverse-CDF sampling over the cached offset table:
+        ``O(N log(nm))`` time and ``O(chunk_size)`` scratch memory, versus the
+        naive ``O(N m)`` time *and* memory of materializing every user's
+        response CDF.  Draws are consumed from ``rng`` one chunk at a time in
+        order, so results are bit-identical for a given generator state
+        regardless of ``chunk_size``.
+        """
+        rng = rng or np.random.default_rng()
+        user_types = np.asarray(user_types)
+        if user_types.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if user_types.min() < 0 or user_types.max() >= self.domain_size:
+            raise ProtocolError("user types outside the strategy's domain")
+        if chunk_size < 1:
+            raise ProtocolError(f"chunk size must be >= 1, got {chunk_size}")
+        user_types = user_types.astype(np.int64, copy=False)
+        table = self._offset_cdf()
+        num_outputs = self.num_outputs
+        responses = np.empty(user_types.shape[0], dtype=np.int64)
+        for start in range(0, user_types.shape[0], chunk_size):
+            chunk = user_types[start : start + chunk_size]
+            keys = chunk + rng.random(chunk.shape[0])
+            found = np.searchsorted(table, keys, side="left")
+            np.clip(
+                found - chunk * num_outputs,
+                0,
+                num_outputs - 1,
+                out=responses[start : start + chunk.shape[0]],
+            )
+        return responses
 
     def sample_response(
         self, user_type: int, rng: np.random.Generator | None = None

@@ -3,13 +3,14 @@
 Wraps :func:`repro.optimization.pgd.optimize_strategy` behind the common
 comparison interface so the experiment harness treats it exactly like the
 fixed baselines.  Unlike those, its strategy depends on the workload, so
-results are cached per ``(workload name, domain size, epsilon)``.  Strategy
-optimization consumes no privacy budget (it only uses the public workload),
-so the caching is purely a compute optimization.
+results are cached per ``(workload name, domain size, Gram content hash,
+epsilon)``.  Strategy optimization consumes no privacy budget (it only uses
+the public workload), so the caching is purely a compute optimization.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import replace
 
 import numpy as np
@@ -55,11 +56,24 @@ class OptimizedMechanism(StrategyMechanism):
         super().__init__("Optimized", factory=None)
         self.config = config or OptimizerConfig()
         self.floor_baselines = floor_baselines
-        self._results: dict[tuple[str, int, float], OptimizationResult] = {}
-        self._operators: dict[tuple[str, int, float], np.ndarray] = {}
+        self._results: dict[tuple[str, int, str, float], OptimizationResult] = {}
+        self._operators: dict[tuple[str, int, str, float], np.ndarray] = {}
 
-    def _key(self, workload: Workload, epsilon: float) -> tuple[str, int, float]:
-        return (workload.name, workload.domain_size, round(float(epsilon), 12))
+    def _key(
+        self, workload: Workload, epsilon: float
+    ) -> tuple[str, int, str, float]:
+        # The Gram content hash keeps two distinct workloads that share a
+        # name and domain from silently reusing each other's strategy; the
+        # optimizer only ever sees the workload through its Gram matrix, so
+        # hashing it captures everything the cached result depends on.
+        gram = np.ascontiguousarray(workload.gram(), dtype=float)
+        digest = hashlib.sha256(gram.tobytes()).hexdigest()[:16]
+        return (
+            workload.name,
+            workload.domain_size,
+            digest,
+            round(float(epsilon), 12),
+        )
 
     def optimization_result(
         self, workload: Workload, epsilon: float

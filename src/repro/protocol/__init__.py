@@ -1,34 +1,64 @@
-"""Client/server LDP protocol simulation.
+"""Client/server LDP protocol simulation and the shard-parallel engine.
 
+* :class:`repro.protocol.engine.ProtocolSession` — immutable session config
+  (strategy + workload + reconstruction operator) and one-call sharded
+  execution.
+* :class:`repro.protocol.engine.ShardAccumulator` — mergeable, serializable
+  per-shard aggregation state.
 * :class:`repro.protocol.client.LocalRandomizer` — per-user randomization.
-* :class:`repro.protocol.server.Aggregator` — response collection and
-  unbiased estimation.
-* :func:`repro.protocol.simulation.run_protocol` — end-to-end execution.
+* :class:`repro.protocol.server.Aggregator` — single-node response
+  collection and unbiased estimation.
+* :func:`repro.protocol.simulation.run_protocol` — one-shot end-to-end
+  execution (thin wrapper over the engine).
 * :mod:`repro.protocol.audit` — exact and empirical privacy audits.
+* :mod:`repro.protocol.accounting` — client/server/shard resource accounting.
 """
 
 from repro.protocol.accounting import (
     CostReport,
+    SessionCostReport,
     communication_bits,
     compare_costs,
     cost_report,
+    session_cost_report,
 )
-from repro.protocol.audit import AuditReport, audit_strategy, empirical_ratio_audit
+from repro.protocol.audit import (
+    AuditReport,
+    audit_session,
+    audit_strategy,
+    empirical_ratio_audit,
+    empirical_sampler_audit,
+)
 from repro.protocol.client import LocalRandomizer
+from repro.protocol.engine import (
+    BACKENDS,
+    ProtocolResult,
+    ProtocolSession,
+    ShardAccumulator,
+    split_data_vector,
+)
 from repro.protocol.server import Aggregator
-from repro.protocol.simulation import ProtocolResult, expand_users, run_protocol
+from repro.protocol.simulation import expand_users, run_protocol
 
 __all__ = [
     "Aggregator",
     "AuditReport",
+    "BACKENDS",
     "CostReport",
     "LocalRandomizer",
     "ProtocolResult",
+    "ProtocolSession",
+    "SessionCostReport",
+    "ShardAccumulator",
+    "audit_session",
     "audit_strategy",
     "communication_bits",
     "compare_costs",
     "cost_report",
     "empirical_ratio_audit",
+    "empirical_sampler_audit",
     "expand_users",
     "run_protocol",
+    "session_cost_report",
+    "split_data_vector",
 ]

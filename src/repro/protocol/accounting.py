@@ -62,3 +62,63 @@ def compare_costs(strategies: list[StrategyMatrix]) -> list[CostReport]:
     """Cost reports for several mechanisms, sorted by communication bits."""
     reports = [cost_report(strategy) for strategy in strategies]
     return sorted(reports, key=lambda report: report.communication_bits)
+
+
+@dataclass(frozen=True)
+class SessionCostReport:
+    """Resource footprint of a sharded collection session.
+
+    Quantifies what the shard-parallel engine actually moves around: each
+    shard keeps one ``m``-counter accumulator, each merge ships that
+    accumulator once, and the message-level sampler touches only
+    ``O(chunk)`` scratch per block (versus ``O(N x m)`` for the naive
+    batched sampler).
+    """
+
+    mechanism: str
+    num_shards: int
+    communication_bits_per_report: int
+    accumulator_bytes: int
+    merge_traffic_bytes: int
+    sampler_table_bytes: int
+    sampler_chunk_bytes: int
+    reconstruction_flops: int
+
+
+def session_cost_report(
+    session, num_shards: int = 1, chunk_size: int | None = None
+) -> SessionCostReport:
+    """Account for one :class:`~repro.protocol.engine.ProtocolSession`.
+
+    Parameters
+    ----------
+    session:
+        The protocol session to cost out.
+    num_shards:
+        Planned shard count (drives merge traffic).
+    chunk_size:
+        Sampler block size; defaults to the engine's default chunk.
+    """
+    from repro.mechanisms.base import DEFAULT_SAMPLE_CHUNK
+
+    if num_shards < 1:
+        raise ValueError(f"need >= 1 shard, got {num_shards}")
+    chunk = DEFAULT_SAMPLE_CHUNK if chunk_size is None else chunk_size
+    strategy = session.strategy
+    float_bytes = np.dtype(float).itemsize
+    accumulator_bytes = strategy.num_outputs * float_bytes
+    return SessionCostReport(
+        mechanism=strategy.name,
+        num_shards=num_shards,
+        communication_bits_per_report=communication_bits(strategy.num_outputs),
+        accumulator_bytes=accumulator_bytes,
+        merge_traffic_bytes=num_shards * accumulator_bytes,
+        # The sampler caches two (m, n) tables per strategy: the column CDFs
+        # and the flattened offset-CDF lookup derived from them.
+        sampler_table_bytes=2
+        * strategy.num_outputs
+        * strategy.domain_size
+        * float_bytes,
+        sampler_chunk_bytes=3 * chunk * float_bytes,
+        reconstruction_flops=2 * strategy.domain_size * strategy.num_outputs,
+    )

@@ -57,6 +57,47 @@ def audit_strategy(strategy: StrategyMatrix, rtol: float = 1e-8) -> AuditReport:
     )
 
 
+def audit_session(session, rtol: float = 1e-8) -> AuditReport:
+    """Exact audit of a :class:`~repro.protocol.engine.ProtocolSession`.
+
+    Sharding is pure post-processing of independently randomized reports, so
+    the session's guarantee is exactly its strategy's guarantee — whatever
+    the shard count, backend, or merge order.
+    """
+    return audit_strategy(session.strategy, rtol=rtol)
+
+
+def empirical_sampler_audit(
+    strategy: StrategyMatrix,
+    num_samples: int = 200_000,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Largest per-type total-variation gap between the vectorized sampler's
+    empirical output frequencies and the strategy columns.
+
+    This is the sampling-code counterpart of :func:`empirical_ratio_audit`:
+    it checks that :meth:`StrategyMatrix.sample_responses` (the engine's hot
+    path) actually follows the matrix, type by type.  With enough samples the
+    returned gap should be sampling noise, ``O(sqrt(m / num_samples))``.
+    """
+    rng = rng or np.random.default_rng()
+    if num_samples < 1:
+        raise ProtocolError(f"need >= 1 sample, got {num_samples}")
+    worst = 0.0
+    for user_type in range(strategy.domain_size):
+        responses = strategy.sample_responses(
+            np.full(num_samples, user_type, dtype=np.int64), rng
+        )
+        frequencies = (
+            np.bincount(responses, minlength=strategy.num_outputs) / num_samples
+        )
+        gap = 0.5 * float(
+            np.abs(frequencies - strategy.probabilities[:, user_type]).sum()
+        )
+        worst = max(worst, gap)
+    return worst
+
+
 def empirical_ratio_audit(
     strategy: StrategyMatrix,
     type_a: int,

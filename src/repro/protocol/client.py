@@ -50,13 +50,10 @@ class LocalRandomizer:
         return self.strategy.sample_response(user_type, self._rng)
 
     def respond_many(self, user_types: np.ndarray) -> np.ndarray:
-        """Randomize a batch of users (one independent report each)."""
-        user_types = np.asarray(user_types)
-        if user_types.size == 0:
-            return np.zeros(0, dtype=np.int64)
-        if user_types.min() < 0 or user_types.max() >= self.strategy.domain_size:
-            raise ProtocolError("user types outside the strategy's domain")
-        cumulative = np.cumsum(self.strategy.probabilities, axis=0)
-        draws = self._rng.random(user_types.shape[0])
-        columns = cumulative[:, user_types]
-        return (draws[None, :] > columns).sum(axis=0)
+        """Randomize a batch of users (one independent report each).
+
+        Delegates to :meth:`StrategyMatrix.sample_responses`, so the column
+        CDFs are computed once per strategy and reused across batches rather
+        than being rebuilt on every call.
+        """
+        return self.strategy.sample_responses(user_types, self._rng)

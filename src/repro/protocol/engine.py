@@ -1,0 +1,458 @@
+"""Streaming, shard-parallel protocol engine.
+
+The factorization mechanism's server side is pure post-processing of an
+*additive* response histogram, so collection decomposes freely: any
+partition of the population into shards can be randomized independently —
+sequentially, on a thread pool, or across processes — and folded back
+together without changing the estimate's distribution.  This module is the
+seam that exploits that structure:
+
+* :class:`ProtocolSession` — the immutable public configuration of one
+  collection campaign: strategy, workload, and the reconstruction operator,
+  computed once and shared by every shard.
+* :class:`ShardAccumulator` — the mergeable per-shard state (response
+  histogram + report count) with ``merge()``, ``snapshot()`` and byte-level
+  serialization, so partial aggregates can cross process or machine
+  boundaries.
+* :meth:`ProtocolSession.run` — one-call execution over a data vector with
+  ``num_shards``/``num_workers``/``backend`` knobs.
+
+Determinism contract: sharding is a pure function of the data vector and
+``num_shards``, and each shard's generator is spawned from a root
+:class:`numpy.random.SeedSequence`, so for a fixed seed the merged estimate
+is bit-identical whether shards run serially, on threads, or in separate
+processes, and in whatever order they are merged (histogram counts are
+integers, exactly representable in float64).
+"""
+
+from __future__ import annotations
+
+import io
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.reconstruction import reconstruction_operator
+from repro.exceptions import ProtocolError
+from repro.mechanisms.base import DEFAULT_SAMPLE_CHUNK, StrategyMatrix
+from repro.workloads.base import Workload
+
+#: Execution backends accepted by :meth:`ProtocolSession.run`.
+BACKENDS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class ProtocolResult:
+    """Outcome of one protocol execution."""
+
+    workload_estimates: np.ndarray
+    data_vector_estimate: np.ndarray
+    response_vector: np.ndarray
+    num_users: int
+
+
+class ShardAccumulator:
+    """Mergeable aggregation state for one shard of the population.
+
+    Holds the running response histogram ``y`` and the number of reports
+    folded in.  Accumulators over the same strategy form a commutative
+    monoid under :meth:`merge` — the algebraic fact that makes the engine's
+    shard-parallelism exact rather than approximate.
+
+    Parameters
+    ----------
+    num_outputs:
+        Output alphabet size ``m`` of the strategy being aggregated.
+    """
+
+    __slots__ = ("histogram", "num_reports")
+
+    def __init__(self, num_outputs: int) -> None:
+        if num_outputs < 1:
+            raise ProtocolError(f"need >= 1 output, got {num_outputs}")
+        self.histogram = np.zeros(num_outputs)
+        self.num_reports = 0
+
+    @property
+    def num_outputs(self) -> int:
+        return self.histogram.shape[0]
+
+    # -- folding in data ---------------------------------------------------
+
+    def add_reports(self, reports: np.ndarray) -> "ShardAccumulator":
+        """Fold in raw client reports (output ids)."""
+        reports = np.asarray(reports)
+        if reports.size == 0:
+            return self
+        if reports.min() < 0 or reports.max() >= self.num_outputs:
+            raise ProtocolError("report outside the strategy's output range")
+        self.histogram += np.bincount(reports, minlength=self.num_outputs)
+        self.num_reports += int(reports.shape[0])
+        return self
+
+    def add_histogram(self, histogram: np.ndarray) -> "ShardAccumulator":
+        """Fold in a pre-aggregated response histogram."""
+        histogram = np.asarray(histogram, dtype=float)
+        if histogram.shape != (self.num_outputs,):
+            raise ProtocolError(
+                f"histogram shape {histogram.shape} != ({self.num_outputs},)"
+            )
+        if histogram.min() < 0:
+            raise ProtocolError("histogram has negative counts")
+        self.histogram += histogram
+        self.num_reports += int(round(float(histogram.sum())))
+        return self
+
+    # -- monoid structure --------------------------------------------------
+
+    def merge(self, other: "ShardAccumulator") -> "ShardAccumulator":
+        """Combine two shard states into a new one (commutative, associative)."""
+        if other.num_outputs != self.num_outputs:
+            raise ProtocolError(
+                f"cannot merge accumulators over {self.num_outputs} and "
+                f"{other.num_outputs} outputs"
+            )
+        merged = ShardAccumulator(self.num_outputs)
+        merged.histogram = self.histogram + other.histogram
+        merged.num_reports = self.num_reports + other.num_reports
+        return merged
+
+    @staticmethod
+    def merge_all(accumulators) -> "ShardAccumulator":
+        """Fold any number of shard states into one."""
+        accumulators = list(accumulators)
+        if not accumulators:
+            raise ProtocolError("cannot merge zero accumulators")
+        merged = accumulators[0].snapshot()
+        for accumulator in accumulators[1:]:
+            if accumulator.num_outputs != merged.num_outputs:
+                raise ProtocolError(
+                    f"cannot merge accumulators over {merged.num_outputs} "
+                    f"and {accumulator.num_outputs} outputs"
+                )
+            merged.histogram += accumulator.histogram
+            merged.num_reports += accumulator.num_reports
+        return merged
+
+    def snapshot(self) -> "ShardAccumulator":
+        """An independent copy of the current state (safe to keep while the
+        original keeps streaming)."""
+        copy = ShardAccumulator(self.num_outputs)
+        copy.histogram = self.histogram.copy()
+        copy.num_reports = self.num_reports
+        return copy
+
+    # -- serialization -----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize to a compact ``.npz`` byte string (for shipping partial
+        aggregates between processes or machines)."""
+        buffer = io.BytesIO()
+        np.savez_compressed(
+            buffer,
+            histogram=self.histogram,
+            num_reports=np.asarray(self.num_reports, dtype=np.int64),
+        )
+        return buffer.getvalue()
+
+    @staticmethod
+    def from_bytes(payload: bytes) -> "ShardAccumulator":
+        """Inverse of :meth:`to_bytes`."""
+        with np.load(io.BytesIO(payload), allow_pickle=False) as archive:
+            histogram = np.asarray(archive["histogram"], dtype=float)
+            num_reports = int(archive["num_reports"])
+        if histogram.ndim != 1 or histogram.shape[0] < 1:
+            raise ProtocolError(
+                f"serialized histogram has invalid shape {histogram.shape}"
+            )
+        if histogram.min() < 0 or num_reports < 0:
+            raise ProtocolError("serialized accumulator has negative counts")
+        accumulator = ShardAccumulator(histogram.shape[0])
+        accumulator.histogram = histogram
+        accumulator.num_reports = num_reports
+        return accumulator
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ShardAccumulator):
+            return NotImplemented
+        return self.num_reports == other.num_reports and np.array_equal(
+            self.histogram, other.histogram
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardAccumulator(num_outputs={self.num_outputs}, "
+            f"num_reports={self.num_reports})"
+        )
+
+
+def split_data_vector(data_vector: np.ndarray, num_shards: int) -> list[np.ndarray]:
+    """Deterministically partition a population histogram into shard histograms.
+
+    Each type's count is spread as evenly as possible: shard ``k`` receives
+    ``count // K`` users of every type plus one extra when ``k < count % K``.
+    The split is a pure function of ``(data_vector, num_shards)``, which is
+    what makes sharded runs reproducible independent of execution backend.
+    """
+    data_vector = np.asarray(data_vector)
+    if num_shards < 1:
+        raise ProtocolError(f"need >= 1 shard, got {num_shards}")
+    if data_vector.ndim != 1:
+        raise ProtocolError(f"data vector must be 1-D, got {data_vector.ndim}-D")
+    if data_vector.min() < 0:
+        raise ProtocolError("data vector has negative counts")
+    counts = data_vector.astype(np.int64)
+    base, remainder = counts // num_shards, counts % num_shards
+    return [
+        (base + (shard < remainder)).astype(float) for shard in range(num_shards)
+    ]
+
+
+def _run_shard(
+    strategy: StrategyMatrix,
+    shard_vector: np.ndarray,
+    seed_sequence: np.random.SeedSequence | None,
+    rng: np.random.Generator | None,
+    fast: bool,
+    chunk_size: int,
+) -> tuple[np.ndarray, int]:
+    """Randomize one shard; module-level so process pools can pickle it.
+
+    Returns the raw ``(histogram, num_reports)`` pair rather than a
+    :class:`ShardAccumulator` to keep the cross-process payload minimal.
+    """
+    if rng is None:
+        rng = np.random.default_rng(seed_sequence)
+    accumulator = ShardAccumulator(strategy.num_outputs)
+    if fast:
+        accumulator.add_histogram(strategy.sample_histogram(shard_vector, rng))
+    else:
+        counts = np.asarray(shard_vector).astype(np.int64)
+        user_types = np.repeat(np.arange(counts.shape[0]), counts)
+        for start in range(0, user_types.shape[0], chunk_size):
+            chunk = user_types[start : start + chunk_size]
+            accumulator.add_reports(
+                strategy.sample_responses(chunk, rng, chunk_size=chunk_size)
+            )
+    return accumulator.histogram, accumulator.num_reports
+
+
+@dataclass(frozen=True)
+class ProtocolSession:
+    """Immutable public configuration of one collection campaign.
+
+    Binds a validated strategy to a workload and computes the reconstruction
+    operator exactly once; every shard, worker, and merge then shares the
+    same session object (or a pickled copy of its strategy), decoupling the
+    one-time strategy selection cost from any number of concurrent
+    collection runs.
+
+    Parameters
+    ----------
+    strategy:
+        The public epsilon-LDP strategy matrix every client uses.
+    workload:
+        The analyst's target workload (determines the final estimates).
+    operator:
+        Optional precomputed reconstruction operator ``B``; defaults to the
+        variance-optimal operator of Theorem 3.10.  Passing one avoids
+        recomputing the pseudo-inverse when a mechanism already cached it.
+
+    Examples
+    --------
+    >>> from repro.mechanisms import randomized_response
+    >>> from repro.workloads import prefix
+    >>> session = ProtocolSession(randomized_response(8, 1.0), prefix(8))
+    >>> result = session.run([10.0] * 8, num_shards=4, seed=0)
+    >>> result.num_users
+    80
+    """
+
+    strategy: StrategyMatrix
+    workload: Workload
+    operator: np.ndarray | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.workload.domain_size != self.strategy.domain_size:
+            raise ProtocolError(
+                f"workload domain {self.workload.domain_size} != strategy "
+                f"domain {self.strategy.domain_size}"
+            )
+        operator = self.operator
+        if operator is None:
+            operator = reconstruction_operator(self.strategy.probabilities)
+        operator = np.asarray(operator, dtype=float)
+        if operator.shape != (self.strategy.domain_size, self.strategy.num_outputs):
+            raise ProtocolError(
+                f"operator shape {operator.shape} != "
+                f"({self.strategy.domain_size}, {self.strategy.num_outputs})"
+            )
+        # Freeze even a caller-supplied operator: sessions alias mechanism
+        # caches, and an in-place edit would corrupt every later run.
+        operator.setflags(write=False)
+        object.__setattr__(self, "operator", operator)
+
+    @property
+    def epsilon(self) -> float:
+        """The privacy budget of the session's strategy."""
+        return self.strategy.epsilon
+
+    @property
+    def num_outputs(self) -> int:
+        return self.strategy.num_outputs
+
+    @property
+    def domain_size(self) -> int:
+        return self.strategy.domain_size
+
+    # -- shard-level API ---------------------------------------------------
+
+    def new_accumulator(self) -> ShardAccumulator:
+        """A fresh, empty shard state for this session's strategy."""
+        return ShardAccumulator(self.strategy.num_outputs)
+
+    def randomize_shard(
+        self,
+        user_types: np.ndarray,
+        rng: np.random.Generator | None = None,
+        chunk_size: int = DEFAULT_SAMPLE_CHUNK,
+    ) -> ShardAccumulator:
+        """Message-level randomization of one batch of users.
+
+        Streams the batch through the strategy's vectorized sampler in
+        chunks, folding reports into a fresh accumulator, so peak memory is
+        ``O(chunk_size)`` however large the shard is.
+        """
+        rng = rng or np.random.default_rng()
+        if chunk_size < 1:
+            raise ProtocolError(f"chunk size must be >= 1, got {chunk_size}")
+        user_types = np.asarray(user_types)
+        accumulator = self.new_accumulator()
+        for start in range(0, user_types.shape[0], chunk_size):
+            chunk = user_types[start : start + chunk_size]
+            accumulator.add_reports(
+                self.strategy.sample_responses(chunk, rng, chunk_size=chunk_size)
+            )
+        return accumulator
+
+    def sample_shard(
+        self,
+        shard_vector: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> ShardAccumulator:
+        """Fast-path randomization of one shard's population histogram
+        (per-type multinomial draws, ``O(n)`` instead of ``O(N)``)."""
+        rng = rng or np.random.default_rng()
+        accumulator = self.new_accumulator()
+        accumulator.add_histogram(self.strategy.sample_histogram(shard_vector, rng))
+        return accumulator
+
+    def finalize(self, accumulator: ShardAccumulator) -> ProtocolResult:
+        """Reconstruct estimates from a (possibly merged) shard state."""
+        if accumulator.num_outputs != self.strategy.num_outputs:
+            raise ProtocolError(
+                f"accumulator over {accumulator.num_outputs} outputs does not "
+                f"match strategy with {self.strategy.num_outputs} outputs"
+            )
+        data_estimate = self.operator @ accumulator.histogram
+        return ProtocolResult(
+            workload_estimates=self.workload.matvec(data_estimate),
+            data_vector_estimate=data_estimate,
+            response_vector=accumulator.histogram.copy(),
+            num_users=accumulator.num_reports,
+        )
+
+    # -- one-call execution ------------------------------------------------
+
+    def run(
+        self,
+        data_vector: np.ndarray,
+        *,
+        num_shards: int = 1,
+        num_workers: int | None = None,
+        backend: str = "serial",
+        fast: bool = True,
+        seed: int | np.random.SeedSequence | None = None,
+        rng: np.random.Generator | None = None,
+        chunk_size: int = DEFAULT_SAMPLE_CHUNK,
+    ) -> ProtocolResult:
+        """Execute the full protocol over a population histogram.
+
+        Parameters
+        ----------
+        data_vector:
+            True population histogram ``x`` (integer counts per type).
+        num_shards:
+            Number of independent shards the population is split into.
+        num_workers:
+            Concurrent workers for the ``thread``/``process`` backends
+            (defaults to ``num_shards``).
+        backend:
+            ``"serial"`` (in-line loop), ``"thread"``
+            (:class:`concurrent.futures.ThreadPoolExecutor`), or
+            ``"process"`` (:class:`~concurrent.futures.ProcessPoolExecutor`).
+        fast:
+            Per-type multinomial shortcut (``True``) versus message-level
+            per-user sampling (``False``); both paths are exact simulations
+            of the same protocol distribution.
+        seed:
+            Root seed; each shard's generator is spawned from
+            ``SeedSequence(seed)``, making results bit-identical across
+            backends and merge orders.
+        rng:
+            Legacy single-generator mode (requires ``num_shards == 1`` and
+            the serial backend); mutually exclusive with ``seed``.
+        chunk_size:
+            Sampler block size for the message-level path.
+        """
+        if backend not in BACKENDS:
+            raise ProtocolError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        if chunk_size < 1:
+            raise ProtocolError(f"chunk size must be >= 1, got {chunk_size}")
+        if rng is not None:
+            if seed is not None:
+                raise ProtocolError("pass either rng or seed, not both")
+            if num_shards != 1 or backend != "serial":
+                raise ProtocolError(
+                    "an explicit rng only supports num_shards=1 on the serial "
+                    "backend; use seed= for sharded runs"
+                )
+        data_vector = np.asarray(data_vector, dtype=float)
+        if data_vector.shape != (self.strategy.domain_size,):
+            raise ProtocolError(
+                f"data vector shape {data_vector.shape} != "
+                f"({self.strategy.domain_size},)"
+            )
+        shards = split_data_vector(data_vector, num_shards)
+        if rng is not None:
+            generators: list[np.random.SeedSequence | None] = [None]
+        else:
+            root = (
+                seed
+                if isinstance(seed, np.random.SeedSequence)
+                else np.random.SeedSequence(seed)
+            )
+            generators = list(root.spawn(num_shards))
+        jobs = [
+            (self.strategy, shard, sequence, rng, fast, chunk_size)
+            for shard, sequence in zip(shards, generators)
+        ]
+        if backend == "serial" or num_shards == 1:
+            partials = [_run_shard(*job) for job in jobs]
+        else:
+            max_workers = num_shards if num_workers is None else num_workers
+            if max_workers < 1:
+                raise ProtocolError(f"need >= 1 worker, got {max_workers}")
+            pool_type = (
+                ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
+            )
+            with pool_type(max_workers=max_workers) as pool:
+                partials = list(pool.map(_run_shard, *zip(*jobs)))
+        merged = self.new_accumulator()
+        for histogram, num_reports in partials:
+            merged.histogram += histogram
+            merged.num_reports += num_reports
+        return self.finalize(merged)

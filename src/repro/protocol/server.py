@@ -4,15 +4,21 @@ The server never sees raw types; it collects the categorical reports,
 histograms them into the response vector ``y``, and post-processes with the
 reconstruction operator.  Post-processing cannot degrade the privacy
 guarantee.
+
+:class:`Aggregator` is the single-node convenience wrapper over the engine
+primitives: a :class:`~repro.protocol.engine.ProtocolSession` (strategy +
+workload + operator, computed once) feeding one
+:class:`~repro.protocol.engine.ShardAccumulator`.  Distributed collection
+uses those primitives directly and merges accumulators instead.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.reconstruction import reconstruction_operator
 from repro.exceptions import ProtocolError
 from repro.mechanisms.base import StrategyMatrix
+from repro.protocol.engine import ProtocolSession, ShardAccumulator
 from repro.workloads.base import Workload
 
 
@@ -28,25 +34,24 @@ class Aggregator:
     """
 
     def __init__(self, strategy: StrategyMatrix, workload: Workload) -> None:
-        if workload.domain_size != strategy.domain_size:
-            raise ProtocolError(
-                f"workload domain {workload.domain_size} != strategy domain "
-                f"{strategy.domain_size}"
-            )
+        self.session = ProtocolSession(strategy, workload)
         self.strategy = strategy
         self.workload = workload
-        self.operator = reconstruction_operator(strategy.probabilities)
-        self._histogram = np.zeros(strategy.num_outputs)
-        self._num_reports = 0
+        self._accumulator = self.session.new_accumulator()
+
+    @property
+    def operator(self) -> np.ndarray:
+        """The session's reconstruction operator ``B``."""
+        return self.session.operator
 
     @property
     def num_reports(self) -> int:
         """Number of client reports folded in so far."""
-        return self._num_reports
+        return self._accumulator.num_reports
 
     def response_vector(self) -> np.ndarray:
         """The current response histogram ``y`` (a copy)."""
-        return self._histogram.copy()
+        return self._accumulator.histogram.copy()
 
     def submit(self, report: int) -> None:
         """Fold in one client report."""
@@ -55,37 +60,27 @@ class Aggregator:
                 f"report {report} outside output range "
                 f"[0, {self.strategy.num_outputs})"
             )
-        self._histogram[report] += 1
-        self._num_reports += 1
+        self._accumulator.add_reports(np.asarray([report]))
 
     def submit_many(self, reports: np.ndarray) -> None:
         """Fold in a batch of client reports."""
-        reports = np.asarray(reports)
-        if reports.size == 0:
-            return
-        if reports.min() < 0 or reports.max() >= self.strategy.num_outputs:
-            raise ProtocolError("report outside the strategy's output range")
-        self._histogram += np.bincount(
-            reports, minlength=self.strategy.num_outputs
-        )
-        self._num_reports += reports.shape[0]
+        self._accumulator.add_reports(np.asarray(reports))
 
     def submit_histogram(self, histogram: np.ndarray) -> None:
         """Fold in a pre-aggregated response histogram (e.g. from a shard)."""
-        histogram = np.asarray(histogram, dtype=float)
-        if histogram.shape != (self.strategy.num_outputs,):
-            raise ProtocolError(
-                f"histogram shape {histogram.shape} != "
-                f"({self.strategy.num_outputs},)"
-            )
-        if histogram.min() < 0:
-            raise ProtocolError("histogram has negative counts")
-        self._histogram += histogram
-        self._num_reports += int(round(histogram.sum()))
+        self._accumulator.add_histogram(histogram)
+
+    def submit_accumulator(self, shard: ShardAccumulator) -> None:
+        """Fold in a whole shard's state (merge into the running total)."""
+        self._accumulator = self._accumulator.merge(shard)
+
+    def accumulator(self) -> ShardAccumulator:
+        """A snapshot of the current aggregation state (mergeable elsewhere)."""
+        return self._accumulator.snapshot()
 
     def estimate_data_vector(self) -> np.ndarray:
         """Unbiased estimate ``x_hat = B y`` of the population histogram."""
-        return self.operator @ self._histogram
+        return self.session.operator @ self._accumulator.histogram
 
     def estimate_workload(self) -> np.ndarray:
         """Unbiased workload answers ``W x_hat``."""

@@ -1,36 +1,29 @@
-"""End-to-end protocol simulation.
+"""End-to-end protocol simulation (thin wrapper over the engine).
 
-Ties clients and server together for a whole population.  Two code paths:
+:func:`run_protocol` keeps the original one-shot API; execution is delegated
+to :class:`repro.protocol.engine.ProtocolSession` with a single shard.  Two
+code paths:
 
 * ``fast=True`` (default): per-type multinomial sampling of the response
   histogram — mathematically identical to simulating each user, ``O(n)``
   draws instead of ``O(N)``.
-* ``fast=False``: every user is a real :class:`LocalRandomizer` submitting a
-  single report to the :class:`Aggregator`; used in tests to confirm the
-  fast path matches the message-level protocol.
+* ``fast=False``: every user's report is individually sampled and streamed
+  into the shard accumulator; used in tests to confirm the fast path matches
+  the message-level protocol.
+
+For sharded, streaming, or parallel collection, use the engine directly.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 import numpy as np
 
 from repro.exceptions import ProtocolError
 from repro.mechanisms.base import StrategyMatrix
-from repro.protocol.client import LocalRandomizer
-from repro.protocol.server import Aggregator
+from repro.protocol.engine import ProtocolResult, ProtocolSession
 from repro.workloads.base import Workload
 
-
-@dataclass(frozen=True)
-class ProtocolResult:
-    """Outcome of one protocol execution."""
-
-    workload_estimates: np.ndarray
-    data_vector_estimate: np.ndarray
-    response_vector: np.ndarray
-    num_users: int
+__all__ = ["ProtocolResult", "expand_users", "run_protocol"]
 
 
 def expand_users(data_vector: np.ndarray) -> np.ndarray:
@@ -65,17 +58,5 @@ def run_protocol(
         Use the multinomial shortcut instead of per-user messages.
     """
     rng = rng or np.random.default_rng()
-    data_vector = np.asarray(data_vector, dtype=float)
-    aggregator = Aggregator(strategy, workload)
-    if fast:
-        aggregator.submit_histogram(strategy.sample_histogram(data_vector, rng))
-    else:
-        randomizer = LocalRandomizer(strategy, rng)
-        users = expand_users(data_vector)
-        aggregator.submit_many(randomizer.respond_many(users))
-    return ProtocolResult(
-        workload_estimates=aggregator.estimate_workload(),
-        data_vector_estimate=aggregator.estimate_data_vector(),
-        response_vector=aggregator.response_vector(),
-        num_users=aggregator.num_reports,
-    )
+    session = ProtocolSession(strategy, workload)
+    return session.run(np.asarray(data_vector, dtype=float), rng=rng, fast=fast)

@@ -30,6 +30,31 @@ class TestParser:
         assert arguments.workload == "Prefix"
         assert arguments.domain == 64
 
+    def test_protocol_run_options(self):
+        arguments = build_parser().parse_args(
+            [
+                "protocol",
+                "run",
+                "--shards",
+                "4",
+                "--workers",
+                "2",
+                "--backend",
+                "thread",
+                "--message-level",
+            ]
+        )
+        assert arguments.command == "protocol"
+        assert arguments.protocol_command == "run"
+        assert arguments.shards == 4
+        assert arguments.workers == 2
+        assert arguments.backend == "thread"
+        assert arguments.message_level
+
+    def test_protocol_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["protocol", "run", "--backend", "gpu"])
+
 
 class TestMain:
     def test_runs_table1_shorthand(self, capsys, monkeypatch):
@@ -76,3 +101,27 @@ class TestMain:
     def test_no_command_prints_help(self, capsys):
         assert main([]) == 2
         assert "repro" in capsys.readouterr().out
+
+    def test_protocol_run_sharded(self, capsys):
+        assert (
+            main(
+                [
+                    "protocol",
+                    "run",
+                    "--workload",
+                    "Histogram",
+                    "--domain",
+                    "8",
+                    "--users",
+                    "20000",
+                    "--shards",
+                    "4",
+                    "--seed",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "20,000 reports over 4 shard(s)" in output
+        assert "users/sec" in output

@@ -1,11 +1,14 @@
 """Tests for the shared experiment runner helpers."""
 
 import numpy as np
+import pytest
 
+from repro.exceptions import ProtocolError
 from repro.experiments.runner import (
     MECHANISM_ORDER,
     mechanism_roster,
     paper_workloads,
+    protocol_session,
     safe_sample_complexity,
 )
 from repro.workloads import histogram
@@ -47,3 +50,21 @@ class TestSafeSampleComplexity:
             roster[0], histogram(8), 1.0, distribution=np.full(8, 1 / 8)
         )
         assert np.isfinite(value)
+
+
+class TestProtocolSessionHelper:
+    def test_binds_strategy_and_cached_operator(self):
+        roster = mechanism_roster(optimizer_iterations=30)
+        mechanism = roster[0]  # Randomized Response
+        workload = histogram(8)
+        session = protocol_session(mechanism, workload, 1.0)
+        assert session.epsilon == 1.0
+        assert session.operator is mechanism.reconstruction_for(workload, 1.0)
+        result = session.run(np.full(8, 50.0), num_shards=2, seed=0)
+        assert result.num_users == 400
+
+    def test_rejects_additive_noise_mechanisms(self):
+        roster = mechanism_roster(optimizer_iterations=30)
+        gaussian = [m for m in roster if m.name == "Matrix Mechanism (L2)"][0]
+        with pytest.raises(ProtocolError):
+            protocol_session(gaussian, histogram(8), 1.0)

@@ -29,6 +29,26 @@ class TestCaching:
         second = quick_mechanism.reconstruction_for(prefix(6), 1.0)
         assert first is second
 
+    def test_same_name_distinct_content_not_conflated(self, quick_mechanism):
+        # Two different workloads sharing a name and domain must not reuse
+        # each other's cached strategy: the key hashes the Gram matrix.
+        from repro.workloads.base import ExplicitWorkload
+
+        impostor = ExplicitWorkload(prefix(6).matrix[::-1] * 2.0, name="Prefix")
+        genuine = prefix(6)
+        assert genuine.name == impostor.name
+        key_a = quick_mechanism._key(genuine, 1.0)
+        key_b = quick_mechanism._key(impostor, 1.0)
+        assert key_a != key_b
+
+    def test_equal_content_shares_cache_entry(self, quick_mechanism):
+        first = quick_mechanism.strategy_for(prefix(6), 1.0)
+        second = quick_mechanism.strategy_for(prefix(6), 1.0)
+        assert quick_mechanism._key(prefix(6), 1.0) == quick_mechanism._key(
+            prefix(6), 1.0
+        )
+        assert first is second
+
 
 class TestAdaptivity:
     def test_beats_every_baseline_on_prefix(self, quick_mechanism):

@@ -1,0 +1,311 @@
+"""Tests for the streaming, shard-parallel protocol engine."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.mechanisms import hadamard_response, randomized_response
+from repro.protocol import (
+    ProtocolSession,
+    ShardAccumulator,
+    audit_session,
+    empirical_sampler_audit,
+    run_protocol,
+    session_cost_report,
+    split_data_vector,
+)
+from repro.protocol.simulation import expand_users
+from repro.workloads import histogram, prefix
+
+
+@pytest.fixture
+def session() -> ProtocolSession:
+    return ProtocolSession(hadamard_response(8, 1.0), prefix(8))
+
+
+class TestShardAccumulator:
+    def test_add_reports_and_counts(self):
+        accumulator = ShardAccumulator(4)
+        accumulator.add_reports(np.array([0, 1, 1, 3]))
+        assert np.array_equal(accumulator.histogram, [1, 2, 0, 1])
+        assert accumulator.num_reports == 4
+
+    def test_rejects_out_of_range_reports(self):
+        with pytest.raises(ProtocolError):
+            ShardAccumulator(4).add_reports(np.array([0, 4]))
+        with pytest.raises(ProtocolError):
+            ShardAccumulator(4).add_reports(np.array([-1]))
+
+    def test_add_histogram_validates(self):
+        accumulator = ShardAccumulator(3)
+        with pytest.raises(ProtocolError):
+            accumulator.add_histogram(np.array([1.0, 2.0]))
+        with pytest.raises(ProtocolError):
+            accumulator.add_histogram(np.array([1.0, -2.0, 0.0]))
+
+    def test_merge_is_commutative_and_fresh(self):
+        a = ShardAccumulator(3).add_reports(np.array([0, 0, 1]))
+        b = ShardAccumulator(3).add_reports(np.array([2]))
+        merged = a.merge(b)
+        assert merged == b.merge(a)
+        assert merged.num_reports == 4
+        # merging must not mutate the inputs
+        assert a.num_reports == 3 and b.num_reports == 1
+
+    def test_merge_rejects_shape_mismatch(self):
+        with pytest.raises(ProtocolError):
+            ShardAccumulator(3).merge(ShardAccumulator(4))
+        with pytest.raises(ProtocolError):
+            ShardAccumulator.merge_all([ShardAccumulator(3), ShardAccumulator(4)])
+
+    def test_merge_all(self):
+        parts = [
+            ShardAccumulator(3).add_reports(np.array([index]))
+            for index in range(3)
+        ]
+        merged = ShardAccumulator.merge_all(parts)
+        assert np.array_equal(merged.histogram, [1, 1, 1])
+        assert merged.num_reports == 3
+        with pytest.raises(ProtocolError):
+            ShardAccumulator.merge_all([])
+
+    def test_snapshot_is_independent(self):
+        accumulator = ShardAccumulator(2).add_reports(np.array([0]))
+        frozen = accumulator.snapshot()
+        accumulator.add_reports(np.array([1, 1]))
+        assert frozen.num_reports == 1
+        assert np.array_equal(frozen.histogram, [1, 0])
+
+    def test_serialization_round_trip(self):
+        accumulator = ShardAccumulator(5).add_reports(np.array([0, 4, 4, 2]))
+        restored = ShardAccumulator.from_bytes(accumulator.to_bytes())
+        assert restored == accumulator
+
+    def test_from_bytes_rejects_negative_counts(self):
+        bad = ShardAccumulator(3)
+        bad.histogram = np.array([1.0, -1.0, 0.0])
+        with pytest.raises(ProtocolError):
+            ShardAccumulator.from_bytes(bad.to_bytes())
+
+
+class TestSplitDataVector:
+    def test_partition_is_exact_and_even(self):
+        x = np.array([10.0, 3.0, 0.0, 7.0])
+        shards = split_data_vector(x, 3)
+        assert len(shards) == 3
+        assert np.array_equal(np.sum(shards, axis=0), x)
+        assert max(shard.sum() for shard in shards) <= min(
+            shard.sum() for shard in shards
+        ) + len(x)
+
+    def test_single_shard_identity(self):
+        x = np.array([4.0, 5.0])
+        (only,) = split_data_vector(x, 1)
+        assert np.array_equal(only, x)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ProtocolError):
+            split_data_vector(np.array([1.0, -1.0]), 2)
+        with pytest.raises(ProtocolError):
+            split_data_vector(np.array([1.0]), 0)
+
+
+class TestProtocolSession:
+    def test_rejects_domain_mismatch(self):
+        with pytest.raises(ProtocolError):
+            ProtocolSession(randomized_response(4, 1.0), prefix(5))
+
+    def test_reuses_precomputed_operator(self, session):
+        rebound = ProtocolSession(
+            session.strategy, session.workload, session.operator
+        )
+        assert rebound.operator is session.operator
+
+    def test_rejects_bad_operator_shape(self, session):
+        with pytest.raises(ProtocolError):
+            ProtocolSession(session.strategy, session.workload, np.eye(3))
+
+    def test_finalize_rejects_foreign_accumulator(self, session):
+        with pytest.raises(ProtocolError):
+            session.finalize(ShardAccumulator(session.num_outputs + 1))
+
+    def test_operator_is_frozen_even_when_supplied(self, session):
+        rebound = ProtocolSession(
+            session.strategy, session.workload, np.array(session.operator)
+        )
+        with pytest.raises(ValueError):
+            rebound.operator[0, 0] = 1.0
+
+    def test_rejects_nonpositive_chunk_size(self, session):
+        x = np.full(8, 10.0)
+        for bad in (0, -1):
+            with pytest.raises(ProtocolError):
+                session.run(x, fast=False, seed=0, chunk_size=bad)
+            with pytest.raises(ProtocolError):
+                session.randomize_shard(np.zeros(4, dtype=int), chunk_size=bad)
+
+    def test_run_validates_arguments(self, session):
+        x = np.full(8, 10.0)
+        with pytest.raises(ProtocolError):
+            session.run(x, backend="gpu")
+        with pytest.raises(ProtocolError):
+            session.run(x, rng=np.random.default_rng(0), seed=3)
+        with pytest.raises(ProtocolError):
+            session.run(x, rng=np.random.default_rng(0), num_shards=2)
+        with pytest.raises(ProtocolError):
+            session.run(np.full(7, 10.0))
+
+    def test_epsilon_and_shapes(self, session):
+        assert session.epsilon == 1.0
+        assert session.domain_size == 8
+        assert session.num_outputs == session.strategy.num_outputs
+
+
+class TestShardMergeAssociativity:
+    def test_sharded_run_matches_manual_single_pass(self, session):
+        """K shards merged in any order == one accumulator fed sequentially."""
+        x = (np.arange(8.0) + 1.0) * 25
+        seed, num_shards = 42, 5
+        result = session.run(x, num_shards=num_shards, seed=seed, fast=False)
+
+        sequences = np.random.SeedSequence(seed).spawn(num_shards)
+        shards = split_data_vector(x, num_shards)
+        partials = [
+            session.randomize_shard(
+                expand_users(shard), np.random.default_rng(sequence)
+            )
+            for shard, sequence in zip(shards, sequences)
+        ]
+        merged_reversed = ShardAccumulator.merge_all(partials[::-1])
+        single_pass = session.new_accumulator()
+        for partial in partials:
+            single_pass.add_histogram(partial.histogram)
+
+        assert np.array_equal(
+            result.response_vector, merged_reversed.histogram
+        )
+        assert np.array_equal(result.response_vector, single_pass.histogram)
+        assert result.num_users == int(x.sum())
+
+    def test_backends_are_bit_identical(self, session):
+        x = np.full(8, 500.0)
+        kwargs = dict(num_shards=4, seed=7, fast=False)
+        serial = session.run(x, backend="serial", **kwargs)
+        threaded = session.run(x, backend="thread", num_workers=2, **kwargs)
+        assert np.array_equal(serial.response_vector, threaded.response_vector)
+        assert np.array_equal(
+            serial.workload_estimates, threaded.workload_estimates
+        )
+
+    def test_process_backend_matches_serial(self, session):
+        x = np.full(8, 200.0)
+        kwargs = dict(num_shards=2, seed=3, fast=False)
+        serial = session.run(x, backend="serial", **kwargs)
+        processed = session.run(x, backend="process", num_workers=2, **kwargs)
+        assert np.array_equal(
+            serial.response_vector, processed.response_vector
+        )
+
+    def test_fast_path_sharded_determinism(self, session):
+        x = np.arange(8.0) * 100
+        first = session.run(x, num_shards=6, seed=11)
+        second = session.run(x, num_shards=6, seed=11, backend="thread")
+        assert np.array_equal(first.response_vector, second.response_vector)
+
+
+class TestEquivalenceContracts:
+    def test_legacy_wrapper_matches_session_run(self):
+        workload, strategy = histogram(4), randomized_response(4, 1.0)
+        session = ProtocolSession(strategy, workload)
+        x = np.array([30.0, 20.0, 10.0, 5.0])
+        for fast in (True, False):
+            wrapped = run_protocol(
+                workload, strategy, x, np.random.default_rng(5), fast=fast
+            )
+            direct = session.run(x, rng=np.random.default_rng(5), fast=fast)
+            assert np.array_equal(
+                wrapped.response_vector, direct.response_vector
+            )
+            assert wrapped.num_users == direct.num_users
+
+    def test_fast_vs_message_level_same_moments(self, session):
+        x = np.array([40.0, 40.0, 20.0, 10.0, 10.0, 5.0, 5.0, 2.0]) * 3
+        truth = session.workload.matvec(x)
+        fast_mean = np.mean(
+            [
+                session.run(x, num_shards=3, seed=trial).workload_estimates
+                for trial in range(200)
+            ],
+            axis=0,
+        )
+        slow_mean = np.mean(
+            [
+                session.run(
+                    x, num_shards=3, seed=1000 + trial, fast=False
+                ).workload_estimates
+                for trial in range(200)
+            ],
+            axis=0,
+        )
+        assert np.allclose(fast_mean, truth, rtol=0.15, atol=10.0)
+        assert np.allclose(fast_mean, slow_mean, atol=12.0)
+
+    def test_message_path_chunk_size_invariant(self, session):
+        x = np.full(8, 100.0)
+        small = session.run(x, seed=2, fast=False, chunk_size=17)
+        large = session.run(x, seed=2, fast=False, chunk_size=100_000)
+        assert np.array_equal(small.response_vector, large.response_vector)
+
+
+class TestVectorizedSampler:
+    def test_matches_naive_cdf_comparison(self):
+        strategy = hadamard_response(16, 1.0)
+        types = np.random.default_rng(1).integers(0, 16, size=5000)
+        rng_state = np.random.default_rng(9)
+        responses = strategy.sample_responses(types, rng_state)
+        cumulative = np.cumsum(strategy.probabilities, axis=0)
+        reference = (
+            np.random.default_rng(9).random(types.shape[0])[None, :]
+            > cumulative[:, types]
+        ).sum(axis=0)
+        assert np.array_equal(responses, reference)
+
+    def test_cdf_is_cached_and_read_only(self):
+        strategy = randomized_response(6, 1.0)
+        first = strategy.response_cdf()
+        assert strategy.response_cdf() is first
+        with pytest.raises(ValueError):
+            first[0, 0] = 0.5
+
+    def test_rejects_invalid_input(self):
+        strategy = randomized_response(4, 1.0)
+        with pytest.raises(ProtocolError):
+            strategy.sample_responses(np.array([0, 4]))
+        with pytest.raises(ProtocolError):
+            strategy.sample_responses(np.array([0]), chunk_size=0)
+
+    def test_empirical_sampler_audit_small_gap(self):
+        strategy = randomized_response(5, 1.0)
+        gap = empirical_sampler_audit(
+            strategy, num_samples=40_000, rng=np.random.default_rng(0)
+        )
+        assert gap < 0.02
+
+
+class TestSessionAccounting:
+    def test_cost_report_fields(self, session):
+        report = session_cost_report(session, num_shards=4)
+        assert report.num_shards == 4
+        assert report.accumulator_bytes == session.num_outputs * 8
+        assert report.merge_traffic_bytes == 4 * report.accumulator_bytes
+        assert (
+            report.sampler_table_bytes
+            == 2 * session.num_outputs * session.domain_size * 8
+        )
+        with pytest.raises(ValueError):
+            session_cost_report(session, num_shards=0)
+
+    def test_audit_session_matches_strategy(self, session):
+        report = audit_session(session)
+        assert report.satisfied
+        assert report.epsilon_claimed == session.epsilon
