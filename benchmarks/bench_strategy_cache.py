@@ -1,0 +1,180 @@
+"""Strategy-store benchmark: cold vs warm builds, restarts vs objective.
+
+Two measurements per workload in the suite:
+
+* **cold vs warm** — time a fresh multi-restart build into an empty store,
+  then the identical build again; the second must be a store *hit* (zero
+  PGD iterations) and is expected to be orders of magnitude faster.
+* **restart sweep** — best-of-K objective for increasing K.  Restart 0
+  always runs the base config verbatim, so the K-restart objective can
+  never exceed the single-restart objective; the script enforces that
+  dominance on every workload and fails loudly if it breaks.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_strategy_cache.py \
+        --domain 32 --iterations 200 --restarts 1,2,4 --json results.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.optimization import OptimizerConfig, multi_restart_optimize
+from repro.store import StrategyStore, key_for
+from repro.workloads import by_name
+
+#: Workloads covered by the benchmark suite (n must be a power of two).
+BENCH_WORKLOADS = ("Histogram", "Prefix", "AllRange", "Parity")
+
+
+def bench_workload(name, domain, epsilon, iterations, restart_counts, seed):
+    """Cold/warm timings and the restart sweep for one workload."""
+    workload = by_name(name, domain)
+    config = OptimizerConfig(num_iterations=iterations, seed=seed)
+    root = tempfile.mkdtemp(prefix="bench-strategy-store-")
+    store = StrategyStore(root)
+    restarts = restart_counts[0]
+    try:
+        start = time.perf_counter()
+        cold = multi_restart_optimize(
+            workload, epsilon, config, restarts=restarts, store=store
+        )
+        cold_seconds = time.perf_counter() - start
+        if cold.store_hit:
+            raise RuntimeError("cold build reported a store hit")
+
+        start = time.perf_counter()
+        warm = multi_restart_optimize(
+            workload, epsilon, config, restarts=restarts, store=store
+        )
+        warm_seconds = time.perf_counter() - start
+        if not warm.store_hit:
+            raise RuntimeError("warm build missed the store")
+        if warm.objectives:
+            raise RuntimeError("warm build ran PGD restarts")
+
+        entry = key_for(
+            workload.gram(), epsilon, config, restarts=restarts
+        ).entry_id
+        row = {
+            "workload": name,
+            "domain_size": domain,
+            "epsilon": epsilon,
+            "iterations": iterations,
+            "entry_id": entry,
+            "cold_seconds": round(cold_seconds, 6),
+            "warm_seconds": round(warm_seconds, 6),
+            "warm_speedup": round(cold_seconds / max(warm_seconds, 1e-9), 1),
+            "warm_store_hit": warm.store_hit,
+        }
+
+        sweep = {}
+        single_objective = None
+        for count in restart_counts:
+            report = multi_restart_optimize(
+                workload, epsilon, config, restarts=count
+            )
+            sweep[str(count)] = report.objective
+            if count == 1:
+                single_objective = report.objective
+        if single_objective is None:
+            single = multi_restart_optimize(
+                workload, epsilon, config, restarts=1
+            )
+            single_objective = single.objective
+        row["objective_by_restarts"] = {
+            key: round(value, 9) for key, value in sweep.items()
+        }
+        row["single_restart_objective"] = round(single_objective, 9)
+        row["restarts_dominate_single"] = all(
+            value <= single_objective * (1.0 + 1e-12)
+            for value in sweep.values()
+        )
+        return row
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--domain", type=int, default=32)
+    parser.add_argument("--epsilon", type=float, default=1.0)
+    parser.add_argument("--iterations", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--restarts",
+        default="1,2,4",
+        help="comma-separated restart counts for the sweep",
+    )
+    parser.add_argument(
+        "--workloads",
+        default=",".join(BENCH_WORKLOADS),
+        help="comma-separated paper workload names",
+    )
+    parser.add_argument("--json", default=None, help="write results to this path")
+    arguments = parser.parse_args(argv)
+
+    restart_counts = sorted(
+        {int(item) for item in arguments.restarts.split(",") if item}
+    )
+    if 1 not in restart_counts:
+        restart_counts.insert(0, 1)
+    workload_names = [
+        item for item in arguments.workloads.split(",") if item
+    ]
+
+    results = {
+        "domain_size": arguments.domain,
+        "epsilon": arguments.epsilon,
+        "iterations": arguments.iterations,
+        "restart_counts": restart_counts,
+        "workloads": [],
+    }
+    print(
+        f"n = {arguments.domain}, eps = {arguments.epsilon:g}, "
+        f"{arguments.iterations} iterations, restarts {restart_counts}"
+    )
+    all_dominate = True
+    for name in workload_names:
+        row = bench_workload(
+            name,
+            arguments.domain,
+            arguments.epsilon,
+            arguments.iterations,
+            restart_counts,
+            arguments.seed,
+        )
+        results["workloads"].append(row)
+        all_dominate &= row["restarts_dominate_single"]
+        sweep_text = ", ".join(
+            f"K={count}: {row['objective_by_restarts'][str(count)]:.6g}"
+            for count in restart_counts
+        )
+        print(
+            f"{name:>12}: cold {row['cold_seconds']:7.3f} s -> warm "
+            f"{row['warm_seconds']:.3f} s ({row['warm_speedup']:,.0f}x, "
+            f"store hit); {sweep_text}"
+        )
+
+    results["all_restarts_dominate_single"] = all_dominate
+    print(
+        "K-restart objective <= single-restart objective on every workload: "
+        f"{all_dominate}"
+    )
+
+    if arguments.json:
+        with open(arguments.json, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+        print(f"wrote {arguments.json}")
+
+    return 0 if all_dominate else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Offline markdown link checker for the repository's docs.
+
+Validates every inline link and image in the repo's markdown files:
+
+* relative links must point at an existing file or directory;
+* ``#anchor`` fragments (same-file or cross-file) must match a heading in
+  the target file, using GitHub's slugification rules;
+* external links (http/https/mailto) are syntax-checked only — CI runs
+  offline, so reachability is out of scope.
+
+Exits non-zero listing every broken link.  Used by the CI docs job and by
+``tests/test_docs.py``.
+
+Run::
+
+    python scripts/check_markdown_links.py [root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Directories never scanned for markdown files.
+SKIP_DIRS = {".git", ".pytest_cache", "__pycache__", ".hypothesis", "node_modules"}
+
+#: Inline markdown links/images: [text](target) / ![alt](target).
+_LINK = re.compile(r"!?\[[^\]\[]*\]\(([^()\s]+(?:\([^()\s]*\))?)\)")
+
+#: ATX headings, used to build the anchor table of each file.
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+#: Fenced code blocks are stripped before link extraction.
+_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def _strip_fences(text: str) -> str:
+    """Blank out fenced code blocks, preserving line numbering."""
+    return _FENCE.sub(lambda match: "\n" * match.group(0).count("\n"), text)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading-to-anchor slugification (close enough for ASCII)."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def markdown_files(root: Path) -> list[Path]:
+    """Every tracked-looking markdown file under ``root``."""
+    files = []
+    for path in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.parts):
+            continue
+        files.append(path)
+    return files
+
+
+def heading_anchors(path: Path) -> set[str]:
+    text = _strip_fences(path.read_text(encoding="utf-8"))
+    return {github_slug(match.group(1)) for match in _HEADING.finditer(text)}
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    """All broken links in one markdown file, as human-readable strings."""
+    problems = []
+    text = _strip_fences(path.read_text(encoding="utf-8"))
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        line = text[: match.start()].count("\n") + 1
+        where = f"{path.relative_to(root)}:{line}"
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if github_slug(target[1:]) not in heading_anchors(path):
+                problems.append(f"{where}: missing anchor {target!r}")
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            problems.append(f"{where}: missing file {target!r}")
+            continue
+        if anchor:
+            if not resolved.is_file() or resolved.suffix != ".md":
+                problems.append(
+                    f"{where}: anchor on non-markdown target {target!r}"
+                )
+            elif github_slug(anchor) not in heading_anchors(resolved):
+                problems.append(f"{where}: missing anchor {target!r}")
+    return problems
+
+
+def check_tree(root: Path) -> tuple[int, list[str]]:
+    """Check every markdown file under ``root``.
+
+    Returns ``(files_checked, problems)``.
+    """
+    root = root.resolve()
+    problems = []
+    files = markdown_files(root)
+    for path in files:
+        problems.extend(check_file(path, root))
+    return len(files), problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else argv
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
+    checked, problems = check_tree(root)
+    for problem in problems:
+        print(f"BROKEN  {problem}")
+    print(f"checked {checked} markdown file(s): {len(problems)} broken link(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,7 @@ Subpackages
 ``repro.postprocess``    WNNLS consistency post-processing
 ``repro.data``           synthetic datasets
 ``repro.experiments``    one module per paper figure/table
+``repro.store``          persistent content-addressed strategy store
 """
 
 from repro import (
@@ -39,6 +40,7 @@ from repro import (
     optimization,
     postprocess,
     protocol,
+    store,
     workloads,
 )
 from repro.exceptions import (
@@ -50,6 +52,7 @@ from repro.exceptions import (
     ProtocolError,
     ReproError,
     StochasticityError,
+    StoreError,
     WorkloadError,
 )
 from repro.mechanisms import FactorizationMechanism, Mechanism, StrategyMatrix
@@ -60,6 +63,7 @@ from repro.optimization import (
     optimize_strategy,
 )
 from repro.protocol import ProtocolSession, ShardAccumulator
+from repro.store import StrategyStore
 from repro.workloads import Workload
 
 __version__ = "1.0.0"
@@ -80,7 +84,9 @@ __all__ = [
     "ReproError",
     "ShardAccumulator",
     "StochasticityError",
+    "StoreError",
     "StrategyMatrix",
+    "StrategyStore",
     "Workload",
     "WorkloadError",
     "__version__",
@@ -93,5 +99,6 @@ __all__ = [
     "optimize_strategy",
     "postprocess",
     "protocol",
+    "store",
     "workloads",
 ]

@@ -6,7 +6,9 @@ is a deployment-planning helper: it compares every applicable mechanism on
 your workload and reports the smallest privacy budget your population
 supports; ``python -m repro protocol run`` executes a sharded collection
 campaign through the streaming protocol engine and reports throughput and
-accuracy.
+accuracy; ``python -m repro strategy build|list|inspect|prune`` manages the
+persistent strategy store (build = multi-restart optimization with
+read-through caching; see docs/strategy-store.md).
 """
 
 from __future__ import annotations
@@ -121,6 +123,72 @@ def build_parser() -> argparse.ArgumentParser:
     protocol_run.add_argument(
         "--iterations", type=int, default=300, help="optimizer iterations"
     )
+    protocol_run.add_argument(
+        "--store",
+        default=None,
+        help="strategy-store directory; with --mechanism Optimized, "
+        "strategies are read through (and written back to) the store",
+    )
+
+    strategy = subcommands.add_parser(
+        "strategy", help="manage the persistent strategy store"
+    )
+    strategy_commands = strategy.add_subparsers(dest="strategy_command")
+
+    build = strategy_commands.add_parser(
+        "build",
+        help="optimize a strategy (multi-restart) and persist it",
+    )
+    build.add_argument("--workload", default="Prefix", help="paper workload name")
+    build.add_argument("--domain", type=int, default=64, help="domain size n")
+    build.add_argument(
+        "--epsilon", type=float, default=1.0, help="privacy budget"
+    )
+    build.add_argument(
+        "--iterations", type=int, default=500, help="optimizer iterations"
+    )
+    build.add_argument("--seed", type=int, default=0, help="root restart seed")
+    build.add_argument(
+        "--restarts", type=int, default=1, help="best-of-K random restarts"
+    )
+    build.add_argument(
+        "--backend",
+        choices=("serial", "process"),
+        default="serial",
+        help="restart execution backend",
+    )
+    build.add_argument(
+        "--workers", type=int, default=None, help="process-backend worker cap"
+    )
+    build.add_argument(
+        "--num-outputs",
+        type=int,
+        default=None,
+        help="strategy rows m (default 4n)",
+    )
+    build.add_argument("--store", default=None, help="store directory")
+
+    listing = strategy_commands.add_parser(
+        "list", help="list stored strategies"
+    )
+    listing.add_argument("--store", default=None, help="store directory")
+
+    inspect = strategy_commands.add_parser(
+        "inspect", help="show one entry's full provenance"
+    )
+    inspect.add_argument("entry", help="entry id (unique prefix accepted)")
+    inspect.add_argument("--store", default=None, help="store directory")
+
+    prune = strategy_commands.add_parser(
+        "prune", help="evict least-recently-used entries"
+    )
+    prune.add_argument(
+        "--keep", type=int, default=None, help="keep at most this many entries"
+    )
+    prune.add_argument(
+        "--max-bytes", type=int, default=None, help="total payload byte budget"
+    )
+    prune.add_argument("--store", default=None, help="store directory")
     return parser
 
 
@@ -202,8 +270,14 @@ def _run_protocol_engine(arguments) -> int:
 
     workload = workload_by_name(arguments.workload, arguments.domain)
     if arguments.mechanism == "Optimized":
+        store = None
+        if arguments.store is not None:
+            from repro.store import StrategyStore
+
+            store = StrategyStore(arguments.store)
         mechanism = OptimizedMechanism(
-            OptimizerConfig(num_iterations=arguments.iterations, seed=0)
+            OptimizerConfig(num_iterations=arguments.iterations, seed=0),
+            store=store,
         )
     else:
         mechanism = by_name(arguments.mechanism)
@@ -243,6 +317,153 @@ def _run_protocol_engine(arguments) -> int:
     return 0
 
 
+def _open_store(path):
+    from repro.store import StrategyStore
+
+    return StrategyStore(path) if path is not None else StrategyStore()
+
+
+def _format_age(seconds: float) -> str:
+    if seconds < 120:
+        return f"{seconds:.0f}s"
+    if seconds < 7_200:
+        return f"{seconds / 60:.0f}m"
+    if seconds < 172_800:
+        return f"{seconds / 3_600:.0f}h"
+    return f"{seconds / 86_400:.0f}d"
+
+
+def _run_strategy_build(arguments) -> int:
+    from repro.optimization import OptimizerConfig, multi_restart_optimize
+    from repro.workloads import by_name as workload_by_name
+
+    store = _open_store(arguments.store)
+    workload = workload_by_name(arguments.workload, arguments.domain)
+    config = OptimizerConfig(
+        num_iterations=arguments.iterations,
+        num_outputs=arguments.num_outputs,
+        seed=arguments.seed,
+        # The store persists the objective trajectory as provenance;
+        # recording it costs one float per iteration.
+        track_history=True,
+    )
+    start = time.perf_counter()
+    report = multi_restart_optimize(
+        workload,
+        arguments.epsilon,
+        config,
+        restarts=arguments.restarts,
+        backend=arguments.backend,
+        num_workers=arguments.workers,
+        store=store,
+    )
+    elapsed = time.perf_counter() - start
+
+    from repro.store import key_for
+
+    key = key_for(
+        workload.gram(), arguments.epsilon, config, restarts=arguments.restarts
+    )
+    print(
+        f"workload {workload.name!r}, n = {workload.domain_size}, "
+        f"eps = {arguments.epsilon:g}, K = {arguments.restarts} restart(s) "
+        f"[{arguments.backend}]"
+    )
+    if report.store_hit:
+        print(
+            f"store HIT  entry {key.entry_id} in {elapsed:.3f} s "
+            "(no PGD iterations run)"
+        )
+    else:
+        objectives = ", ".join(f"{value:.6g}" for value in report.objectives)
+        warm = " (+1 warm start)" if report.warm_started else ""
+        print(
+            f"store MISS — built entry {key.entry_id} in {elapsed:.3f} s"
+            f"{warm}; restart objectives: [{objectives}]"
+        )
+    print(
+        f"objective L(Q) = {report.objective:.6g}, "
+        f"m = {report.result.strategy.num_outputs} outputs, "
+        f"store {store.root} now holds {len(store)} entr"
+        f"{'y' if len(store) == 1 else 'ies'}"
+    )
+    return 0
+
+
+def _run_strategy_list(arguments) -> int:
+    from repro.experiments.reporting import format_table
+
+    store = _open_store(arguments.store)
+    records = store.records()
+    if not records:
+        print(f"store {store.root} is empty")
+        return 0
+    now = time.time()
+    rows = [
+        [
+            record.entry_id[:12],
+            record.workload or "?",
+            record.domain_size,
+            f"{record.epsilon:g}",
+            f"{record.objective:.6g}",
+            record.iterations_run,
+            f"{record.size_bytes / 1024:.1f}K",
+            _format_age(now - record.last_used_at),
+        ]
+        for record in records
+    ]
+    print(f"store {store.root} — {len(records)} entr"
+          f"{'y' if len(records) == 1 else 'ies'}\n")
+    print(
+        format_table(
+            ["entry", "workload", "n", "eps", "objective", "iters",
+             "size", "used"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _resolve_entry(store, prefix: str) -> str:
+    matches = [
+        record.entry_id
+        for record in store.records()
+        if record.entry_id.startswith(prefix)
+    ]
+    if not matches:
+        raise SystemExit(f"no store entry matching {prefix!r}")
+    if len(matches) > 1:
+        raise SystemExit(
+            f"ambiguous entry prefix {prefix!r} ({len(matches)} matches)"
+        )
+    return matches[0]
+
+
+def _run_strategy_inspect(arguments) -> int:
+    import json
+
+    store = _open_store(arguments.store)
+    entry_id = _resolve_entry(store, arguments.entry)
+    print(json.dumps(store.provenance(entry_id), indent=2, sort_keys=True))
+    return 0
+
+
+def _run_strategy_prune(arguments) -> int:
+    store = _open_store(arguments.store)
+    before = len(store)
+    evicted = store.prune(
+        max_entries=arguments.keep, max_bytes=arguments.max_bytes
+    )
+    for record in evicted:
+        print(
+            f"evicted {record.entry_id[:12]}  {record.workload or '?'} "
+            f"n={record.domain_size} eps={record.epsilon:g} "
+            f"({record.size_bytes / 1024:.1f}K)"
+        )
+    print(f"pruned {len(evicted)} of {before} entries from {store.root}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     # Backwards-compatible shorthand: `python -m repro figure1` etc.
@@ -257,6 +478,21 @@ def main(argv: list[str] | None = None) -> int:
         if arguments.protocol_command == "run":
             return _run_protocol_engine(arguments)
         print("usage: repro protocol run [options] (see `repro protocol run -h`)")
+        return 2
+    if arguments.command == "strategy":
+        handlers = {
+            "build": _run_strategy_build,
+            "list": _run_strategy_list,
+            "inspect": _run_strategy_inspect,
+            "prune": _run_strategy_prune,
+        }
+        handler = handlers.get(arguments.strategy_command)
+        if handler is not None:
+            return handler(arguments)
+        print(
+            "usage: repro strategy {build|list|inspect|prune} [options] "
+            "(see `repro strategy -h`)"
+        )
         return 2
     build_parser().print_help()
     return 2

@@ -42,3 +42,7 @@ class ProtocolError(ReproError):
 
 class DataError(ReproError):
     """Invalid dataset specification or malformed data vector."""
+
+
+class StoreError(ReproError):
+    """A strategy-store entry is missing, corrupted, or fails validation."""

@@ -31,11 +31,30 @@ MECHANISM_ORDER = (
 
 
 def mechanism_roster(
-    optimizer_iterations: int, seed: int = 0
+    optimizer_iterations: int,
+    seed: int = 0,
+    store=None,
+    restarts: int = 1,
 ) -> list[Mechanism]:
-    """The paper's seven mechanisms, Optimized last (legend order)."""
+    """The paper's seven mechanisms, Optimized last (legend order).
+
+    Parameters
+    ----------
+    optimizer_iterations:
+        PGD iteration budget for the Optimized mechanism.
+    seed:
+        Root seed for the optimizer's random initialization.
+    store:
+        Optional :class:`~repro.store.StrategyStore`; when given, the
+        Optimized mechanism reads strategies through it, so repeated sweeps
+        (and repeated processes) skip re-optimization entirely.
+    restarts:
+        Best-of-K restarts for the Optimized mechanism.
+    """
     config = OptimizerConfig(num_iterations=optimizer_iterations, seed=seed)
-    return list(paper_baselines()) + [OptimizedMechanism(config)]
+    return list(paper_baselines()) + [
+        OptimizedMechanism(config, store=store, restarts=restarts)
+    ]
 
 
 def paper_workloads(domain_size: int) -> list[Workload]:
@@ -67,6 +86,17 @@ def protocol_session(
     strategy = mechanism.strategy_for(workload, epsilon)
     operator = mechanism.reconstruction_for(workload, epsilon)
     return ProtocolSession(strategy, workload, operator)
+
+
+def stored_protocol_session(
+    store, workload: Workload, epsilon: float
+) -> ProtocolSession:
+    """A collection session built from a persisted strategy (no PGD).
+
+    Thin alias for :meth:`ProtocolSession.from_store`, exposed here so
+    experiment code has one import site for both construction paths.
+    """
+    return ProtocolSession.from_store(store, workload, epsilon)
 
 
 def safe_sample_complexity(

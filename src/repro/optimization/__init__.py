@@ -7,6 +7,8 @@
 * :mod:`repro.optimization.pgd` — Algorithm 2 (projected gradient descent).
 * :mod:`repro.optimization.optimized` — the "Optimized" mechanism wrapper.
 * :mod:`repro.optimization.search` — hyper-parameter sweeps (m, restarts).
+* :mod:`repro.optimization.restarts` — the parallel multi-restart driver
+  with strategy-store read-through and warm starts.
 """
 
 from repro.optimization.objective import objective_and_gradient, objective_value
@@ -18,6 +20,13 @@ from repro.optimization.pgd import (
     initial_bounds,
     initialize,
     optimize_strategy,
+)
+from repro.optimization.restarts import (
+    DEFAULT_WARM_START_LOG_RATIO,
+    RESTART_BACKENDS,
+    RestartReport,
+    multi_restart_optimize,
+    restart_seeds,
 )
 from repro.optimization.projection import (
     ProjectionState,
@@ -36,12 +45,16 @@ from repro.optimization.search import (
 
 __all__ = [
     "DEFAULT_OUTPUT_FACTOR",
+    "DEFAULT_WARM_START_LOG_RATIO",
     "OptimizationResult",
     "OptimizedMechanism",
     "OptimizerConfig",
     "ProjectionState",
+    "RESTART_BACKENDS",
+    "RestartReport",
     "SweepPoint",
     "best_of_restarts",
+    "multi_restart_optimize",
     "feasible_bounds",
     "initial_bounds",
     "initialize",
@@ -51,6 +64,7 @@ __all__ = [
     "project_column_bisection",
     "project_columns",
     "projection_vjp",
+    "restart_seeds",
     "sample_complexity_of_result",
     "search_num_outputs",
     "worst_case_of_result",

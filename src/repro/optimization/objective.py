@@ -35,6 +35,20 @@ def objective_value(
     ``weights`` generalizes to the prior-weighted objective of footnote 2:
     ``D = Diag(Q w)`` with ``w = n * prior`` (``None`` = uniform, the
     paper's default).
+
+    Examples
+    --------
+    The value matches the defining trace formula evaluated directly:
+
+    >>> import numpy as np
+    >>> from repro.mechanisms import randomized_response
+    >>> from repro.workloads import histogram
+    >>> q = randomized_response(4, epsilon=1.0).probabilities
+    >>> gram = histogram(4).gram()
+    >>> value = objective_value(q, gram)
+    >>> core = q.T @ np.diag(1.0 / q.sum(axis=1)) @ q
+    >>> bool(np.isclose(value, np.trace(np.linalg.pinv(core) @ gram)))
+    True
     """
     value, _ = _objective_core(strategy, gram, weights, with_gradient=False)
     return value
@@ -43,7 +57,19 @@ def objective_value(
 def objective_and_gradient(
     strategy: np.ndarray, gram: np.ndarray, weights: np.ndarray | None = None
 ) -> tuple[float, np.ndarray]:
-    """Evaluate ``L(Q)`` and ``dL/dQ`` together (shares the heavy factors)."""
+    """Evaluate ``L(Q)`` and ``dL/dQ`` together (shares the heavy factors).
+
+    Examples
+    --------
+    >>> from repro.mechanisms import randomized_response
+    >>> from repro.workloads import histogram
+    >>> q = randomized_response(4, epsilon=1.0).probabilities
+    >>> value, gradient = objective_and_gradient(q, histogram(4).gram())
+    >>> gradient.shape
+    (4, 4)
+    >>> value == objective_value(q, histogram(4).gram())
+    True
+    """
     value, gradient = _objective_core(strategy, gram, weights, with_gradient=True)
     return value, gradient
 

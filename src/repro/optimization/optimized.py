@@ -1,11 +1,15 @@
 """The paper's "Optimized" mechanism: strategy optimization as a Mechanism.
 
-Wraps :func:`repro.optimization.pgd.optimize_strategy` behind the common
+Wraps the multi-restart driver (and through it
+:func:`repro.optimization.pgd.optimize_strategy`) behind the common
 comparison interface so the experiment harness treats it exactly like the
 fixed baselines.  Unlike those, its strategy depends on the workload, so
 results are cached per ``(workload name, domain size, Gram content hash,
-epsilon)``.  Strategy optimization consumes no privacy budget (it only uses
-the public workload), so the caching is purely a compute optimization.
+epsilon, config fingerprint)`` — and, when a
+:class:`~repro.store.StrategyStore` is attached, the in-memory dict becomes
+a read-through layer over the persistent store.  Strategy optimization
+consumes no privacy budget (it only uses the public workload), so all of
+this caching is purely a compute optimization.
 """
 
 from __future__ import annotations
@@ -21,7 +25,8 @@ from repro.exceptions import OptimizationError
 from repro.mechanisms.base import StrategyMatrix
 from repro.mechanisms.interface import StrategyMechanism
 from repro.mechanisms.randomized_response import randomized_response
-from repro.optimization.pgd import OptimizationResult, OptimizerConfig, optimize_strategy
+from repro.optimization.pgd import OptimizationResult, OptimizerConfig
+from repro.optimization.restarts import multi_restart_optimize
 from repro.workloads.base import Workload
 
 
@@ -40,32 +45,71 @@ class OptimizedMechanism(StrategyMechanism):
         mechanism makes the result "never worse" than it — in particular at
         large epsilon, where RR is optimal and hard for a random init to
         reach.
+    store:
+        Optional :class:`~repro.store.StrategyStore`; optimization results
+        are read through it (exact-key hits skip PGD entirely) and written
+        back, so strategies persist across processes.
+    restarts:
+        Best-of-K random restarts per strategy (>= 1); restart 0 always
+        runs ``config`` verbatim, so more restarts never hurt.
+    restart_backend:
+        ``"serial"`` or ``"process"`` execution for the restart schedule.
 
     Examples
     --------
     >>> from repro.workloads import prefix
     >>> mech = OptimizedMechanism(OptimizerConfig(num_iterations=50, seed=0))
     >>> variance = mech.worst_case_variance(prefix(8), epsilon=1.0)
+    >>> variance > 0
+    True
     """
 
     def __init__(
         self,
         config: OptimizerConfig | None = None,
         floor_baselines: bool = True,
+        store=None,
+        restarts: int = 1,
+        restart_backend: str = "serial",
     ) -> None:
         super().__init__("Optimized", factory=None)
+        if restarts < 1:
+            raise OptimizationError(f"need >= 1 restart, got {restarts}")
         self.config = config or OptimizerConfig()
         self.floor_baselines = floor_baselines
-        self._results: dict[tuple[str, int, str, float], OptimizationResult] = {}
-        self._operators: dict[tuple[str, int, str, float], np.ndarray] = {}
+        self.store = store
+        self.restarts = restarts
+        self.restart_backend = restart_backend
+        self._results: dict[tuple[str, int, str, float, str], OptimizationResult] = {}
+        self._operators: dict[tuple[str, int, str, float, str], np.ndarray] = {}
+        self._config_digest: str | None = None
+
+    def _config_fingerprint(self) -> str:
+        """Fingerprint of everything besides the workload that determines
+        the result: the optimizer config plus this mechanism's own knobs.
+
+        Folding it into the cache key keeps two instances with different
+        iteration counts or seeds from colliding once keys become
+        persistent (and already in memory, where only the config differs).
+        """
+        if self._config_digest is None:
+            from repro.store.keys import config_fingerprint
+
+            self._config_digest = config_fingerprint(
+                self.config,
+                floor_baselines=self.floor_baselines,
+                restarts=self.restarts,
+            )
+        return self._config_digest
 
     def _key(
         self, workload: Workload, epsilon: float
-    ) -> tuple[str, int, str, float]:
+    ) -> tuple[str, int, str, float, str]:
         # The Gram content hash keeps two distinct workloads that share a
         # name and domain from silently reusing each other's strategy; the
         # optimizer only ever sees the workload through its Gram matrix, so
-        # hashing it captures everything the cached result depends on.
+        # hashing it (plus the config fingerprint) captures everything the
+        # cached result depends on.
         gram = np.ascontiguousarray(workload.gram(), dtype=float)
         digest = hashlib.sha256(gram.tobytes()).hexdigest()[:16]
         return (
@@ -73,26 +117,73 @@ class OptimizedMechanism(StrategyMechanism):
             workload.domain_size,
             digest,
             round(float(epsilon), 12),
+            self._config_fingerprint()[:16],
+        )
+
+    def _store_key(self, workload: Workload, epsilon: float):
+        from repro.store import key_for
+
+        return key_for(
+            workload.gram(),
+            epsilon,
+            self.config,
+            floor_baselines=self.floor_baselines,
+            restarts=self.restarts,
         )
 
     def optimization_result(
         self, workload: Workload, epsilon: float
     ) -> OptimizationResult:
-        """Run (or recall) the strategy optimization for this workload."""
+        """Run (or recall) the strategy optimization for this workload.
+
+        Lookup order: the in-memory dict, then the persistent store (exact
+        key), then a fresh multi-restart optimization whose winner is
+        written back to the store.
+
+        Examples
+        --------
+        >>> from repro.workloads import histogram
+        >>> mech = OptimizedMechanism(OptimizerConfig(num_iterations=30, seed=0))
+        >>> result = mech.optimization_result(histogram(4), 1.0)
+        >>> result is mech.optimization_result(histogram(4), 1.0)  # cached
+        True
+        """
         key = self._key(workload, epsilon)
-        if key not in self._results:
-            result = optimize_strategy(workload, epsilon, self.config)
-            if self.floor_baselines and workload.domain_size >= 2:
-                result = self._floor_with_randomized_response(
-                    workload, epsilon, result
-                )
-            self._results[key] = result
-        return self._results[key]
+        if key in self._results:
+            return self._results[key]
+        store_key = None
+        if self.store is not None:
+            store_key = self._store_key(workload, epsilon)
+            stored = self.store.get(store_key)
+            if stored is not None:
+                self._results[key] = stored
+                return stored
+        report = multi_restart_optimize(
+            workload,
+            epsilon,
+            self.config,
+            restarts=self.restarts,
+            backend=self.restart_backend,
+            store=self.store,
+            write=False,
+        )
+        result = report.result
+        if self.floor_baselines and workload.domain_size >= 2:
+            result = self._floor_with_randomized_response(
+                workload, epsilon, result
+            )
+        if self.store is not None:
+            self.store.put(
+                store_key, result, workload=workload.name, config=self.config
+            )
+        self._results[key] = result
+        return result
 
     def _floor_with_randomized_response(
         self, workload: Workload, epsilon: float, result: OptimizationResult
     ) -> OptimizationResult:
         from repro.analysis.objective import strategy_objective
+        from repro.optimization.pgd import optimize_strategy
 
         gram = workload.gram()
         baseline = randomized_response(workload.domain_size, epsilon)
@@ -128,9 +219,20 @@ class OptimizedMechanism(StrategyMechanism):
         )
 
     def strategy_for(self, workload: Workload, epsilon: float) -> StrategyMatrix:
+        """The optimized strategy for a workload (cached).
+
+        Examples
+        --------
+        >>> from repro.workloads import histogram
+        >>> mech = OptimizedMechanism(OptimizerConfig(num_iterations=30, seed=0))
+        >>> mech.strategy_for(histogram(4), 1.0).epsilon
+        1.0
+        """
         return self.optimization_result(workload, epsilon).strategy
 
     def reconstruction_for(self, workload: Workload, epsilon: float) -> np.ndarray:
+        """The Theorem 3.10 reconstruction operator for the optimized
+        strategy (cached alongside it)."""
         key = self._key(workload, epsilon)
         if key not in self._operators:
             strategy = self.strategy_for(workload, epsilon)
@@ -138,5 +240,18 @@ class OptimizedMechanism(StrategyMechanism):
         return self._operators[key]
 
     def with_seed(self, seed: int) -> "OptimizedMechanism":
-        """A fresh instance with a different initialization seed."""
-        return OptimizedMechanism(replace(self.config, seed=seed))
+        """A fresh instance with a different initialization seed.
+
+        Examples
+        --------
+        >>> mech = OptimizedMechanism(OptimizerConfig(seed=0))
+        >>> mech.with_seed(7).config.seed
+        7
+        """
+        return OptimizedMechanism(
+            replace(self.config, seed=seed),
+            floor_baselines=self.floor_baselines,
+            store=self.store,
+            restarts=self.restarts,
+            restart_backend=self.restart_backend,
+        )

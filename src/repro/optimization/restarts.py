@@ -1,0 +1,291 @@
+"""Parallel multi-restart driver for Algorithm 2, backed by the store.
+
+``L(Q)`` is non-convex, so PGD's endpoint depends on the random init
+(Figure 3b); the standard remedy is best-of-K restarts.  This module is the
+production driver for that loop:
+
+* **Restart schedule** — restart 0 runs the caller's config verbatim, so
+  the K-restart objective is *never worse* than the single-restart one;
+  restarts 1..K-1 draw their seeds from ``SeedSequence(seed).spawn()``, so
+  the whole schedule is reproducible from one root seed.
+* **Backends** — restarts are independent, so they run serially or on a
+  :class:`~concurrent.futures.ProcessPoolExecutor` (the same executor
+  pattern as the protocol engine's shard backend).  Results are
+  backend-independent: each restart is a pure function of
+  ``(gram, epsilon, config)``.
+* **Store integration** — with a :class:`~repro.store.StrategyStore`
+  attached, an exact key hit skips optimization entirely; otherwise any
+  stored strategy for the same workload at a nearby epsilon seeds one extra
+  warm-started restart (Section 4's "initialize with the strategy matrix
+  from an existing mechanism"), and the winner is written back.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.exceptions import OptimizationError, StoreError
+from repro.optimization.pgd import (
+    OptimizationResult,
+    OptimizerConfig,
+    optimize_strategy,
+)
+from repro.workloads.base import Workload
+
+#: Restart execution backends.
+RESTART_BACKENDS = ("serial", "process")
+
+#: Warm starts are attempted only when the stored epsilon is within this
+#: log-ratio of the target (a factor of e in either direction).
+DEFAULT_WARM_START_LOG_RATIO = 1.0
+
+
+@dataclass(frozen=True)
+class RestartReport:
+    """Provenance of one multi-restart optimization.
+
+    Attributes
+    ----------
+    result:
+        The winning :class:`~repro.optimization.pgd.OptimizationResult`.
+    objectives:
+        Final objective of every restart, in schedule order (``inf`` for a
+        restart that diverged).  Empty on a store hit.
+    seeds:
+        The seed each restart ran with (``"warm"`` for the warm-started
+        restart).
+    store_hit:
+        True when the result came straight from the store (no PGD ran).
+    warm_started:
+        True when a stored nearby-epsilon strategy seeded an extra restart.
+    best_index:
+        Index into ``objectives`` of the winning restart (-1 on a store hit).
+    """
+
+    result: OptimizationResult
+    objectives: list[float] = field(default_factory=list)
+    seeds: list = field(default_factory=list)
+    store_hit: bool = False
+    warm_started: bool = False
+    best_index: int = -1
+
+    @property
+    def objective(self) -> float:
+        """The winning objective value.
+
+        Examples
+        --------
+        >>> from repro.optimization import OptimizerConfig
+        >>> from repro.workloads import histogram
+        >>> report = multi_restart_optimize(
+        ...     histogram(4), 1.0,
+        ...     OptimizerConfig(num_iterations=20, seed=0), restarts=2,
+        ... )
+        >>> report.objective == min(report.objectives)
+        True
+        """
+        return self.result.objective
+
+
+def restart_seeds(seed: int | None, restarts: int) -> list[int | None]:
+    """The deterministic restart schedule for a root seed.
+
+    Restart 0 keeps ``seed`` verbatim (so best-of-K dominates the single
+    run with the same config); later restarts get independent seeds spawned
+    from ``SeedSequence(seed)``.  With ``seed=None`` every restart draws
+    fresh entropy.
+
+    Examples
+    --------
+    >>> schedule = restart_seeds(0, 3)
+    >>> schedule[0]
+    0
+    >>> len(schedule) == 3 and schedule == restart_seeds(0, 3)
+    True
+    >>> restart_seeds(None, 2)
+    [None, None]
+    """
+    if restarts < 1:
+        raise OptimizationError(f"need >= 1 restart, got {restarts}")
+    if seed is None:
+        return [None] * restarts
+    spawned = np.random.SeedSequence(seed).spawn(restarts - 1)
+    return [seed] + [int(sequence.generate_state(1)[0]) for sequence in spawned]
+
+
+def _run_restart(
+    gram: np.ndarray, epsilon: float, config: OptimizerConfig
+) -> OptimizationResult | None:
+    """One restart; module-level so process pools can pickle it.  Divergence
+    is reported as ``None`` rather than raised so one bad init cannot kill
+    the whole schedule."""
+    try:
+        return optimize_strategy(gram, epsilon, config)
+    except OptimizationError:
+        return None
+
+
+def _warm_start_config(
+    base: OptimizerConfig, strategy: np.ndarray
+) -> OptimizerConfig:
+    """A config that starts PGD from an existing strategy matrix."""
+    return replace(
+        base,
+        initial_strategy=np.asarray(strategy, dtype=float),
+        num_outputs=None,
+    )
+
+
+def multi_restart_optimize(
+    workload: Workload | np.ndarray,
+    epsilon: float,
+    config: OptimizerConfig | None = None,
+    *,
+    restarts: int = 4,
+    backend: str = "serial",
+    num_workers: int | None = None,
+    store=None,
+    write: bool = True,
+    warm_start_log_ratio: float = DEFAULT_WARM_START_LOG_RATIO,
+    workload_name: str | None = None,
+) -> RestartReport:
+    """Best-of-K strategy optimization with store read-through.
+
+    Parameters
+    ----------
+    workload:
+        A :class:`~repro.workloads.base.Workload` or raw Gram matrix.
+    epsilon:
+        Privacy budget.
+    config:
+        Base optimizer configuration; restart ``k`` runs ``config`` with its
+        seed replaced by the k-th entry of :func:`restart_seeds`.
+    restarts:
+        Number of random restarts ``K`` (>= 1).
+    backend:
+        ``"serial"`` or ``"process"`` (one process per restart, capped by
+        ``num_workers``).
+    num_workers:
+        Worker cap for the process backend; defaults to the restart count.
+    store:
+        Optional :class:`~repro.store.StrategyStore`.  An exact key hit
+        short-circuits; a nearby-epsilon entry seeds a warm restart; the
+        winner is written back when ``write`` is true.
+    write:
+        Persist the winning result to ``store`` (ignored without a store).
+    warm_start_log_ratio:
+        Maximum ``|log(stored_eps / eps)|`` for a warm-start candidate.
+    workload_name:
+        Display name recorded in the store index (defaults to the
+        workload's own name when a :class:`Workload` is given).
+
+    Returns
+    -------
+    RestartReport
+        The winning result plus the full restart provenance.
+
+    Examples
+    --------
+    >>> from repro.optimization import OptimizerConfig
+    >>> from repro.workloads import histogram
+    >>> config = OptimizerConfig(num_iterations=40, seed=0)
+    >>> single = multi_restart_optimize(
+    ...     histogram(4), 1.0, config, restarts=1
+    ... )
+    >>> multi = multi_restart_optimize(histogram(4), 1.0, config, restarts=3)
+    >>> multi.objective <= single.objective
+    True
+    >>> len(multi.objectives)
+    3
+    """
+    config = config or OptimizerConfig()
+    if backend not in RESTART_BACKENDS:
+        raise OptimizationError(
+            f"unknown restart backend {backend!r}; expected one of "
+            f"{RESTART_BACKENDS}"
+        )
+    if isinstance(workload, Workload):
+        gram = workload.gram()
+        if workload_name is None:
+            workload_name = workload.name
+    else:
+        gram = np.asarray(workload, dtype=float)
+
+    key = None
+    if store is not None:
+        from repro.store import key_for
+
+        key = key_for(gram, epsilon, config, restarts=restarts)
+        cached = store.get(key)
+        if cached is not None:
+            return RestartReport(result=cached, store_hit=True)
+
+    seeds: list = restart_seeds(config.seed, restarts)
+    configs = [replace(config, seed=seed) for seed in seeds]
+
+    warm_started = False
+    warm_record = None
+    if store is not None and config.initial_strategy is None:
+        warm_record = store.nearest(
+            gram, epsilon, max_log_ratio=warm_start_log_ratio
+        )
+        if warm_record is not None:
+            try:
+                warm_result = store.load(warm_record.entry_id)
+            except StoreError:
+                store.discard(warm_record.entry_id)
+                warm_record = None
+            else:
+                configs.append(
+                    _warm_start_config(
+                        config, warm_result.strategy.probabilities
+                    )
+                )
+                seeds.append("warm")
+                warm_started = True
+
+    if backend == "process" and len(configs) > 1:
+        max_workers = len(configs) if num_workers is None else num_workers
+        if max_workers < 1:
+            raise OptimizationError(f"need >= 1 worker, got {max_workers}")
+        jobs = [(gram, epsilon, run_config) for run_config in configs]
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            results = list(pool.map(_run_restart, *zip(*jobs)))
+    else:
+        results = [
+            _run_restart(gram, epsilon, run_config) for run_config in configs
+        ]
+
+    objectives = [
+        float("inf") if result is None else float(result.objective)
+        for result in results
+    ]
+    best_index = int(np.argmin(objectives))
+    best = results[best_index]
+    if best is None:
+        raise OptimizationError(
+            f"all {len(configs)} restart(s) diverged for epsilon {epsilon}"
+        )
+    if store is not None and write:
+        # A warm-started winner depends on what the store held at build
+        # time, not on the key alone — record that in the entry's notes so
+        # `repro strategy inspect` shows the true provenance.
+        notes = None
+        if warm_started and best_index == len(configs) - 1:
+            notes = {
+                "warm_start_won": True,
+                "warm_source_entry": warm_record.entry_id,
+                "warm_source_epsilon": warm_record.epsilon,
+            }
+        store.put(key, best, workload=workload_name, config=config, notes=notes)
+    return RestartReport(
+        result=best,
+        objectives=objectives,
+        seeds=seeds,
+        store_hit=False,
+        warm_started=warm_started,
+        best_index=best_index,
+    )

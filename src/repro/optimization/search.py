@@ -23,7 +23,16 @@ from repro.workloads.base import Workload
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One evaluated configuration in a hyper-parameter sweep."""
+    """One evaluated configuration in a hyper-parameter sweep.
+
+    Examples
+    --------
+    >>> point = SweepPoint(
+    ...     num_outputs=32, seed=0, objective=10.0, worst_case_variance=2.5
+    ... )
+    >>> point.num_outputs
+    32
+    """
 
     num_outputs: int
     seed: int
@@ -32,7 +41,17 @@ class SweepPoint:
 
 
 def worst_case_of_result(result: OptimizationResult, workload: Workload) -> float:
-    """Single-user ``L_worst`` of an optimized strategy on its workload."""
+    """Single-user ``L_worst`` of an optimized strategy on its workload.
+
+    Examples
+    --------
+    >>> from repro.workloads import histogram
+    >>> result = optimize_strategy(
+    ...     histogram(4), 1.0, OptimizerConfig(num_iterations=30, seed=0)
+    ... )
+    >>> worst_case_of_result(result, histogram(4)) > 0
+    True
+    """
     t = per_user_variances(result.strategy.probabilities, workload.gram())
     return float(np.max(t))
 
@@ -44,7 +63,18 @@ def search_num_outputs(
     seeds: list[int],
     config: OptimizerConfig | None = None,
 ) -> list[SweepPoint]:
-    """Optimize for every ``(m, seed)`` pair and report both loss metrics."""
+    """Optimize for every ``(m, seed)`` pair and report both loss metrics.
+
+    Examples
+    --------
+    >>> from repro.workloads import histogram
+    >>> points = search_num_outputs(
+    ...     histogram(4), 1.0, [8, 16], [0],
+    ...     OptimizerConfig(num_iterations=20),
+    ... )
+    >>> [point.num_outputs for point in points]
+    [8, 16]
+    """
     config = config or OptimizerConfig()
     points = []
     for num_outputs in output_counts:
@@ -68,7 +98,24 @@ def best_of_restarts(
     seeds: list[int],
     config: OptimizerConfig | None = None,
 ) -> OptimizationResult:
-    """Run the optimizer once per seed and keep the lowest-objective result."""
+    """Run the optimizer once per seed and keep the lowest-objective result.
+
+    This is the sweep-style sibling of
+    :func:`repro.optimization.restarts.multi_restart_optimize`, which adds
+    seed spawning, parallel backends, and store integration.
+
+    Examples
+    --------
+    >>> from repro.workloads import histogram
+    >>> config = OptimizerConfig(num_iterations=20)
+    >>> best = best_of_restarts(histogram(4), 1.0, [0, 1], config)
+    >>> singles = [
+    ...     optimize_strategy(histogram(4), 1.0, replace(config, seed=seed))
+    ...     for seed in (0, 1)
+    ... ]
+    >>> best.objective == min(run.objective for run in singles)
+    True
+    """
     config = config or OptimizerConfig()
     best: OptimizationResult | None = None
     for seed in seeds:
@@ -83,6 +130,16 @@ def sample_complexity_of_result(
     workload: Workload,
     alpha: float = PAPER_ALPHA,
 ) -> float:
-    """Sample complexity (Corollary 5.4) of an optimized strategy."""
+    """Sample complexity (Corollary 5.4) of an optimized strategy.
+
+    Examples
+    --------
+    >>> from repro.workloads import histogram
+    >>> result = optimize_strategy(
+    ...     histogram(4), 1.0, OptimizerConfig(num_iterations=30, seed=0)
+    ... )
+    >>> sample_complexity_of_result(result, histogram(4)) > 0
+    True
+    """
     t = per_user_variances(result.strategy.probabilities, workload.gram())
     return float(np.max(t) / (workload.num_queries * alpha))

@@ -27,7 +27,15 @@ from repro.mechanisms.base import StrategyMatrix
 
 @dataclass(frozen=True)
 class CostReport:
-    """Resource footprint of one strategy-matrix mechanism."""
+    """Resource footprint of one strategy-matrix mechanism.
+
+    Examples
+    --------
+    >>> from repro.mechanisms import randomized_response
+    >>> report = cost_report(randomized_response(8, 1.0))
+    >>> report.num_outputs, report.communication_bits
+    (8, 3)
+    """
 
     mechanism: str
     num_outputs: int
@@ -39,12 +47,29 @@ class CostReport:
 
 
 def communication_bits(num_outputs: int) -> int:
-    """Bits per client report: ``ceil(log2 m)`` (minimum 1)."""
+    """Bits per client report: ``ceil(log2 m)`` (minimum 1).
+
+    Examples
+    --------
+    >>> communication_bits(1024)
+    10
+    >>> communication_bits(1)
+    1
+    """
     return max(1, math.ceil(math.log2(max(num_outputs, 2))))
 
 
 def cost_report(strategy: StrategyMatrix) -> CostReport:
-    """Account for a single mechanism's client/server resource use."""
+    """Account for a single mechanism's client/server resource use.
+
+    Examples
+    --------
+    Randomized response has exactly two distinct probability levels:
+
+    >>> from repro.mechanisms import randomized_response
+    >>> cost_report(randomized_response(8, 1.0)).client_distinct_levels
+    2
+    """
     matrix = strategy.probabilities
     distinct = int(np.unique(np.round(matrix, 12)).size)
     return CostReport(
@@ -59,7 +84,17 @@ def cost_report(strategy: StrategyMatrix) -> CostReport:
 
 
 def compare_costs(strategies: list[StrategyMatrix]) -> list[CostReport]:
-    """Cost reports for several mechanisms, sorted by communication bits."""
+    """Cost reports for several mechanisms, sorted by communication bits.
+
+    Examples
+    --------
+    >>> from repro.mechanisms import hadamard_response, randomized_response
+    >>> reports = compare_costs(
+    ...     [hadamard_response(8, 1.0), randomized_response(8, 1.0)]
+    ... )
+    >>> [report.mechanism for report in reports]
+    ['Randomized Response', 'Hadamard']
+    """
     reports = [cost_report(strategy) for strategy in strategies]
     return sorted(reports, key=lambda report: report.communication_bits)
 
@@ -84,6 +119,8 @@ class SessionCostReport:
     sampler_chunk_bytes: int
     reconstruction_flops: int
 
+    # (Built by :func:`session_cost_report`; see its Examples section.)
+
 
 def session_cost_report(
     session, num_shards: int = 1, chunk_size: int | None = None
@@ -98,6 +135,16 @@ def session_cost_report(
         Planned shard count (drives merge traffic).
     chunk_size:
         Sampler block size; defaults to the engine's default chunk.
+
+    Examples
+    --------
+    >>> from repro.mechanisms import randomized_response
+    >>> from repro.protocol.engine import ProtocolSession
+    >>> from repro.workloads import histogram
+    >>> session = ProtocolSession(randomized_response(8, 1.0), histogram(8))
+    >>> report = session_cost_report(session, num_shards=4)
+    >>> report.accumulator_bytes, report.merge_traffic_bytes
+    (64, 256)
     """
     from repro.mechanisms.base import DEFAULT_SAMPLE_CHUNK
 

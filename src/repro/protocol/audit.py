@@ -29,7 +29,14 @@ class AuditReport:
 
     @property
     def slack(self) -> float:
-        """Unused budget ``eps_claimed - eps_realized`` (>= 0 when satisfied)."""
+        """Unused budget ``eps_claimed - eps_realized`` (>= 0 when satisfied).
+
+        Examples
+        --------
+        >>> report = AuditReport(1.0, 0.75, True, 0)
+        >>> report.slack
+        0.25
+        """
         return self.epsilon_claimed - self.epsilon_realized
 
 
@@ -38,6 +45,16 @@ def audit_strategy(strategy: StrategyMatrix, rtol: float = 1e-8) -> AuditReport:
 
     Returns the effective epsilon ``log(max ratio)`` and the output achieving
     it.
+
+    Examples
+    --------
+    Randomized response uses its whole budget exactly:
+
+    >>> import numpy as np
+    >>> from repro.mechanisms import randomized_response
+    >>> report = audit_strategy(randomized_response(8, 1.0))
+    >>> report.satisfied and bool(np.isclose(report.epsilon_realized, 1.0))
+    True
     """
     matrix = strategy.probabilities
     row_max = matrix.max(axis=1)
@@ -63,6 +80,15 @@ def audit_session(session, rtol: float = 1e-8) -> AuditReport:
     Sharding is pure post-processing of independently randomized reports, so
     the session's guarantee is exactly its strategy's guarantee — whatever
     the shard count, backend, or merge order.
+
+    Examples
+    --------
+    >>> from repro.mechanisms import randomized_response
+    >>> from repro.protocol.engine import ProtocolSession
+    >>> from repro.workloads import histogram
+    >>> session = ProtocolSession(randomized_response(4, 1.0), histogram(4))
+    >>> bool(audit_session(session).satisfied)
+    True
     """
     return audit_strategy(session.strategy, rtol=rtol)
 
@@ -79,6 +105,18 @@ def empirical_sampler_audit(
     it checks that :meth:`StrategyMatrix.sample_responses` (the engine's hot
     path) actually follows the matrix, type by type.  With enough samples the
     returned gap should be sampling noise, ``O(sqrt(m / num_samples))``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.mechanisms import randomized_response
+    >>> gap = empirical_sampler_audit(
+    ...     randomized_response(4, 1.0),
+    ...     num_samples=20_000,
+    ...     rng=np.random.default_rng(0),
+    ... )
+    >>> gap < 0.05
+    True
     """
     rng = rng or np.random.default_rng()
     if num_samples < 1:
@@ -111,6 +149,18 @@ def empirical_ratio_audit(
     Uses add-one smoothing so unobserved outputs do not produce infinite
     ratios; with enough samples the value should not exceed
     ``exp(strategy.epsilon)`` by more than sampling noise.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.mechanisms import randomized_response
+    >>> ratio = empirical_ratio_audit(
+    ...     randomized_response(4, 1.0), 0, 1,
+    ...     num_samples=20_000,
+    ...     rng=np.random.default_rng(0),
+    ... )
+    >>> bool(ratio < np.exp(1.0) * 1.1)
+    True
     """
     rng = rng or np.random.default_rng()
     n = strategy.domain_size

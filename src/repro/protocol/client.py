@@ -41,7 +41,18 @@ class LocalRandomizer:
         self._rng = rng or np.random.default_rng()
 
     def respond(self, user_type: int) -> int:
-        """Produce this user's randomized report."""
+        """Produce this user's randomized report.
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> from repro.mechanisms import randomized_response
+        >>> randomizer = LocalRandomizer(
+        ...     randomized_response(4, 1.0), np.random.default_rng(0)
+        ... )
+        >>> randomizer.respond(2)
+        2
+        """
         if not 0 <= user_type < self.strategy.domain_size:
             raise ProtocolError(
                 f"user type {user_type} outside domain "
@@ -55,5 +66,16 @@ class LocalRandomizer:
         Delegates to :meth:`StrategyMatrix.sample_responses`, so the column
         CDFs are computed once per strategy and reused across batches rather
         than being rebuilt on every call.
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> from repro.mechanisms import randomized_response
+        >>> randomizer = LocalRandomizer(
+        ...     randomized_response(4, 1.0), np.random.default_rng(0)
+        ... )
+        >>> responses = randomizer.respond_many(np.array([0, 1, 2, 3]))
+        >>> responses.shape
+        (4,)
         """
         return self.strategy.sample_responses(user_types, self._rng)

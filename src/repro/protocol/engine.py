@@ -44,7 +44,19 @@ BACKENDS = ("serial", "thread", "process")
 
 @dataclass(frozen=True)
 class ProtocolResult:
-    """Outcome of one protocol execution."""
+    """Outcome of one protocol execution.
+
+    Examples
+    --------
+    >>> from repro.mechanisms import randomized_response
+    >>> from repro.workloads import histogram
+    >>> session = ProtocolSession(randomized_response(4, 1.0), histogram(4))
+    >>> result = session.run([25.0] * 4, seed=0)
+    >>> result.num_users
+    100
+    >>> result.workload_estimates.shape
+    (4,)
+    """
 
     workload_estimates: np.ndarray
     data_vector_estimate: np.ndarray
@@ -64,6 +76,16 @@ class ShardAccumulator:
     ----------
     num_outputs:
         Output alphabet size ``m`` of the strategy being aggregated.
+
+    Examples
+    --------
+    >>> left = ShardAccumulator(4).add_reports([0, 1, 1])
+    >>> right = ShardAccumulator(4).add_reports([3])
+    >>> merged = left.merge(right)
+    >>> merged.num_reports
+    4
+    >>> merged.histogram
+    array([1., 2., 0., 1.])
     """
 
     __slots__ = ("histogram", "num_reports")
@@ -81,7 +103,13 @@ class ShardAccumulator:
     # -- folding in data ---------------------------------------------------
 
     def add_reports(self, reports: np.ndarray) -> "ShardAccumulator":
-        """Fold in raw client reports (output ids)."""
+        """Fold in raw client reports (output ids).
+
+        Examples
+        --------
+        >>> ShardAccumulator(3).add_reports([0, 2, 2]).histogram
+        array([1., 0., 2.])
+        """
         reports = np.asarray(reports)
         if reports.size == 0:
             return self
@@ -92,7 +120,13 @@ class ShardAccumulator:
         return self
 
     def add_histogram(self, histogram: np.ndarray) -> "ShardAccumulator":
-        """Fold in a pre-aggregated response histogram."""
+        """Fold in a pre-aggregated response histogram.
+
+        Examples
+        --------
+        >>> ShardAccumulator(3).add_histogram([5.0, 0.0, 2.0]).num_reports
+        7
+        """
         histogram = np.asarray(histogram, dtype=float)
         if histogram.shape != (self.num_outputs,):
             raise ProtocolError(
@@ -107,7 +141,15 @@ class ShardAccumulator:
     # -- monoid structure --------------------------------------------------
 
     def merge(self, other: "ShardAccumulator") -> "ShardAccumulator":
-        """Combine two shard states into a new one (commutative, associative)."""
+        """Combine two shard states into a new one (commutative, associative).
+
+        Examples
+        --------
+        >>> a = ShardAccumulator(2).add_reports([0])
+        >>> b = ShardAccumulator(2).add_reports([1])
+        >>> a.merge(b) == b.merge(a)
+        True
+        """
         if other.num_outputs != self.num_outputs:
             raise ProtocolError(
                 f"cannot merge accumulators over {self.num_outputs} and "
@@ -120,7 +162,14 @@ class ShardAccumulator:
 
     @staticmethod
     def merge_all(accumulators) -> "ShardAccumulator":
-        """Fold any number of shard states into one."""
+        """Fold any number of shard states into one.
+
+        Examples
+        --------
+        >>> shards = [ShardAccumulator(2).add_reports([i % 2]) for i in range(4)]
+        >>> ShardAccumulator.merge_all(shards).num_reports
+        4
+        """
         accumulators = list(accumulators)
         if not accumulators:
             raise ProtocolError("cannot merge zero accumulators")
@@ -137,7 +186,16 @@ class ShardAccumulator:
 
     def snapshot(self) -> "ShardAccumulator":
         """An independent copy of the current state (safe to keep while the
-        original keeps streaming)."""
+        original keeps streaming).
+
+        Examples
+        --------
+        >>> live = ShardAccumulator(2).add_reports([0])
+        >>> frozen = live.snapshot()
+        >>> _ = live.add_reports([1, 1])
+        >>> frozen.num_reports
+        1
+        """
         copy = ShardAccumulator(self.num_outputs)
         copy.histogram = self.histogram.copy()
         copy.num_reports = self.num_reports
@@ -147,7 +205,14 @@ class ShardAccumulator:
 
     def to_bytes(self) -> bytes:
         """Serialize to a compact ``.npz`` byte string (for shipping partial
-        aggregates between processes or machines)."""
+        aggregates between processes or machines).
+
+        Examples
+        --------
+        >>> original = ShardAccumulator(4).add_reports([1, 2, 2])
+        >>> ShardAccumulator.from_bytes(original.to_bytes()) == original
+        True
+        """
         buffer = io.BytesIO()
         np.savez_compressed(
             buffer,
@@ -194,6 +259,11 @@ def split_data_vector(data_vector: np.ndarray, num_shards: int) -> list[np.ndarr
     ``count // K`` users of every type plus one extra when ``k < count % K``.
     The split is a pure function of ``(data_vector, num_shards)``, which is
     what makes sharded runs reproducible independent of execution backend.
+
+    Examples
+    --------
+    >>> split_data_vector([5, 2], num_shards=2)
+    [array([3., 1.]), array([2., 1.])]
     """
     data_vector = np.asarray(data_vector)
     if num_shards < 1:
@@ -293,6 +363,61 @@ class ProtocolSession:
         operator.setflags(write=False)
         object.__setattr__(self, "operator", operator)
 
+    @classmethod
+    def from_store(
+        cls, store, workload: Workload, epsilon: float
+    ) -> "ProtocolSession":
+        """Build a session straight from a persisted strategy.
+
+        Looks up the lowest-objective stored strategy for this workload's
+        Gram matrix at ``epsilon`` (any optimizer configuration) — the
+        deployment path where strategy optimization happened offline, via
+        ``repro strategy build`` or a previous process, and collection only
+        needs to load the artifact.
+
+        Parameters
+        ----------
+        store:
+            A :class:`~repro.store.StrategyStore`.
+        workload:
+            The analyst's target workload.
+        epsilon:
+            Privacy budget the stored strategy must match exactly.
+
+        Raises
+        ------
+        ProtocolError
+            If the store has no entry for this workload/budget.
+
+        Examples
+        --------
+        >>> import tempfile
+        >>> from repro.optimization import (
+        ...     OptimizerConfig, multi_restart_optimize
+        ... )
+        >>> from repro.store import StrategyStore
+        >>> from repro.workloads import histogram
+        >>> store = StrategyStore(tempfile.mkdtemp())
+        >>> workload = histogram(4)
+        >>> config = OptimizerConfig(num_iterations=30, seed=0)
+        >>> report = multi_restart_optimize(
+        ...     workload, 1.0, config, restarts=1, store=store
+        ... )
+        >>> session = ProtocolSession.from_store(store, workload, 1.0)
+        >>> session.epsilon
+        1.0
+        """
+        record = store.best_for(workload.gram(), epsilon)
+        if record is None:
+            raise ProtocolError(
+                f"store has no strategy for workload {workload.name!r} "
+                f"(n = {workload.domain_size}) at epsilon {epsilon:g}; "
+                "build one with `repro strategy build` or "
+                "multi_restart_optimize(..., store=store)"
+            )
+        result = store.load(record.entry_id)
+        return cls(result.strategy, workload)
+
     @property
     def epsilon(self) -> float:
         """The privacy budget of the session's strategy."""
@@ -309,7 +434,16 @@ class ProtocolSession:
     # -- shard-level API ---------------------------------------------------
 
     def new_accumulator(self) -> ShardAccumulator:
-        """A fresh, empty shard state for this session's strategy."""
+        """A fresh, empty shard state for this session's strategy.
+
+        Examples
+        --------
+        >>> from repro.mechanisms import randomized_response
+        >>> from repro.workloads import histogram
+        >>> session = ProtocolSession(randomized_response(4, 1.0), histogram(4))
+        >>> session.new_accumulator().num_outputs
+        4
+        """
         return ShardAccumulator(self.strategy.num_outputs)
 
     def randomize_shard(
@@ -323,6 +457,18 @@ class ProtocolSession:
         Streams the batch through the strategy's vectorized sampler in
         chunks, folding reports into a fresh accumulator, so peak memory is
         ``O(chunk_size)`` however large the shard is.
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> from repro.mechanisms import randomized_response
+        >>> from repro.workloads import histogram
+        >>> session = ProtocolSession(randomized_response(4, 1.0), histogram(4))
+        >>> shard = session.randomize_shard(
+        ...     np.array([0, 1, 2, 3]), np.random.default_rng(0)
+        ... )
+        >>> shard.num_reports
+        4
         """
         rng = rng or np.random.default_rng()
         if chunk_size < 1:
@@ -342,14 +488,37 @@ class ProtocolSession:
         rng: np.random.Generator | None = None,
     ) -> ShardAccumulator:
         """Fast-path randomization of one shard's population histogram
-        (per-type multinomial draws, ``O(n)`` instead of ``O(N)``)."""
+        (per-type multinomial draws, ``O(n)`` instead of ``O(N)``).
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> from repro.mechanisms import randomized_response
+        >>> from repro.workloads import histogram
+        >>> session = ProtocolSession(randomized_response(4, 1.0), histogram(4))
+        >>> session.sample_shard([10.0] * 4, np.random.default_rng(0)).num_reports
+        40
+        """
         rng = rng or np.random.default_rng()
         accumulator = self.new_accumulator()
         accumulator.add_histogram(self.strategy.sample_histogram(shard_vector, rng))
         return accumulator
 
     def finalize(self, accumulator: ShardAccumulator) -> ProtocolResult:
-        """Reconstruct estimates from a (possibly merged) shard state."""
+        """Reconstruct estimates from a (possibly merged) shard state.
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> from repro.mechanisms import randomized_response
+        >>> from repro.workloads import histogram
+        >>> session = ProtocolSession(randomized_response(4, 1.0), histogram(4))
+        >>> shard = session.randomize_shard(
+        ...     np.zeros(50, dtype=int), np.random.default_rng(0)
+        ... )
+        >>> session.finalize(shard).num_users
+        50
+        """
         if accumulator.num_outputs != self.strategy.num_outputs:
             raise ProtocolError(
                 f"accumulator over {accumulator.num_outputs} outputs does not "
@@ -405,6 +574,21 @@ class ProtocolSession:
             the serial backend); mutually exclusive with ``seed``.
         chunk_size:
             Sampler block size for the message-level path.
+
+        Examples
+        --------
+        The determinism contract — same seed, different shard counts and
+        backends, bit-identical responses:
+
+        >>> import numpy as np
+        >>> from repro.mechanisms import randomized_response
+        >>> from repro.workloads import histogram
+        >>> session = ProtocolSession(randomized_response(8, 1.0), histogram(8))
+        >>> x = [30.0] * 8
+        >>> a = session.run(x, num_shards=4, backend="serial", seed=7)
+        >>> b = session.run(x, num_shards=4, backend="thread", seed=7)
+        >>> bool(np.array_equal(a.response_vector, b.response_vector))
+        True
         """
         if backend not in BACKENDS:
             raise ProtocolError(

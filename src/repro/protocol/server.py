@@ -31,6 +31,18 @@ class Aggregator:
         The public strategy matrix the clients used.
     workload:
         The analyst's target workload.
+
+    Examples
+    --------
+    >>> from repro.mechanisms import randomized_response
+    >>> from repro.workloads import histogram
+    >>> aggregator = Aggregator(randomized_response(4, 1.0), histogram(4))
+    >>> aggregator.submit(2)
+    >>> aggregator.submit_many([0, 1, 1])
+    >>> aggregator.num_reports
+    4
+    >>> aggregator.estimate_workload().shape
+    (4,)
     """
 
     def __init__(self, strategy: StrategyMatrix, workload: Workload) -> None:

@@ -27,7 +27,13 @@ __all__ = ["ProtocolResult", "expand_users", "run_protocol"]
 
 
 def expand_users(data_vector: np.ndarray) -> np.ndarray:
-    """Expand a data vector of counts into an array of user types."""
+    """Expand a data vector of counts into an array of user types.
+
+    Examples
+    --------
+    >>> expand_users([2, 0, 3])
+    array([0, 0, 2, 2, 2])
+    """
     data_vector = np.asarray(data_vector)
     if data_vector.min() < 0:
         raise ProtocolError("data vector has negative counts")
@@ -56,6 +62,20 @@ def run_protocol(
         Source of randomness.
     fast:
         Use the multinomial shortcut instead of per-user messages.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.mechanisms import randomized_response
+    >>> from repro.workloads import histogram
+    >>> result = run_protocol(
+    ...     histogram(4),
+    ...     randomized_response(4, 1.0),
+    ...     [25.0] * 4,
+    ...     rng=np.random.default_rng(0),
+    ... )
+    >>> result.num_users
+    100
     """
     rng = rng or np.random.default_rng()
     session = ProtocolSession(strategy, workload)

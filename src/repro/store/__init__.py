@@ -1,0 +1,46 @@
+"""Persistent, content-addressed storage for optimized strategies.
+
+Strategy optimization is a public, privacy-free precomputation (Section 4):
+its output depends only on the workload's Gram matrix, the privacy budget,
+and the optimizer configuration.  This package treats optimized strategies
+as reusable artifacts keyed by exactly those inputs:
+
+* :mod:`repro.store.keys` — content-addressed keys
+  (:class:`~repro.store.keys.StrategyKey`, Gram/config fingerprints).
+* :mod:`repro.store.store` — the disk-backed
+  :class:`~repro.store.store.StrategyStore` (atomic writes, integrity
+  checks, LRU pruning) and its JSON index.
+
+See ``docs/strategy-store.md`` for the key scheme, invalidation rules, and
+CLI examples.
+"""
+
+from repro.store.keys import (
+    EPSILON_DECIMALS,
+    StrategyKey,
+    canonical_epsilon,
+    config_fingerprint,
+    gram_fingerprint,
+    key_for,
+)
+from repro.store.store import (
+    STORE_ENV_VAR,
+    STORE_VERSION,
+    StoreRecord,
+    StrategyStore,
+    default_store_path,
+)
+
+__all__ = [
+    "EPSILON_DECIMALS",
+    "STORE_ENV_VAR",
+    "STORE_VERSION",
+    "StoreRecord",
+    "StrategyKey",
+    "StrategyStore",
+    "canonical_epsilon",
+    "config_fingerprint",
+    "default_store_path",
+    "gram_fingerprint",
+    "key_for",
+]

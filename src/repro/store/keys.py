@@ -1,0 +1,213 @@
+"""Content-addressed keys for the strategy store.
+
+Strategy optimization is a pure function of ``(Gram matrix, epsilon,
+optimizer configuration)`` — Section 4's observation that strategy selection
+touches only public inputs.  A stored strategy is therefore addressed by
+exactly those inputs:
+
+* :func:`gram_fingerprint` — SHA-256 of the workload's Gram matrix bytes.
+  The optimizer only ever sees the workload through ``W^T W``, so two
+  workloads with the same Gram are interchangeable and share entries, while
+  two different workloads that merely share a name never collide.
+* :func:`config_fingerprint` — SHA-256 of the canonicalized
+  :class:`~repro.optimization.pgd.OptimizerConfig` (array-valued fields are
+  hashed by content), plus any caller-supplied extras such as the restart
+  count.
+* :class:`StrategyKey` — the full addressing tuple and its derived
+  ``entry_id`` (the on-disk file stem).
+
+Keys are deliberately insensitive to *where* or *when* a strategy was built:
+the same workload, budget and configuration produce the same ``entry_id`` on
+any machine, which is what makes the store shareable between processes,
+hosts, and CI runs.  One caveat: the multi-restart driver may improve a
+build with a warm start seeded from a previously stored entry, so the
+*payload* under a key can depend on what the store held at build time; such
+entries carry a ``warm_start_won`` note in their provenance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.exceptions import StoreError
+from repro.workloads.base import Workload
+
+#: Decimal places epsilon is rounded to before keying (matches the in-memory
+#: mechanism caches, so a float that survives a round trip keys identically).
+EPSILON_DECIMALS = 12
+
+
+def _sha256(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+def canonical_epsilon(epsilon: float) -> float:
+    """Epsilon rounded to the store's keying precision.
+
+    Examples
+    --------
+    >>> canonical_epsilon(1.0000000000000002)
+    1.0
+    """
+    return round(float(epsilon), EPSILON_DECIMALS)
+
+
+def gram_fingerprint(gram: np.ndarray | Workload) -> str:
+    """SHA-256 hex digest of a Gram matrix (or a workload's Gram).
+
+    Examples
+    --------
+    >>> from repro.workloads import prefix
+    >>> gram_fingerprint(prefix(8)) == gram_fingerprint(prefix(8).gram())
+    True
+    >>> gram_fingerprint(prefix(8)) == gram_fingerprint(prefix(16))
+    False
+    """
+    if isinstance(gram, Workload):
+        gram = gram.gram()
+    gram = np.ascontiguousarray(np.asarray(gram, dtype=float))
+    if gram.ndim != 2 or gram.shape[0] != gram.shape[1]:
+        raise StoreError(f"Gram matrix must be square, got shape {gram.shape}")
+    return _sha256(gram.tobytes())
+
+
+def _canonical_value(value):
+    """JSON-serializable canonical form of one config field value."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        # repr round-trips float64 exactly and is stable across platforms.
+        return repr(value)
+    if isinstance(value, np.ndarray):
+        array = np.ascontiguousarray(value, dtype=float)
+        return {"ndarray": _sha256(array.tobytes()), "shape": list(array.shape)}
+    if isinstance(value, (list, tuple)):
+        return [_canonical_value(item) for item in value]
+    raise StoreError(
+        f"cannot canonicalize config value of type {type(value).__name__}"
+    )
+
+
+def config_fingerprint(config, **extras) -> str:
+    """SHA-256 hex digest of an optimizer configuration.
+
+    Every dataclass field participates (array-valued fields such as
+    ``initial_strategy`` and ``prior`` are hashed by content), so two configs
+    that could produce different strategies never share a fingerprint.
+    ``extras`` lets callers fold in knobs that live outside the config — the
+    restart count, the mechanism's baseline-flooring flag — without changing
+    the config class.
+
+    Examples
+    --------
+    >>> from repro.optimization import OptimizerConfig
+    >>> a = config_fingerprint(OptimizerConfig(num_iterations=100, seed=0))
+    >>> b = config_fingerprint(OptimizerConfig(num_iterations=200, seed=0))
+    >>> a == b
+    False
+    >>> a == config_fingerprint(OptimizerConfig(num_iterations=100, seed=0))
+    True
+    >>> a == config_fingerprint(
+    ...     OptimizerConfig(num_iterations=100, seed=0), restarts=4
+    ... )
+    False
+    """
+    payload = {
+        field.name: _canonical_value(getattr(config, field.name))
+        for field in fields(config)
+    }
+    for name in sorted(extras):
+        payload[f"extra:{name}"] = _canonical_value(extras[name])
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return _sha256(encoded.encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class StrategyKey:
+    """The full address of one stored strategy.
+
+    Attributes
+    ----------
+    gram_hash:
+        :func:`gram_fingerprint` of the workload's Gram matrix.
+    domain_size:
+        Domain size ``n`` (redundant with the Gram, kept explicit so the
+        index is inspectable without loading payloads).
+    epsilon:
+        Privacy budget, rounded to :data:`EPSILON_DECIMALS` places.
+    config_hash:
+        :func:`config_fingerprint` of the optimizer configuration.
+    """
+
+    gram_hash: str
+    domain_size: int
+    epsilon: float
+    config_hash: str
+
+    def __post_init__(self) -> None:
+        if self.domain_size < 1:
+            raise StoreError(f"domain size must be >= 1, got {self.domain_size}")
+        if self.epsilon <= 0:
+            raise StoreError(f"epsilon must be positive, got {self.epsilon}")
+        object.__setattr__(self, "epsilon", canonical_epsilon(self.epsilon))
+
+    @property
+    def entry_id(self) -> str:
+        """Stable content address (the on-disk file stem).
+
+        Examples
+        --------
+        >>> key = StrategyKey("a" * 64, 8, 1.0, "b" * 64)
+        >>> key.entry_id == StrategyKey("a" * 64, 8, 1.0, "b" * 64).entry_id
+        True
+        >>> len(key.entry_id)
+        32
+        """
+        text = (
+            f"{self.gram_hash}|{self.domain_size}|"
+            f"{self.epsilon!r}|{self.config_hash}"
+        )
+        return _sha256(text.encode("utf-8"))[:32]
+
+
+def key_for(
+    workload: Workload | np.ndarray, epsilon: float, config, **extras
+) -> StrategyKey:
+    """Build the :class:`StrategyKey` for one optimization problem.
+
+    Parameters
+    ----------
+    workload:
+        A :class:`~repro.workloads.base.Workload` or raw Gram matrix.
+    epsilon:
+        Privacy budget.
+    config:
+        The :class:`~repro.optimization.pgd.OptimizerConfig` to fingerprint.
+    extras:
+        Additional key material (e.g. ``restarts=4``).
+
+    Examples
+    --------
+    >>> from repro.optimization import OptimizerConfig
+    >>> from repro.workloads import prefix
+    >>> config = OptimizerConfig(num_iterations=100, seed=0)
+    >>> key = key_for(prefix(8), 1.0, config)
+    >>> key.domain_size, key.epsilon
+    (8, 1.0)
+    >>> key == key_for(prefix(8).gram(), 1.0, config)
+    True
+    """
+    if isinstance(workload, Workload):
+        gram = workload.gram()
+    else:
+        gram = np.asarray(workload, dtype=float)
+    return StrategyKey(
+        gram_hash=gram_fingerprint(gram),
+        domain_size=gram.shape[0],
+        epsilon=canonical_epsilon(epsilon),
+        config_hash=config_fingerprint(config, **extras),
+    )

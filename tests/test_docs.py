@@ -1,0 +1,98 @@
+"""Documentation invariants: pages exist, README links them, links resolve.
+
+The same checks run in CI's docs job via ``scripts/check_markdown_links.py``;
+keeping them in tier-1 means a broken docs link fails the ordinary test run
+too, not just the docs job.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DOC_PAGES = (
+    "architecture.md",
+    "mechanism-catalog.md",
+    "strategy-store.md",
+    "protocol-engine.md",
+)
+
+
+def load_checker():
+    path = REPO_ROOT / "scripts" / "check_markdown_links.py"
+    spec = importlib.util.spec_from_file_location("check_markdown_links", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("page", DOC_PAGES)
+def test_doc_page_exists_and_has_content(page):
+    path = REPO_ROOT / "docs" / page
+    assert path.is_file(), f"missing docs page {page}"
+    text = path.read_text(encoding="utf-8")
+    assert text.startswith("#"), f"{page} should start with a heading"
+    assert len(text) > 1000, f"{page} looks like a stub"
+
+
+@pytest.mark.parametrize("page", DOC_PAGES)
+def test_readme_links_every_doc_page(page):
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert f"docs/{page}" in readme, f"README does not link docs/{page}"
+
+
+def test_no_broken_markdown_links():
+    checker = load_checker()
+    checked, problems = checker.check_tree(REPO_ROOT)
+    assert checked >= 4 + 1  # at least the docs pages and the README
+    assert problems == [], "broken links:\n" + "\n".join(problems)
+
+
+def test_mechanism_catalog_covers_every_module():
+    """Each mechanism module gets a section (satellite: one per mechanism)."""
+    catalog = (REPO_ROOT / "docs" / "mechanism-catalog.md").read_text(
+        encoding="utf-8"
+    )
+    mechanisms_dir = REPO_ROOT / "src" / "repro" / "mechanisms"
+    skip = {"__init__", "base", "interface", "registry"}
+    for module in sorted(mechanisms_dir.glob("*.py")):
+        if module.stem in skip:
+            continue
+        assert f"`{module.stem}.py`" in catalog, (
+            f"docs/mechanism-catalog.md has no section for {module.stem}.py"
+        )
+
+
+def test_checker_catches_broken_link_with_caret_in_text(tmp_path):
+    """Regression: math-y link text like ``e^eps`` must not hide a broken
+    target from the checker."""
+    checker = load_checker()
+    (tmp_path / "page.md").write_text(
+        "# Page\n\nSee [the e^eps bound](missing.md).\n", encoding="utf-8"
+    )
+    checked, problems = checker.check_tree(tmp_path)
+    assert checked == 1
+    assert len(problems) == 1 and "missing.md" in problems[0]
+
+
+def test_checker_reports_real_line_numbers_below_fences(tmp_path):
+    checker = load_checker()
+    (tmp_path / "page.md").write_text(
+        "# Page\n\n```\ncode\ncode\n```\n\n[broken](missing.md)\n",
+        encoding="utf-8",
+    )
+    _, problems = checker.check_tree(tmp_path)
+    assert problems and problems[0].startswith("page.md:8:")
+
+
+def test_cli_docs_mention_strategy_commands():
+    page = (REPO_ROOT / "docs" / "strategy-store.md").read_text(encoding="utf-8")
+    for command in ("strategy build", "strategy list", "strategy inspect",
+                    "strategy prune"):
+        assert command in page
