@@ -1,0 +1,174 @@
+"""Collection-service ingest throughput: reports/sec vs batch size.
+
+Measures the full client→server path — client-side randomization already
+done, reports shipped over real HTTP to the asyncio service, folded by the
+micro-batching ingest pipeline, and drained — for a sweep of client batch
+sizes.  Small batches stress per-request overhead (HTTP parse + JSON +
+queue hop per few reports); large batches amortize it, converging toward
+the pipeline's raw folding rate, which is also measured directly (no HTTP)
+as the ceiling.
+
+The script asserts correctness along the way: after every sweep the
+drained service count must equal the number of reports sent, and the final
+estimate must match a batch ``finalize`` of the same histogram.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_service_ingest.py \
+        --reports 200000 --domain 64 --batch-sizes 100,1000,10000 \
+        --json service_ingest.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.mechanisms import hadamard_response
+from repro.service import (
+    CampaignManager,
+    CollectionService,
+    IngestPipeline,
+    ServiceClient,
+    ServiceThread,
+)
+
+
+def time_http_path(client, campaign, reports, batch_size):
+    """Ship pre-randomized reports over HTTP in ``batch_size`` chunks and
+    drain; returns (elapsed_seconds, reports_counted_by_server)."""
+    start = time.perf_counter()
+    for begin in range(0, reports.shape[0], batch_size):
+        client.send_reports(campaign, reports[begin : begin + batch_size])
+    answer = client.query(campaign, sync=True)
+    elapsed = time.perf_counter() - start
+    return elapsed, answer["num_reports"]
+
+
+def time_direct_pipeline(manager_factory, reports, batch_size):
+    """The no-HTTP ceiling: feed the same batches straight into an
+    :class:`IngestPipeline` on a private event loop."""
+
+    async def run() -> tuple[float, int]:
+        manager = manager_factory()
+        pipeline = IngestPipeline(manager, num_workers=2)
+        await pipeline.start()
+        start = time.perf_counter()
+        for begin in range(0, reports.shape[0], batch_size):
+            await pipeline.submit_reports(
+                "bench", reports[begin : begin + batch_size]
+            )
+        await pipeline.drain()
+        elapsed = time.perf_counter() - start
+        await pipeline.stop()
+        return elapsed, manager.get("bench").num_reports
+
+    return asyncio.run(run())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reports", type=float, default=200_000)
+    parser.add_argument("--domain", type=int, default=64)
+    parser.add_argument("--epsilon", type=float, default=1.0)
+    parser.add_argument(
+        "--batch-sizes",
+        default="100,1000,10000",
+        help="comma-separated client batch sizes to sweep",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", default=None, help="write results to this path")
+    arguments = parser.parse_args(argv)
+
+    num_reports = int(arguments.reports)
+    batch_sizes = [int(v) for v in arguments.batch_sizes.split(",") if v.strip()]
+    strategy = hadamard_response(arguments.domain, arguments.epsilon)
+
+    # Pre-randomize once: the benchmark isolates ingest, not the sampler.
+    rng = np.random.default_rng(arguments.seed)
+    values = rng.integers(0, arguments.domain, size=num_reports)
+    reports = strategy.sample_responses(values, rng)
+
+    def manager_factory() -> CampaignManager:
+        manager = CampaignManager()
+        manager.create(
+            "bench",
+            workload="Histogram",
+            domain_size=arguments.domain,
+            epsilon=arguments.epsilon,
+            mechanism="Hadamard",
+        )
+        return manager
+
+    results = {
+        "num_reports": num_reports,
+        "domain_size": arguments.domain,
+        "num_outputs": strategy.num_outputs,
+        "epsilon": arguments.epsilon,
+        "sweep": [],
+    }
+    print(
+        f"service ingest: N = {num_reports:,} pre-randomized reports, "
+        f"n = {arguments.domain}, m = {strategy.num_outputs} outputs"
+    )
+
+    failures = 0
+    for batch_size in batch_sizes:
+        service = CollectionService(
+            manager=manager_factory(), flush_interval=0.05
+        )
+        thread = ServiceThread(service)
+        host, port = thread.start()
+        client = ServiceClient(host, port)
+        http_seconds, counted = time_http_path(
+            client, "bench", reports, batch_size
+        )
+        campaign = service.manager.get("bench")
+        estimate_ok = bool(
+            np.array_equal(
+                campaign.session.finalize(campaign.accumulator).response_vector,
+                np.bincount(reports, minlength=strategy.num_outputs).astype(
+                    float
+                ),
+            )
+        )
+        client.close()
+        thread.stop()
+
+        direct_seconds, direct_counted = time_direct_pipeline(
+            manager_factory, reports, batch_size
+        )
+        count_ok = counted == num_reports and direct_counted == num_reports
+        if not (count_ok and estimate_ok):
+            failures += 1
+        row = {
+            "batch_size": batch_size,
+            "http_seconds": round(http_seconds, 6),
+            "http_reports_per_sec": round(num_reports / http_seconds, 1),
+            "direct_seconds": round(direct_seconds, 6),
+            "direct_reports_per_sec": round(num_reports / direct_seconds, 1),
+            "count_ok": count_ok,
+            "estimate_ok": estimate_ok,
+        }
+        results["sweep"].append(row)
+        print(
+            f"batch {batch_size:>7,}: http {num_reports / http_seconds:>12,.0f} "
+            f"reports/sec   direct {num_reports / direct_seconds:>12,.0f} "
+            f"reports/sec   "
+            f"[{'ok' if count_ok and estimate_ok else 'MISMATCH'}]"
+        )
+
+    if arguments.json:
+        with open(arguments.json, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2)
+        print(f"wrote {arguments.json}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""Service smoke test for CI: real process, real sockets, real crash.
+
+Drives the collection service exactly as a deployment would:
+
+1. start ``repro serve`` as a subprocess with a bootstrapped fixture
+   campaign and a checkpoint directory;
+2. push client-randomized reports through the SDK (the server never sees a
+   raw value);
+3. assert ``GET /v1/query`` answers within statistical tolerance of the
+   known ground truth (every query inside 6 plug-in standard errors);
+4. force a checkpoint, ``SIGKILL`` the server (a genuine crash — no
+   graceful drain), restart on the same checkpoint directory, and assert
+   the recovered estimates are **bit-identical** to the pre-kill answer;
+5. verify the restarted service still ingests.
+
+Exits non-zero on any failure.  Run::
+
+    PYTHONPATH=src python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.data import zipf_data  # noqa: E402
+from repro.protocol.simulation import expand_users  # noqa: E402
+from repro.service import ServiceClient  # noqa: E402
+
+DOMAIN = 32
+EPSILON = 1.0
+NUM_CLIENTS = 20_000
+CAMPAIGN = "smoke"
+
+
+def free_port() -> int:
+    import socket
+
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def start_server(port: int, checkpoint_dir: str) -> subprocess.Popen:
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            str(port),
+            "--checkpoint-dir",
+            checkpoint_dir,
+            "--checkpoint-interval",
+            "5",
+            "--flush-interval",
+            "0.05",
+            "--campaign",
+            CAMPAIGN,
+            "--workload",
+            "Histogram",
+            "--domain",
+            str(DOMAIN),
+            "--epsilon",
+            str(EPSILON),
+        ],
+        cwd=REPO_ROOT,
+        env={
+            **__import__("os").environ,
+            "PYTHONPATH": str(REPO_ROOT / "src"),
+        },
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.time() + 30
+    while True:
+        try:
+            ServiceClient("127.0.0.1", port, timeout=2.0).healthz()
+            return process
+        except Exception:
+            if process.poll() is not None or time.time() > deadline:
+                output = process.stdout.read() if process.stdout else ""
+                process.kill()
+                raise SystemExit(
+                    f"server failed to come up on port {port}:\n{output}"
+                )
+            time.sleep(0.1)
+
+
+def main() -> int:
+    checkpoint_dir = tempfile.mkdtemp(prefix="repro-service-smoke-")
+    port = free_port()
+    print(f"[smoke] starting repro serve on :{port} (checkpoints {checkpoint_dir})")
+    server = start_server(port, checkpoint_dir)
+    try:
+        client = ServiceClient("127.0.0.1", port)
+        truth = zipf_data(DOMAIN, NUM_CLIENTS, seed=1)
+        values = expand_users(truth)
+        rng = np.random.default_rng(0)
+        rng.shuffle(values)
+
+        reporter = client.reporter(CAMPAIGN, batch_size=1000, rng=rng)
+        start = time.perf_counter()
+        reporter.report_many(values)
+        reporter.flush_all()
+        answer = client.query(CAMPAIGN, sync=True)
+        elapsed = time.perf_counter() - start
+        print(
+            f"[smoke] ingested {answer['num_reports']:,} reports in "
+            f"{elapsed:.2f} s ({answer['num_reports'] / elapsed:,.0f} "
+            "reports/sec end-to-end)"
+        )
+        assert answer["num_reports"] == NUM_CLIENTS, answer["num_reports"]
+
+        estimates = np.asarray(answer["estimates"])
+        errors = np.abs(estimates - truth)
+        sigma = np.asarray(answer["standard_errors"])
+        worst = float((errors / sigma).max())
+        print(
+            f"[smoke] accuracy: mean |err| = {errors.mean():.1f} users, "
+            f"worst query at {worst:.2f} sigma"
+        )
+        if worst > 6.0:
+            print("[smoke] FAIL: estimate outside 6-sigma tolerance")
+            return 1
+
+        client.checkpoint()
+        pre_kill = client.query(CAMPAIGN, sync=True)
+        client.close()
+        print("[smoke] SIGKILL the server (no graceful shutdown)")
+        server.send_signal(signal.SIGKILL)
+        server.wait(timeout=30)
+
+        port2 = free_port()
+        server2 = start_server(port2, checkpoint_dir)
+        try:
+            client2 = ServiceClient("127.0.0.1", port2)
+            health = client2.healthz()
+            assert health["recovered"], "server did not recover the checkpoint"
+            post = client2.query(CAMPAIGN, sync=True)
+            if post["estimates"] != pre_kill["estimates"]:
+                print("[smoke] FAIL: recovered estimates not bit-identical")
+                return 1
+            if post["num_reports"] != pre_kill["num_reports"]:
+                print("[smoke] FAIL: recovered report count drifted")
+                return 1
+            print(
+                f"[smoke] recovery: {post['num_reports']:,} reports restored, "
+                "estimates bit-identical"
+            )
+            client2.send_reports(CAMPAIGN, [0, 1, 2])
+            after = client2.query(CAMPAIGN, sync=True)["num_reports"]
+            assert after == NUM_CLIENTS + 3, after
+            print("[smoke] recovered service still ingesting — PASS")
+            client2.close()
+        finally:
+            server2.send_signal(signal.SIGTERM)
+            try:
+                server2.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                server2.kill()
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

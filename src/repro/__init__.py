@@ -29,6 +29,7 @@ Subpackages
 ``repro.data``           synthetic datasets
 ``repro.experiments``    one module per paper figure/table
 ``repro.store``          persistent content-addressed strategy store
+``repro.service``        always-on collection service (ingest + live query)
 """
 
 from repro import (
@@ -40,9 +41,11 @@ from repro import (
     optimization,
     postprocess,
     protocol,
+    service,
     store,
     workloads,
 )
+from repro._version import __version__
 from repro.exceptions import (
     DataError,
     DomainError,
@@ -51,6 +54,7 @@ from repro.exceptions import (
     PrivacyViolationError,
     ProtocolError,
     ReproError,
+    ServiceError,
     StochasticityError,
     StoreError,
     WorkloadError,
@@ -66,8 +70,6 @@ from repro.protocol import ProtocolSession, ShardAccumulator
 from repro.store import StrategyStore
 from repro.workloads import Workload
 
-__version__ = "1.0.0"
-
 __all__ = [
     "DataError",
     "DomainError",
@@ -82,6 +84,7 @@ __all__ = [
     "ProtocolError",
     "ProtocolSession",
     "ReproError",
+    "ServiceError",
     "ShardAccumulator",
     "StochasticityError",
     "StoreError",
@@ -99,6 +102,7 @@ __all__ = [
     "optimize_strategy",
     "postprocess",
     "protocol",
+    "service",
     "store",
     "workloads",
 ]

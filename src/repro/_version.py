@@ -1,0 +1,10 @@
+"""Single source of truth for the library version.
+
+Everything that needs the version — ``repro.__version__``, the strategy
+store's provenance records, the service's ``/v1/healthz`` payload, the CLI's
+``--version`` flag — imports it from here, so a release bump is one edit.
+"""
+
+from __future__ import annotations
+
+__version__ = "1.1.0"

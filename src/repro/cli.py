@@ -8,7 +8,9 @@ supports; ``python -m repro protocol run`` executes a sharded collection
 campaign through the streaming protocol engine and reports throughput and
 accuracy; ``python -m repro strategy build|list|inspect|prune`` manages the
 persistent strategy store (build = multi-restart optimization with
-read-through caching; see docs/strategy-store.md).
+read-through caching; see docs/strategy-store.md); ``python -m repro
+serve`` runs the always-on collection service, with ``repro report`` and
+``repro query`` as its command-line client (see docs/serving.md).
 """
 
 from __future__ import annotations
@@ -40,12 +42,17 @@ PLAN_MECHANISMS = (
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro._version import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "Reproduce experiments from 'A workload-adaptive mechanism for "
             "linear queries under local differential privacy' (VLDB 2020)."
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subcommands = parser.add_subparsers(dest="command")
 
@@ -189,6 +196,117 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-bytes", type=int, default=None, help="total payload byte budget"
     )
     prune.add_argument("--store", default=None, help="store directory")
+
+    serve = subcommands.add_parser(
+        "serve", help="run the always-on collection service"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8320, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for periodic atomic checkpoints (enables crash "
+        "recovery; an existing checkpoint there is recovered on startup)",
+    )
+    serve.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=30.0,
+        help="seconds between automatic checkpoints",
+    )
+    serve.add_argument(
+        "--ingest-workers", type=int, default=2, help="ingest worker tasks"
+    )
+    serve.add_argument(
+        "--flush-reports",
+        type=int,
+        default=8192,
+        help="flush a worker's partial accumulator at this many reports",
+    )
+    serve.add_argument(
+        "--flush-interval",
+        type=float,
+        default=0.2,
+        help="seconds between timer-driven ingest flushes",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=256,
+        help="ingest queue bound (backpressure beyond it)",
+    )
+    serve.add_argument(
+        "--store",
+        default=None,
+        help="strategy-store directory for mechanism 'store'/'Optimized' "
+        "campaigns",
+    )
+    serve.add_argument(
+        "--campaign",
+        default=None,
+        help="bootstrap one campaign at startup (skipped if it was "
+        "recovered from a checkpoint)",
+    )
+    serve.add_argument("--workload", default="Histogram", help="paper workload")
+    serve.add_argument("--domain", type=int, default=64, help="domain size n")
+    serve.add_argument(
+        "--epsilon", type=float, default=1.0, help="privacy budget"
+    )
+    serve.add_argument(
+        "--mechanism",
+        default="Hadamard",
+        help="strategy source: a mechanism name, 'Optimized', or 'store'",
+    )
+    serve.add_argument(
+        "--iterations", type=int, default=300, help="optimizer iterations"
+    )
+
+    report = subcommands.add_parser(
+        "report", help="randomize values locally and send them to a service"
+    )
+    report.add_argument("--host", default="127.0.0.1", help="service address")
+    report.add_argument("--port", type=int, default=8320, help="service port")
+    report.add_argument("--campaign", required=True, help="campaign name")
+    report.add_argument(
+        "--values",
+        default=None,
+        help="comma-separated raw values (randomized locally before sending)",
+    )
+    report.add_argument(
+        "--simulate",
+        type=int,
+        default=None,
+        help="simulate this many clients with Zipf-distributed values",
+    )
+    report.add_argument(
+        "--seed", type=int, default=0, help="randomizer/simulation seed"
+    )
+    report.add_argument(
+        "--batch-size", type=int, default=500, help="reports per HTTP batch"
+    )
+
+    query = subcommands.add_parser(
+        "query", help="query a running service for live estimates"
+    )
+    query.add_argument("--host", default="127.0.0.1", help="service address")
+    query.add_argument("--port", type=int, default=8320, help="service port")
+    query.add_argument("--campaign", required=True, help="campaign name")
+    query.add_argument(
+        "--confidence", type=float, default=0.95, help="interval confidence"
+    )
+    query.add_argument(
+        "--sync",
+        action="store_true",
+        help="drain the server's ingest queue before answering",
+    )
+    query.add_argument(
+        "--limit",
+        type=int,
+        default=16,
+        help="print at most this many queries (0 = all)",
+    )
     return parser
 
 
@@ -464,6 +582,111 @@ def _run_strategy_prune(arguments) -> int:
     return 0
 
 
+def _run_serve(arguments) -> int:
+    from repro.service import CollectionService, run_service
+
+    store = None
+    if arguments.store is not None:
+        from repro.store import StrategyStore
+
+        store = StrategyStore(arguments.store)
+    service = CollectionService(
+        checkpoint_dir=arguments.checkpoint_dir,
+        checkpoint_interval=arguments.checkpoint_interval,
+        store=store,
+        num_workers=arguments.ingest_workers,
+        max_pending=arguments.max_pending,
+        flush_reports=arguments.flush_reports,
+        flush_interval=arguments.flush_interval,
+    )
+    if arguments.campaign is not None and arguments.campaign not in service.manager:
+        service.manager.create(
+            arguments.campaign,
+            workload=arguments.workload,
+            domain_size=arguments.domain,
+            epsilon=arguments.epsilon,
+            mechanism=arguments.mechanism,
+            iterations=arguments.iterations,
+            store=store,
+        )
+        print(
+            f"bootstrapped campaign {arguments.campaign!r} "
+            f"({arguments.workload}, n = {arguments.domain}, "
+            f"eps = {arguments.epsilon:g}, {arguments.mechanism})"
+        )
+    run_service(service, host=arguments.host, port=arguments.port)
+    return 0
+
+
+def _run_report(arguments) -> int:
+    import numpy as np
+
+    from repro.service import ServiceClient
+
+    if (arguments.values is None) == (arguments.simulate is None):
+        print("pass exactly one of --values or --simulate", file=sys.stderr)
+        return 2
+    client = ServiceClient(arguments.host, arguments.port)
+    reporter = client.reporter(
+        arguments.campaign,
+        batch_size=arguments.batch_size,
+        rng=np.random.default_rng(arguments.seed),
+    )
+    if arguments.values is not None:
+        values = [int(v) for v in arguments.values.split(",") if v.strip()]
+    else:
+        from repro.data import zipf_data
+        from repro.protocol.simulation import expand_users
+
+        truth = zipf_data(
+            reporter.strategy.domain_size, arguments.simulate, seed=arguments.seed
+        )
+        values = expand_users(truth)
+    start = time.perf_counter()
+    reporter.report_many(values)
+    reporter.flush_all()
+    elapsed = time.perf_counter() - start
+    print(
+        f"sent {reporter.reports_sent:,} locally-randomized reports to "
+        f"campaign {arguments.campaign!r} in {elapsed:.3f} s "
+        f"({reporter.reports_sent / max(elapsed, 1e-9):,.0f} reports/sec)"
+    )
+    client.close()
+    return 0
+
+
+def _run_query(arguments) -> int:
+    from repro.experiments.reporting import format_table
+    from repro.service import ServiceClient
+
+    client = ServiceClient(arguments.host, arguments.port)
+    answer = client.query(
+        arguments.campaign,
+        confidence=arguments.confidence,
+        sync=arguments.sync,
+    )
+    client.close()
+    estimates = answer["estimates"]
+    shown = len(estimates) if arguments.limit == 0 else arguments.limit
+    rows = [
+        [
+            index,
+            f"{answer['estimates'][index]:.2f}",
+            f"{answer['standard_errors'][index]:.2f}",
+            f"[{answer['lower'][index]:.2f}, {answer['upper'][index]:.2f}]",
+        ]
+        for index in range(min(shown, len(estimates)))
+    ]
+    print(
+        f"campaign {answer['campaign']!r}: {answer['num_reports']:,} reports, "
+        f"{len(estimates)} queries, {answer['confidence']:.0%} intervals"
+    )
+    print(format_table(["query", "estimate", "stderr", "interval"], rows))
+    if len(estimates) > len(rows):
+        print(f"... ({len(estimates) - len(rows)} more queries; --limit 0 for all)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     # Backwards-compatible shorthand: `python -m repro figure1` etc.
@@ -479,6 +702,12 @@ def main(argv: list[str] | None = None) -> int:
             return _run_protocol_engine(arguments)
         print("usage: repro protocol run [options] (see `repro protocol run -h`)")
         return 2
+    if arguments.command == "serve":
+        return _run_serve(arguments)
+    if arguments.command == "report":
+        return _run_report(arguments)
+    if arguments.command == "query":
+        return _run_query(arguments)
     if arguments.command == "strategy":
         handlers = {
             "build": _run_strategy_build,

@@ -46,3 +46,8 @@ class DataError(ReproError):
 
 class StoreError(ReproError):
     """A strategy-store entry is missing, corrupted, or fails validation."""
+
+
+class ServiceError(ReproError):
+    """The collection service was misused or its state is damaged (unknown
+    campaign, malformed request, corrupt checkpoint)."""

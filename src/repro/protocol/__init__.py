@@ -31,6 +31,8 @@ from repro.protocol.audit import (
 )
 from repro.protocol.client import LocalRandomizer
 from repro.protocol.engine import (
+    ACCUMULATOR_FORMAT_VERSION,
+    ACCUMULATOR_MAGIC,
     BACKENDS,
     ProtocolResult,
     ProtocolSession,
@@ -41,6 +43,8 @@ from repro.protocol.server import Aggregator
 from repro.protocol.simulation import expand_users, run_protocol
 
 __all__ = [
+    "ACCUMULATOR_FORMAT_VERSION",
+    "ACCUMULATOR_MAGIC",
     "Aggregator",
     "AuditReport",
     "BACKENDS",

@@ -41,6 +41,14 @@ from repro.workloads.base import Workload
 #: Execution backends accepted by :meth:`ProtocolSession.run`.
 BACKENDS = ("serial", "thread", "process")
 
+#: Magic string identifying a serialized :class:`ShardAccumulator` payload.
+ACCUMULATOR_MAGIC = "repro/shard-accumulator"
+
+#: Serialization format version; bumped on incompatible payload changes so
+#: checkpoints written by a different format fail loudly instead of
+#: surfacing as a numpy decode error.
+ACCUMULATOR_FORMAT_VERSION = 1
+
 
 @dataclass(frozen=True)
 class ProtocolResult:
@@ -216,6 +224,8 @@ class ShardAccumulator:
         buffer = io.BytesIO()
         np.savez_compressed(
             buffer,
+            format_magic=np.asarray(ACCUMULATOR_MAGIC),
+            format_version=np.asarray(ACCUMULATOR_FORMAT_VERSION, dtype=np.int64),
             histogram=self.histogram,
             num_reports=np.asarray(self.num_reports, dtype=np.int64),
         )
@@ -223,10 +233,38 @@ class ShardAccumulator:
 
     @staticmethod
     def from_bytes(payload: bytes) -> "ShardAccumulator":
-        """Inverse of :meth:`to_bytes`."""
-        with np.load(io.BytesIO(payload), allow_pickle=False) as archive:
-            histogram = np.asarray(archive["histogram"], dtype=float)
-            num_reports = int(archive["num_reports"])
+        """Inverse of :meth:`to_bytes`.
+
+        Payloads are tagged with a magic string and a format version so a
+        checkpoint written by an incompatible library fails with a clear
+        :class:`ProtocolError` rather than a numpy decode error.  Untagged
+        payloads (written before the tag existed) are still accepted.
+        """
+        try:
+            with np.load(io.BytesIO(payload), allow_pickle=False) as archive:
+                if "format_magic" in archive.files:
+                    magic = str(archive["format_magic"])
+                    if magic != ACCUMULATOR_MAGIC:
+                        raise ProtocolError(
+                            f"payload magic {magic!r} is not a serialized "
+                            f"ShardAccumulator (expected {ACCUMULATOR_MAGIC!r})"
+                        )
+                    version = int(archive["format_version"])
+                    if version != ACCUMULATOR_FORMAT_VERSION:
+                        raise ProtocolError(
+                            f"ShardAccumulator payload has format version "
+                            f"{version}; this library reads version "
+                            f"{ACCUMULATOR_FORMAT_VERSION} — re-serialize with "
+                            "a matching library version"
+                        )
+                histogram = np.asarray(archive["histogram"], dtype=float)
+                num_reports = int(archive["num_reports"])
+        except ProtocolError:
+            raise
+        except Exception as error:  # zip damage, missing fields, bad dtypes
+            raise ProtocolError(
+                f"payload is not a serialized ShardAccumulator: {error}"
+            )
         if histogram.ndim != 1 or histogram.shape[0] < 1:
             raise ProtocolError(
                 f"serialized histogram has invalid shape {histogram.shape}"

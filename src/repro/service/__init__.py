@@ -1,0 +1,53 @@
+"""Always-on collection service: multi-campaign ingestion, checkpointing,
+and live query answering.
+
+The batch pipeline (optimize → collect → reconstruct) becomes a standing
+deployment: the server holds any number of named *campaigns* (immutable
+:class:`~repro.protocol.engine.ProtocolSession` + live mergeable
+:class:`~repro.protocol.engine.ShardAccumulator`), ingests privatized
+reports through an async micro-batching path with backpressure, answers
+workload queries with confidence intervals *while collection is in
+flight*, and writes periodic atomic checkpoints it can recover from after
+a crash.  Clients randomize locally — the server never sees a raw value.
+
+* :class:`~repro.service.campaigns.CampaignManager` — named campaigns.
+* :class:`~repro.service.ingest.IngestPipeline` — bounded-queue
+  micro-batching ingestion.
+* :class:`~repro.service.checkpoint.CheckpointStore` — atomic snapshots +
+  crash recovery.
+* :class:`~repro.service.server.CollectionService` — the asyncio
+  JSON-over-HTTP server (``repro serve``).
+* :class:`~repro.service.client.ServiceClient` /
+  :class:`~repro.service.client.CampaignReporter` — the client SDK with
+  client-side randomization and fire-and-forget batching.
+
+See ``docs/serving.md`` for the architecture and endpoint reference.
+"""
+
+from repro.service.campaigns import (
+    Campaign,
+    CampaignManager,
+    QueryAnswer,
+    validate_campaign_name,
+)
+from repro.service.checkpoint import MANIFEST_VERSION, CheckpointStore
+from repro.service.client import CampaignReporter, ServiceClient
+from repro.service.ingest import MAX_BATCH_REPORTS, IngestPipeline, IngestStats
+from repro.service.server import CollectionService, ServiceThread, run_service
+
+__all__ = [
+    "Campaign",
+    "CampaignManager",
+    "CampaignReporter",
+    "CheckpointStore",
+    "CollectionService",
+    "IngestPipeline",
+    "IngestStats",
+    "MANIFEST_VERSION",
+    "MAX_BATCH_REPORTS",
+    "QueryAnswer",
+    "ServiceClient",
+    "ServiceThread",
+    "run_service",
+    "validate_campaign_name",
+]

@@ -1,0 +1,347 @@
+"""Named collection campaigns and the manager that owns them.
+
+A *campaign* is one standing collection effort: an immutable
+:class:`~repro.protocol.engine.ProtocolSession` (the public strategy,
+workload, and reconstruction operator, fixed at creation) plus the live
+:class:`~repro.protocol.engine.ShardAccumulator` that folds in reports as
+they arrive.  Because the accumulator is additive, a campaign can be
+queried at any moment — the current estimate is exactly what the batch
+pipeline would produce on the reports received so far.
+
+The :class:`CampaignManager` holds any number of concurrent campaigns and
+is deliberately synchronous and single-threaded: the service mutates it
+only from the asyncio event loop, so no locking is needed.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass, field
+
+from repro.exceptions import ServiceError
+from repro.postprocess.intervals import IntervalEstimate, workload_confidence_intervals
+from repro.protocol.engine import ProtocolSession, ShardAccumulator
+from repro.workloads import by_name as workload_by_name
+
+#: Campaign names become checkpoint file stems, so they are restricted to a
+#: filesystem-safe alphabet (matched with fullmatch — `$` alone would let a
+#: trailing newline through).
+_NAME_PATTERN = re.compile(r"[A-Za-z0-9][A-Za-z0-9_.-]{0,63}")
+
+
+def validate_campaign_name(name: str) -> str:
+    """Check a campaign name is filesystem- and URL-safe.
+
+    Examples
+    --------
+    >>> validate_campaign_name("latency-v2")
+    'latency-v2'
+    >>> try:
+    ...     validate_campaign_name("../etc/passwd")
+    ... except Exception as error:
+    ...     type(error).__name__
+    'ServiceError'
+    """
+    if not isinstance(name, str) or not _NAME_PATTERN.fullmatch(name):
+        raise ServiceError(
+            f"invalid campaign name {name!r}; use 1-64 characters from "
+            "[A-Za-z0-9_.-], starting with a letter or digit"
+        )
+    return name
+
+
+@dataclass
+class Campaign:
+    """One standing collection campaign: immutable session + live state.
+
+    Attributes
+    ----------
+    name:
+        Unique, filesystem-safe campaign identifier.
+    session:
+        The frozen public configuration every client of this campaign uses.
+    accumulator:
+        The live response histogram; grows monotonically as reports arrive.
+    workload_name, epsilon, source:
+        Provenance recorded at creation (and in checkpoints): which paper
+        workload, what budget, and where the strategy came from
+        (a mechanism name, ``"store"``, or ``"strategy"``).
+    created_at:
+        Unix timestamp of campaign creation.
+    flushes:
+        How many ingest flushes have folded pending reports into the
+        accumulator (observability only; not part of the estimate).
+    """
+
+    name: str
+    session: ProtocolSession
+    workload_name: str
+    epsilon: float
+    source: str
+    created_at: float = field(default_factory=time.time)
+    accumulator: ShardAccumulator = field(default=None)  # type: ignore[assignment]
+    flushes: int = 0
+
+    def __post_init__(self) -> None:
+        validate_campaign_name(self.name)
+        if self.accumulator is None:
+            self.accumulator = self.session.new_accumulator()
+        elif self.accumulator.num_outputs != self.session.num_outputs:
+            raise ServiceError(
+                f"campaign {self.name!r}: accumulator over "
+                f"{self.accumulator.num_outputs} outputs does not match the "
+                f"session's {self.session.num_outputs} outputs"
+            )
+
+    @property
+    def num_reports(self) -> int:
+        """Reports folded into the live accumulator so far."""
+        return self.accumulator.num_reports
+
+    def describe(self) -> dict:
+        """JSON-ready summary (no matrices)."""
+        return {
+            "name": self.name,
+            "workload": self.workload_name,
+            "domain_size": self.session.domain_size,
+            "num_outputs": self.session.num_outputs,
+            "num_queries": self.session.workload.num_queries,
+            "epsilon": self.session.epsilon,
+            "strategy": self.session.strategy.name,
+            "source": self.source,
+            "created_at": self.created_at,
+            "num_reports": self.num_reports,
+            "flushes": self.flushes,
+        }
+
+
+@dataclass(frozen=True)
+class QueryAnswer:
+    """A live query response: current estimates with uncertainty."""
+
+    campaign: str
+    intervals: IntervalEstimate
+    num_reports: int
+    as_of: float
+
+    def to_json(self) -> dict:
+        """JSON-ready payload (arrays become lists)."""
+        return {
+            "campaign": self.campaign,
+            "num_reports": self.num_reports,
+            "as_of": self.as_of,
+            "confidence": self.intervals.confidence,
+            "estimates": [float(v) for v in self.intervals.estimates],
+            "standard_errors": [
+                float(v) for v in self.intervals.standard_errors
+            ],
+            "lower": [float(v) for v in self.intervals.lower],
+            "upper": [float(v) for v in self.intervals.upper],
+        }
+
+
+class CampaignManager:
+    """Registry of concurrently running campaigns.
+
+    Examples
+    --------
+    >>> manager = CampaignManager()
+    >>> campaign = manager.create(
+    ...     "demo", workload="Histogram", domain_size=8, epsilon=1.0,
+    ...     mechanism="Randomized Response",
+    ... )
+    >>> campaign.accumulator.add_reports([0, 1, 1]).num_reports
+    3
+    >>> manager.query("demo").num_reports
+    3
+    >>> sorted(c.name for c in manager.campaigns())
+    ['demo']
+    """
+
+    def __init__(self) -> None:
+        self._campaigns: dict[str, Campaign] = {}
+
+    # -- creation ----------------------------------------------------------
+
+    def create(
+        self,
+        name: str,
+        *,
+        workload: str,
+        domain_size: int,
+        epsilon: float,
+        mechanism: str = "Hadamard",
+        iterations: int = 300,
+        store=None,
+    ) -> Campaign:
+        """Build a campaign (see :meth:`build`) and register it."""
+        return self.adopt(
+            self.build(
+                name,
+                workload=workload,
+                domain_size=domain_size,
+                epsilon=epsilon,
+                mechanism=mechanism,
+                iterations=iterations,
+                store=store,
+            )
+        )
+
+    def build(
+        self,
+        name: str,
+        *,
+        workload: str,
+        domain_size: int,
+        epsilon: float,
+        mechanism: str = "Hadamard",
+        iterations: int = 300,
+        store=None,
+    ) -> Campaign:
+        """Resolve a strategy and construct a campaign *without* registering
+        it — pure with respect to the manager's state, so the (possibly
+        slow) strategy resolution can run off the event loop and the cheap
+        :meth:`adopt` can happen on it.
+
+        ``mechanism`` selects the strategy source:
+
+        * a closed-form mechanism name (``"Hadamard"``, ``"Randomized
+          Response"``, …) builds the strategy directly;
+        * ``"Optimized"`` runs the paper's PGD optimizer (``iterations``
+          iterations, read-through ``store`` if given);
+        * ``"store"`` loads the best persisted strategy for this
+          workload/budget from ``store`` and refuses to optimize — the
+          deployment path where optimization happened offline.
+        """
+        validate_campaign_name(name)
+        if name in self._campaigns:
+            raise ServiceError(f"campaign {name!r} already exists")
+        target = workload_by_name(workload, domain_size)
+        if mechanism == "store":
+            if store is None:
+                raise ServiceError(
+                    "mechanism 'store' needs a strategy store; pass store= "
+                    "(or --store on the CLI)"
+                )
+            session = ProtocolSession.from_store(store, target, epsilon)
+            source = "store"
+        else:
+            session = self._session_from_mechanism(
+                target, epsilon, mechanism, iterations, store
+            )
+            source = mechanism
+        return Campaign(
+            name=name,
+            session=session,
+            workload_name=workload,
+            epsilon=float(epsilon),
+            source=source,
+        )
+
+    @staticmethod
+    def _session_from_mechanism(
+        workload, epsilon: float, mechanism: str, iterations: int, store
+    ) -> ProtocolSession:
+        from repro.experiments.runner import protocol_session
+
+        if mechanism == "Optimized":
+            from repro.optimization import OptimizedMechanism, OptimizerConfig
+
+            resolved = OptimizedMechanism(
+                OptimizerConfig(num_iterations=iterations, seed=0), store=store
+            )
+        else:
+            from repro.mechanisms import by_name
+
+            try:
+                resolved = by_name(mechanism)
+            except Exception as error:
+                raise ServiceError(f"unknown mechanism {mechanism!r}: {error}")
+        return protocol_session(resolved, workload, epsilon)
+
+    def adopt(self, campaign: Campaign) -> Campaign:
+        """Register an already-built campaign (checkpoint recovery path).
+
+        Names that differ only by case are rejected: campaign names become
+        checkpoint file stems, and on a case-insensitive filesystem
+        ``Test`` and ``test`` would silently overwrite each other's
+        payloads, producing a checkpoint that fails its own checksums.
+        """
+        if campaign.name in self._campaigns:
+            raise ServiceError(f"campaign {campaign.name!r} already exists")
+        folded = campaign.name.casefold()
+        for existing in self._campaigns:
+            if existing.casefold() == folded:
+                raise ServiceError(
+                    f"campaign {campaign.name!r} collides with {existing!r} "
+                    "on case-insensitive filesystems; pick a distinct name"
+                )
+        self._campaigns[campaign.name] = campaign
+        return campaign
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, name: str) -> Campaign:
+        """The campaign registered under ``name``; raises on a miss."""
+        campaign = self._campaigns.get(name)
+        if campaign is None:
+            known = ", ".join(sorted(self._campaigns)) or "none"
+            raise ServiceError(
+                f"unknown campaign {name!r} (registered: {known})"
+            )
+        return campaign
+
+    def campaigns(self) -> list[Campaign]:
+        """All campaigns, oldest first."""
+        return sorted(self._campaigns.values(), key=lambda c: c.created_at)
+
+    def __len__(self) -> int:
+        return len(self._campaigns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._campaigns
+
+    # -- answering ---------------------------------------------------------
+
+    def query(
+        self,
+        name: str,
+        confidence: float = 0.95,
+        pending: list[ShardAccumulator] | None = None,
+    ) -> QueryAnswer:
+        """Current estimates for one campaign, with confidence intervals.
+
+        ``pending`` lets the caller fold in not-yet-flushed partial
+        accumulators (the ingest pipeline's per-worker state) without
+        mutating the campaign — the answer then reflects every report that
+        has cleared validation, even mid-flush.
+        """
+        campaign = self.get(name)
+        merged = campaign.accumulator
+        for partial in pending or ():
+            if partial.num_reports:
+                merged = merged.merge(partial)
+        intervals = workload_confidence_intervals(
+            campaign.session.workload,
+            campaign.session.strategy,
+            campaign.session.operator,
+            merged.histogram,
+            confidence=confidence,
+        )
+        return QueryAnswer(
+            campaign=name,
+            intervals=intervals,
+            num_reports=merged.num_reports,
+            as_of=time.time(),
+        )
+
+    def total_reports(self) -> int:
+        """Reports folded across every campaign."""
+        return sum(c.num_reports for c in self._campaigns.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"CampaignManager(campaigns={len(self)}, "
+            f"reports={self.total_reports()})"
+        )

@@ -1,0 +1,270 @@
+"""Atomic service checkpoints and crash recovery.
+
+A checkpoint captures everything needed to resume every campaign exactly:
+the public strategy matrix (immutable, written once per campaign), the
+serialized live accumulator (version-tagged bytes from
+:meth:`~repro.protocol.engine.ShardAccumulator.to_bytes`), and a manifest
+JSON tying them together with SHA-256 checksums.  The write protocol reuses
+the strategy store's idioms — temp file + ``fsync`` + ``os.replace`` per
+payload, manifest written last — so a crash mid-checkpoint leaves the
+previous complete checkpoint intact: the manifest only ever references
+payloads that were durably on disk before it was swapped in.
+
+Recovery (:meth:`CheckpointStore.load`) verifies every checksum, rebuilds
+each workload by name, reloads the strategy (re-validated epsilon-LDP by
+:meth:`~repro.mechanisms.base.StrategyMatrix.load`), recomputes the
+reconstruction operator, and restores the accumulator bytes — making the
+recovered estimates bit-identical to what the service would have answered
+at checkpoint time.
+
+Layout under the checkpoint root::
+
+    root/
+      manifest.json               campaign table + checksums (written last)
+      strategies/<name>.npz       public strategy, one per campaign
+      accumulators/<name>.bin     serialized ShardAccumulator snapshot
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from pathlib import Path
+
+from repro.exceptions import ProtocolError, ReproError, ServiceError
+from repro.mechanisms.base import StrategyMatrix
+from repro.protocol.engine import ProtocolSession, ShardAccumulator
+from repro.service.campaigns import Campaign, CampaignManager, validate_campaign_name
+from repro.store.store import _atomic_write_bytes
+from repro.workloads import by_name as workload_by_name
+
+#: Manifest schema version; bumped on incompatible layout changes.
+MANIFEST_VERSION = 1
+
+
+def _sha256(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+class CheckpointStore:
+    """Read/write service checkpoints under one directory.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> manager = CampaignManager()
+    >>> campaign = manager.create(
+    ...     "demo", workload="Histogram", domain_size=4, epsilon=1.0,
+    ...     mechanism="Randomized Response",
+    ... )
+    >>> _ = campaign.accumulator.add_reports([0, 2, 2])
+    >>> store = CheckpointStore(tempfile.mkdtemp())
+    >>> _ = store.save(manager)
+    >>> recovered = store.load()
+    >>> recovered.get("demo").accumulator == campaign.accumulator
+    True
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        # (strategy object, payload digest) this instance last
+        # wrote/verified per campaign; strategies are immutable, so a
+        # repeat checkpoint of the same object can skip re-serializing,
+        # re-hashing, and re-reading the file entirely.
+        self._strategy_digests: dict[str, tuple] = {}
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / "manifest.json"
+
+    def strategy_path(self, name: str) -> Path:
+        return self.root / "strategies" / f"{name}.npz"
+
+    def accumulator_path(self, name: str) -> Path:
+        return self.root / "accumulators" / f"{name}.bin"
+
+    def exists(self) -> bool:
+        """Whether a recoverable checkpoint is present."""
+        return self.manifest_path.is_file()
+
+    # -- writing -----------------------------------------------------------
+
+    def save(self, manager: CampaignManager, snapshots: dict | None = None) -> dict:
+        """Write a full checkpoint of every campaign; returns the manifest.
+
+        ``snapshots`` maps campaign name to a pre-taken accumulator
+        snapshot (missing names fall back to snapshotting here).  Callers
+        on a single thread can pass nothing; the *service* instead builds
+        the frozen view on its event loop and calls :meth:`save_frozen`
+        directly, because both the campaign table and the accumulators
+        mutate on the loop while this method may run on a worker thread.
+        """
+        frozen = [
+            (
+                campaign,
+                (snapshots or {}).get(campaign.name)
+                or campaign.accumulator.snapshot(),
+            )
+            for campaign in manager.campaigns()
+        ]
+        return self.save_frozen(frozen)
+
+    def save_frozen(self, frozen: list) -> dict:
+        """Write a checkpoint from ``(campaign, accumulator snapshot)``
+        pairs captured by the caller.
+
+        Payloads are written (atomically) before the manifest, and the
+        manifest itself is swapped in atomically, so readers and a
+        restarting service always see a *complete* checkpoint — either the
+        previous one or this one, never a mix.  Everything read from the
+        campaign objects here (name, session, provenance) is immutable
+        after creation, and the snapshots are private copies, so this is
+        safe to run off the event loop while ingestion continues; the
+        manifest's report count always comes from the serialized snapshot
+        itself, never the live accumulator.
+        """
+        entries: dict[str, dict] = {}
+        for campaign, snapshot in frozen:
+            cached = self._strategy_digests.get(campaign.name)
+            if cached is not None and cached[0] is campaign.session.strategy:
+                strategy_sha = cached[1]
+            else:
+                import io
+
+                buffer = io.BytesIO()
+                campaign.session.strategy.save(buffer)
+                strategy_payload = buffer.getvalue()
+                strategy_sha = _sha256(strategy_payload)
+                strategy_file = self.strategy_path(campaign.name)
+                # The strategy is immutable per campaign, so the file is
+                # usually already right — but a leftover from a crashed
+                # prior deployment (same name, different strategy) must
+                # not be checksummed into this manifest.  Verify once per
+                # process, rewrite on any mismatch.
+                if (
+                    not strategy_file.exists()
+                    or _sha256(strategy_file.read_bytes()) != strategy_sha
+                ):
+                    _atomic_write_bytes(strategy_file, strategy_payload)
+                self._strategy_digests[campaign.name] = (
+                    campaign.session.strategy,
+                    strategy_sha,
+                )
+            payload = snapshot.to_bytes()
+            _atomic_write_bytes(self.accumulator_path(campaign.name), payload)
+            entries[campaign.name] = {
+                "workload": campaign.workload_name,
+                "domain_size": campaign.session.domain_size,
+                "epsilon": campaign.epsilon,
+                "source": campaign.source,
+                "created_at": campaign.created_at,
+                "num_reports": snapshot.num_reports,
+                "strategy_sha256": strategy_sha,
+                "accumulator_sha256": _sha256(payload),
+            }
+        manifest = {
+            "manifest_version": MANIFEST_VERSION,
+            "saved_at": time.time(),
+            "campaigns": entries,
+        }
+        _atomic_write_bytes(
+            self.manifest_path,
+            json.dumps(manifest, indent=2, sort_keys=True).encode("utf-8"),
+        )
+        return manifest
+
+    # -- reading -----------------------------------------------------------
+
+    def read_manifest(self) -> dict:
+        """Parse and schema-check the manifest; raises on damage."""
+        if not self.exists():
+            raise ServiceError(f"no checkpoint manifest at {self.manifest_path}")
+        try:
+            with open(self.manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise ServiceError(
+                f"unreadable checkpoint manifest {self.manifest_path}: {error}"
+            )
+        if manifest.get("manifest_version") != MANIFEST_VERSION:
+            raise ServiceError(
+                f"checkpoint manifest version "
+                f"{manifest.get('manifest_version')!r} != supported version "
+                f"{MANIFEST_VERSION}"
+            )
+        if not isinstance(manifest.get("campaigns"), dict):
+            raise ServiceError("checkpoint manifest has no campaign table")
+        return manifest
+
+    def load(self) -> CampaignManager:
+        """Rebuild a :class:`CampaignManager` from the latest checkpoint.
+
+        Every payload is checksum-verified against the manifest and the
+        strategy is re-validated (column stochasticity + the epsilon-LDP
+        ratio) on load, so a corrupted or tampered checkpoint fails loudly
+        with :class:`ServiceError` instead of silently serving bad
+        estimates.
+        """
+        manifest = self.read_manifest()
+        manager = CampaignManager()
+        for name, entry in sorted(manifest["campaigns"].items()):
+            manager.adopt(self._load_campaign(name, entry))
+        return manager
+
+    def _load_campaign(self, name: str, entry: dict) -> Campaign:
+        validate_campaign_name(name)
+        strategy_file = self.strategy_path(name)
+        accumulator_file = self.accumulator_path(name)
+        for path, key in (
+            (strategy_file, "strategy_sha256"),
+            (accumulator_file, "accumulator_sha256"),
+        ):
+            if not path.is_file():
+                raise ServiceError(
+                    f"checkpoint for campaign {name!r} is missing {path.name}"
+                )
+            digest = _sha256(path.read_bytes())
+            if digest != entry.get(key):
+                raise ServiceError(
+                    f"checkpoint for campaign {name!r} failed its checksum "
+                    f"({path.name}: {digest[:12]}… != recorded "
+                    f"{str(entry.get(key))[:12]}…); refusing to recover "
+                    "corrupt state"
+                )
+        try:
+            strategy = StrategyMatrix.load(strategy_file)
+            workload = workload_by_name(
+                entry["workload"], int(entry["domain_size"])
+            )
+            session = ProtocolSession(strategy, workload)
+            accumulator = ShardAccumulator.from_bytes(
+                accumulator_file.read_bytes()
+            )
+        except KeyError as error:
+            raise ServiceError(
+                f"checkpoint manifest entry for {name!r} is missing {error}"
+            )
+        except (ProtocolError, ReproError) as error:
+            raise ServiceError(
+                f"checkpoint for campaign {name!r} is invalid: {error}"
+            )
+        campaign = Campaign(
+            name=name,
+            session=session,
+            workload_name=str(entry["workload"]),
+            epsilon=float(entry["epsilon"]),
+            source=str(entry.get("source", "checkpoint")),
+            created_at=float(entry.get("created_at", time.time())),
+            accumulator=accumulator,
+        )
+        if campaign.num_reports != int(entry.get("num_reports", -1)):
+            raise ServiceError(
+                f"checkpoint for campaign {name!r} disagrees with its "
+                f"manifest: accumulator holds {campaign.num_reports} reports, "
+                f"manifest recorded {entry.get('num_reports')}"
+            )
+        return campaign
+
+    def __repr__(self) -> str:
+        return f"CheckpointStore(root={str(self.root)!r})"

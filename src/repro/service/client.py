@@ -1,0 +1,302 @@
+"""Client SDK for the collection service.
+
+Privacy lives on this side of the wire: a :class:`CampaignReporter` fetches
+the campaign's *public* strategy once, re-validates it locally (column
+stochasticity + the epsilon-LDP ratio — a malicious or buggy server cannot
+trick the SDK into over-reporting), and randomizes every raw value on the
+client.  The server only ever receives output ids; no raw user value leaves
+the process that owns it.
+
+The SDK is synchronous (``http.client`` over keep-alive connections) so it
+drops into scripts, notebooks, and load generators without an event loop.
+Reporting is fire-and-forget with micro-batching: :meth:`CampaignReporter.report`
+buffers locally and ships a batch whenever ``batch_size`` reports have
+accumulated (or on :meth:`~CampaignReporter.flush` / context-manager exit).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import urllib.parse
+
+import numpy as np
+
+from repro.exceptions import ServiceError
+from repro.mechanisms.base import StrategyMatrix
+
+
+class ServiceClient:
+    """Blocking JSON client for one collection server.
+
+    Examples
+    --------
+    >>> from repro.service import CollectionService, ServiceThread
+    >>> with ServiceThread(CollectionService()) as (host, port):
+    ...     client = ServiceClient(host, port)
+    ...     client.healthz()["status"]
+    'ok'
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8320, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection: http.client.HTTPConnection | None = None
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        payload = None
+        headers = {}
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):
+            if self._connection is None:
+                self._connection = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                self._connection.request(method, path, body=payload, headers=headers)
+                response = self._connection.getresponse()
+                raw = response.read()
+                break
+            except (ConnectionError, http.client.HTTPException, OSError):
+                # Stale keep-alive connection; reconnect and retry once, but
+                # only for idempotent requests — a retried POST of reports
+                # could double-count if the server processed the first send.
+                self.close()
+                if attempt or method != "GET":
+                    raise
+        try:
+            document = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            raise ServiceError(
+                f"server returned non-JSON response ({response.status})"
+            )
+        if response.status >= 400:
+            raise ServiceError(
+                f"{method} {path} failed ({response.status}): "
+                f"{document.get('error', raw[:200])}"
+            )
+        return document
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    # -- endpoints ---------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/v1/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/v1/metrics")
+
+    def create_campaign(
+        self,
+        name: str,
+        *,
+        workload: str,
+        domain_size: int,
+        epsilon: float,
+        mechanism: str = "Hadamard",
+        iterations: int = 300,
+        exist_ok: bool = False,
+    ) -> dict:
+        """Create a campaign; with ``exist_ok`` an existing campaign with
+        the same name is returned instead of raising."""
+        try:
+            return self._request(
+                "POST",
+                "/v1/campaigns",
+                {
+                    "name": name,
+                    "workload": workload,
+                    "domain_size": domain_size,
+                    "epsilon": epsilon,
+                    "mechanism": mechanism,
+                    "iterations": iterations,
+                },
+            )
+        except ServiceError:
+            if exist_ok and name in {c["name"] for c in self.campaigns()}:
+                return self.campaign(name)
+            raise
+
+    def campaigns(self) -> list[dict]:
+        return self._request("GET", "/v1/campaigns")["campaigns"]
+
+    def campaign(self, name: str) -> dict:
+        return self._request("GET", f"/v1/campaigns/{urllib.parse.quote(name)}")
+
+    def strategy(self, name: str) -> StrategyMatrix:
+        """Fetch a campaign's public strategy, re-validated locally.
+
+        The :class:`StrategyMatrix` constructor re-checks column
+        stochasticity and the claimed epsilon-LDP ratio, so the SDK refuses
+        to randomize against a matrix that would leak more than promised.
+        """
+        document = self._request(
+            "GET", f"/v1/campaigns/{urllib.parse.quote(name)}/strategy"
+        )
+        return StrategyMatrix(
+            np.asarray(document["probabilities"], dtype=float),
+            float(document["epsilon"]),
+            name=str(document["name"]),
+        )
+
+    def send_reports(self, campaign: str, reports) -> dict:
+        """Ship already-randomized output ids (the aggregation-tier path)."""
+        return self._request(
+            "POST",
+            "/v1/reports",
+            {"campaign": campaign, "reports": [int(r) for r in np.asarray(reports)]},
+        )
+
+    def send_histogram(self, campaign: str, histogram) -> dict:
+        """Ship a pre-aggregated response histogram."""
+        return self._request(
+            "POST",
+            "/v1/reports",
+            {
+                "campaign": campaign,
+                "histogram": [float(v) for v in np.asarray(histogram)],
+            },
+        )
+
+    def query(
+        self, campaign: str, confidence: float = 0.95, sync: bool = False
+    ) -> dict:
+        """Current estimates (+ confidence intervals).  ``sync=True`` asks
+        the server to drain its ingest queue first, so the answer reflects
+        every report accepted before the call."""
+        params = urllib.parse.urlencode(
+            {
+                "campaign": campaign,
+                "confidence": confidence,
+                "sync": int(bool(sync)),
+            }
+        )
+        return self._request("GET", f"/v1/query?{params}")
+
+    def checkpoint(self) -> dict:
+        """Force a checkpoint now."""
+        return self._request("POST", "/v1/checkpoint")
+
+    def reporter(
+        self,
+        campaign: str,
+        *,
+        batch_size: int = 500,
+        rng: np.random.Generator | None = None,
+    ) -> "CampaignReporter":
+        """A local randomizer + batcher bound to one campaign."""
+        return CampaignReporter(
+            self, campaign, self.strategy(campaign), batch_size=batch_size, rng=rng
+        )
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> None:
+        self.close()
+
+
+class CampaignReporter:
+    """Client-side randomization with fire-and-forget batching.
+
+    Parameters
+    ----------
+    client, campaign:
+        Destination service and campaign name.
+    strategy:
+        The campaign's public strategy (fetched and re-validated by
+        :meth:`ServiceClient.reporter`).
+    batch_size:
+        Buffered reports are shipped whenever this many accumulate.
+    rng:
+        Randomness source for the local randomizer.
+    """
+
+    def __init__(
+        self,
+        client: ServiceClient,
+        campaign: str,
+        strategy: StrategyMatrix,
+        *,
+        batch_size: int = 500,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ServiceError(f"batch_size must be >= 1, got {batch_size}")
+        self.client = client
+        self.campaign = campaign
+        self.strategy = strategy
+        self.batch_size = batch_size
+        self.rng = rng or np.random.default_rng()
+        self._buffer: list[int] = []
+        self.reports_sent = 0
+
+    @property
+    def pending(self) -> int:
+        """Reports randomized but not yet shipped."""
+        return len(self._buffer)
+
+    def report(self, value: int) -> None:
+        """Randomize one raw value locally and buffer the report."""
+        if not 0 <= int(value) < self.strategy.domain_size:
+            raise ServiceError(
+                f"value {value} outside the campaign domain "
+                f"[0, {self.strategy.domain_size})"
+            )
+        self._buffer.append(
+            int(self.strategy.sample_response(int(value), self.rng))
+        )
+        if len(self._buffer) >= self.batch_size:
+            self.flush()
+
+    def report_many(self, values) -> None:
+        """Randomize a batch of raw values (vectorized sampler)."""
+        values = np.asarray(values)
+        if values.size == 0:
+            return
+        responses = self.strategy.sample_responses(values, self.rng)
+        self._buffer.extend(int(r) for r in responses)
+        while len(self._buffer) >= self.batch_size:
+            self.flush()
+
+    def flush(self) -> int:
+        """Ship one batch of buffered reports; returns how many were sent.
+
+        The batch leaves the buffer only after the send succeeds, so a
+        transient failure keeps the reports for a later retry rather than
+        silently dropping them.  (If a send raised *after* the server
+        processed it, retrying can double-count — the wire protocol has no
+        report ids; keeping the data is the lesser evil.)
+        """
+        if not self._buffer:
+            return 0
+        batch = self._buffer[: self.batch_size]
+        self.client.send_reports(self.campaign, batch)
+        del self._buffer[: len(batch)]
+        self.reports_sent += len(batch)
+        return len(batch)
+
+    def flush_all(self) -> int:
+        """Ship everything buffered, however many batches it takes."""
+        total = 0
+        while self._buffer:
+            total += self.flush()
+        return total
+
+    def __enter__(self) -> "CampaignReporter":
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> None:
+        if exc_type is None:
+            self.flush_all()

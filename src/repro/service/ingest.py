@@ -1,0 +1,351 @@
+"""Async micro-batching ingestion path.
+
+Reports flow through a bounded :class:`asyncio.Queue` (full queue =
+backpressure propagated to the submitting HTTP handler, and from there to
+the client's TCP connection) to a small pool of worker tasks.  Each worker
+folds validated reports into its *own* per-campaign partial
+:class:`~repro.protocol.engine.ShardAccumulator`; a flusher merges the
+partials into the campaign's live accumulator whenever a partial grows past
+``flush_reports`` or on a ``flush_interval`` timer.  Because accumulators
+form a commutative monoid, the micro-batching is invisible in the result:
+any interleaving of submissions, across any number of workers, folds to
+exactly the histogram a serial pass would produce.
+
+Everything here runs on one event loop, so "lock-free" is literal — merges
+are plain accumulator additions with no synchronization beyond the loop's
+cooperative scheduling.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ProtocolError, ServiceError
+from repro.protocol.engine import ShardAccumulator
+from repro.service.campaigns import CampaignManager
+
+#: Hard cap on reports accepted in one submission (memory safety valve).
+MAX_BATCH_REPORTS = 1_000_000
+
+
+@dataclass
+class IngestStats:
+    """Counters exposed via ``/v1/metrics``."""
+
+    submitted: int = 0
+    ingested: int = 0
+    rejected_batches: int = 0
+    flushes: int = 0
+    queue_high_water: int = 0
+
+    def to_json(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "ingested": self.ingested,
+            "rejected_batches": self.rejected_batches,
+            "flushes": self.flushes,
+            "queue_high_water": self.queue_high_water,
+        }
+
+
+@dataclass
+class _Batch:
+    """One validated queue item: reports or a pre-aggregated histogram."""
+
+    campaign: str
+    reports: np.ndarray | None = None
+    histogram: np.ndarray | None = None
+    num_reports: int = 0
+
+
+@dataclass
+class _Worker:
+    """One ingest worker's mutable state: per-campaign partial accumulators."""
+
+    partials: dict[str, ShardAccumulator] = field(default_factory=dict)
+
+
+class IngestPipeline:
+    """Bounded-queue micro-batching ingestion in front of a manager.
+
+    Parameters
+    ----------
+    manager:
+        The :class:`~repro.service.campaigns.CampaignManager` whose
+        campaigns receive the reports.
+    num_workers:
+        Concurrent folding tasks.  More workers help when submissions are
+        many and small; the result is identical regardless.
+    max_pending:
+        Queue bound — submissions beyond it await (backpressure).
+    flush_reports:
+        A worker flushes a campaign partial into the live accumulator once
+        it holds at least this many reports.
+    flush_interval:
+        Seconds between timer-driven flushes of all partials (so a trickle
+        of reports still becomes visible to live queries promptly).
+
+    Examples
+    --------
+    >>> import asyncio
+    >>> manager = CampaignManager()
+    >>> _ = manager.create("demo", workload="Histogram", domain_size=4,
+    ...                    epsilon=1.0, mechanism="Randomized Response")
+    >>> async def feed():
+    ...     pipeline = IngestPipeline(manager)
+    ...     await pipeline.start()
+    ...     await pipeline.submit_reports("demo", [0, 1, 2, 3, 3])
+    ...     await pipeline.drain()
+    ...     await pipeline.stop()
+    >>> asyncio.run(feed())
+    >>> manager.get("demo").num_reports
+    5
+    """
+
+    def __init__(
+        self,
+        manager: CampaignManager,
+        *,
+        num_workers: int = 2,
+        max_pending: int = 256,
+        flush_reports: int = 8_192,
+        flush_interval: float = 0.2,
+    ) -> None:
+        if num_workers < 1:
+            raise ServiceError(f"need >= 1 ingest worker, got {num_workers}")
+        if max_pending < 1:
+            raise ServiceError(f"need >= 1 queue slot, got {max_pending}")
+        if flush_reports < 1:
+            raise ServiceError(f"flush_reports must be >= 1, got {flush_reports}")
+        if flush_interval <= 0:
+            raise ServiceError(
+                f"flush_interval must be positive, got {flush_interval}"
+            )
+        self.manager = manager
+        self.num_workers = num_workers
+        self.flush_reports = flush_reports
+        self.flush_interval = flush_interval
+        self.stats = IngestStats()
+        self._queue: asyncio.Queue[_Batch] = asyncio.Queue(maxsize=max_pending)
+        self._workers: list[_Worker] = []
+        self._tasks: list[asyncio.Task] = []
+        self._running = False
+        self._batches_submitted = 0
+        self._batches_processed = 0
+        self._batch_processed = asyncio.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the worker and flusher tasks."""
+        if self._running:
+            raise ServiceError("ingest pipeline already started")
+        self._running = True
+        self._workers = [_Worker() for _ in range(self.num_workers)]
+        self._tasks = [
+            asyncio.create_task(self._work(worker), name=f"ingest-{i}")
+            for i, worker in enumerate(self._workers)
+        ]
+        self._tasks.append(
+            asyncio.create_task(self._flush_timer(), name="ingest-flusher")
+        )
+
+    async def stop(self) -> None:
+        """Drain outstanding work, flush everything, cancel the tasks.
+
+        New submissions are rejected from the moment stop begins — a
+        report accepted during the drain could otherwise be acknowledged
+        and then lost when the workers are cancelled.
+        """
+        if not self._running:
+            return
+        self._running = False
+        await self.drain()
+        await self.abort()
+
+    async def abort(self) -> None:
+        """Cancel the tasks *without* draining — the crash-simulation path
+        (anything still queued or unflushed is lost, as a real crash would
+        lose it)."""
+        self._running = False
+        for task in self._tasks:
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks = []
+
+    async def drain(self) -> None:
+        """Wait until every report submitted *before this call* is visible
+        in the live accumulators, then flush all partials.
+
+        The wait is bounded by the submission counter at entry, not by the
+        queue becoming empty — so a sync query on one campaign cannot be
+        starved forever by another campaign's sustained report stream.
+        """
+        target = self._batches_submitted
+        while self._batches_processed < target:
+            self._batch_processed.clear()
+            if self._batches_processed >= target:
+                break
+            await self._batch_processed.wait()
+        self.flush_all()
+
+    # -- submission --------------------------------------------------------
+
+    def _validate_reports(self, campaign: str, reports) -> _Batch:
+        num_outputs = self.manager.get(campaign).session.num_outputs
+        try:
+            array = np.asarray(reports)
+        except (ValueError, TypeError) as error:
+            raise ServiceError(f"reports are not a flat numeric list: {error}")
+        if array.ndim != 1:
+            raise ServiceError(
+                f"reports must be a flat list, got {array.ndim}-D"
+            )
+        if array.shape[0] == 0:
+            raise ServiceError("empty report batch")
+        if array.shape[0] > MAX_BATCH_REPORTS:
+            raise ServiceError(
+                f"batch of {array.shape[0]} reports exceeds the "
+                f"{MAX_BATCH_REPORTS}-report cap; split it"
+            )
+        if not np.issubdtype(array.dtype, np.integer):
+            try:
+                as_int = array.astype(np.int64, copy=False)
+                exact = np.array_equal(as_int, array)
+            except (ValueError, TypeError, OverflowError):
+                # strings, None, objects — anything that is not a number
+                raise ServiceError("reports must be integer output ids")
+            if not exact:
+                raise ServiceError("reports must be integer output ids")
+            array = as_int
+        if array.min() < 0 or array.max() >= num_outputs:
+            raise ServiceError(
+                f"reports outside the campaign's output range [0, {num_outputs})"
+            )
+        return _Batch(
+            campaign=campaign,
+            reports=array.astype(np.int64, copy=False),
+            num_reports=int(array.shape[0]),
+        )
+
+    def _validate_histogram(self, campaign: str, histogram) -> _Batch:
+        num_outputs = self.manager.get(campaign).session.num_outputs
+        try:
+            array = np.asarray(histogram, dtype=float)
+        except (ValueError, TypeError) as error:
+            raise ServiceError(f"histogram is not a numeric vector: {error}")
+        if array.shape != (num_outputs,):
+            raise ServiceError(
+                f"histogram shape {array.shape} != ({num_outputs},)"
+            )
+        if not np.all(np.isfinite(array)):
+            raise ServiceError("histogram has NaN or infinite counts")
+        if array.min() < 0:
+            raise ServiceError("histogram has negative counts")
+        return _Batch(
+            campaign=campaign,
+            histogram=array,
+            num_reports=int(round(float(array.sum()))),
+        )
+
+    async def submit_reports(self, campaign: str, reports) -> int:
+        """Validate and enqueue a batch of privatized reports.
+
+        Returns the number of reports accepted.  Raises
+        :class:`ServiceError` (and counts a rejected batch) without
+        enqueuing anything if validation fails — a batch is all-or-nothing.
+        """
+        try:
+            batch = self._validate_reports(campaign, reports)
+        except ServiceError:
+            self.stats.rejected_batches += 1
+            raise
+        await self._enqueue(batch)
+        return batch.num_reports
+
+    async def submit_histogram(self, campaign: str, histogram) -> int:
+        """Validate and enqueue a pre-aggregated response histogram (the
+        cross-tier path: an edge aggregator ships its merged counts)."""
+        try:
+            batch = self._validate_histogram(campaign, histogram)
+        except ServiceError:
+            self.stats.rejected_batches += 1
+            raise
+        await self._enqueue(batch)
+        return batch.num_reports
+
+    async def _enqueue(self, batch: _Batch) -> None:
+        if not self._running:
+            raise ServiceError("ingest pipeline is not running")
+        await self._queue.put(batch)
+        self._batches_submitted += 1
+        self.stats.submitted += batch.num_reports
+        self.stats.queue_high_water = max(
+            self.stats.queue_high_water, self._queue.qsize()
+        )
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    # -- folding -----------------------------------------------------------
+
+    async def _work(self, worker: _Worker) -> None:
+        while True:
+            batch = await self._queue.get()
+            try:
+                partial = worker.partials.get(batch.campaign)
+                if partial is None:
+                    partial = self.manager.get(batch.campaign).session.new_accumulator()
+                    worker.partials[batch.campaign] = partial
+                if batch.reports is not None:
+                    partial.add_reports(batch.reports)
+                else:
+                    partial.add_histogram(batch.histogram)
+                self.stats.ingested += batch.num_reports
+                if partial.num_reports >= self.flush_reports:
+                    self._flush_partial(worker, batch.campaign)
+            except (ProtocolError, ServiceError):
+                # Validation happens at submit time; a failure here means the
+                # campaign vanished mid-flight.  Count it and keep serving.
+                self.stats.rejected_batches += 1
+            finally:
+                self._batches_processed += 1
+                self._batch_processed.set()
+                self._queue.task_done()
+
+    def _flush_partial(self, worker: _Worker, campaign_name: str) -> None:
+        partial = worker.partials.pop(campaign_name, None)
+        if partial is None or partial.num_reports == 0:
+            return
+        campaign = self.manager.get(campaign_name)
+        # merge() is the one place the monoid semantics (and their shape
+        # checks) live; reassigning is safe because every mutation of the
+        # campaign happens on the event loop and snapshots are copies.
+        campaign.accumulator = campaign.accumulator.merge(partial)
+        campaign.flushes += 1
+        self.stats.flushes += 1
+
+    def flush_all(self) -> None:
+        """Merge every worker's partials into the live accumulators."""
+        for worker in self._workers:
+            for campaign_name in list(worker.partials):
+                self._flush_partial(worker, campaign_name)
+
+    async def _flush_timer(self) -> None:
+        while True:
+            await asyncio.sleep(self.flush_interval)
+            self.flush_all()
+
+    def pending_accumulators(self, campaign: str) -> list[ShardAccumulator]:
+        """Snapshots of the not-yet-flushed partials for one campaign (live
+        queries fold these in so mid-flush reports are never invisible)."""
+        return [
+            worker.partials[campaign].snapshot()
+            for worker in self._workers
+            if campaign in worker.partials
+        ]

@@ -1,0 +1,651 @@
+"""Always-on collection server: asyncio JSON-over-HTTP, stdlib only.
+
+The server turns the batch protocol engine into a standing deployment:
+campaigns are created over HTTP, privatized reports stream in through the
+micro-batching ingest pipeline, estimates are queryable while collection is
+in flight, and periodic atomic checkpoints make a crash lose at most the
+reports since the last checkpoint (a graceful shutdown loses nothing).
+
+Endpoints (all JSON):
+
+====== ================================ =======================================
+method path                             purpose
+====== ================================ =======================================
+POST   ``/v1/campaigns``                create a campaign
+GET    ``/v1/campaigns``                list campaigns
+GET    ``/v1/campaigns/<name>``         one campaign's summary
+GET    ``/v1/campaigns/<name>/strategy`` the public strategy matrix (clients
+                                        randomize locally against it)
+POST   ``/v1/report``                   one privatized report
+POST   ``/v1/reports``                  a batch of reports, or a
+                                        pre-aggregated histogram
+GET    ``/v1/query``                    current estimates + confidence
+                                        intervals (``?campaign=&confidence=``;
+                                        ``&sync=1`` drains the ingest queue
+                                        first)
+POST   ``/v1/checkpoint``               force a checkpoint now
+GET    ``/v1/metrics``                  ingest/checkpoint/uptime counters
+GET    ``/v1/healthz``                  liveness + library version
+====== ================================ =======================================
+
+The server never sees a raw user value: ``/v1/report`` carries *output ids*
+already randomized on the client against the public strategy (see
+:mod:`repro.service.client`).  The HTTP layer is a deliberately minimal
+HTTP/1.1 implementation over :func:`asyncio.start_server` — enough for the
+SDK, ``curl``, and load tests, with keep-alive and bounded request bodies —
+so the service stays stdlib-only.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+import urllib.parse
+from dataclasses import dataclass
+
+from repro._version import __version__
+from repro.exceptions import ReproError, ServiceError
+from repro.service.campaigns import CampaignManager
+from repro.service.checkpoint import CheckpointStore
+from repro.service.ingest import IngestPipeline
+
+#: Largest accepted request body (10 MiB ≈ a 1.3M-report JSON batch).
+MAX_BODY_BYTES = 10 << 20
+
+#: Largest accepted request line + headers.
+MAX_HEADER_BYTES = 64 << 10
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+@dataclass
+class _Request:
+    method: str
+    path: str
+    params: dict[str, str]
+    body: dict
+
+
+class _HttpError(Exception):
+    """An error that maps straight to an HTTP status + JSON body."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class CollectionService:
+    """The long-running service: manager + ingest + checkpoints + HTTP.
+
+    Parameters
+    ----------
+    manager:
+        Campaign registry to serve; defaults to a fresh one, or to the
+        recovered state when ``checkpoint_dir`` holds a checkpoint.
+    checkpoint_dir:
+        Directory for periodic atomic checkpoints; ``None`` disables
+        persistence.  If it already contains a checkpoint, the service
+        recovers from it on construction (crash recovery).
+    checkpoint_interval:
+        Seconds between automatic checkpoints.
+    store:
+        Optional :class:`~repro.store.StrategyStore` used when campaigns
+        are created with ``mechanism="store"`` or ``"Optimized"``.
+    ingest options:
+        Forwarded to :class:`~repro.service.ingest.IngestPipeline`.
+    """
+
+    def __init__(
+        self,
+        manager: CampaignManager | None = None,
+        *,
+        checkpoint_dir=None,
+        checkpoint_interval: float = 30.0,
+        store=None,
+        num_workers: int = 2,
+        max_pending: int = 256,
+        flush_reports: int = 8_192,
+        flush_interval: float = 0.2,
+    ) -> None:
+        if checkpoint_interval <= 0:
+            raise ServiceError(
+                f"checkpoint_interval must be positive, got {checkpoint_interval}"
+            )
+        self.checkpoints = (
+            CheckpointStore(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.recovered = False
+        if manager is None:
+            if self.checkpoints is not None and self.checkpoints.exists():
+                manager = self.checkpoints.load()
+                self.recovered = True
+            else:
+                manager = CampaignManager()
+        self.manager = manager
+        self.store = store
+        self.checkpoint_interval = checkpoint_interval
+        self.pipeline = IngestPipeline(
+            manager,
+            num_workers=num_workers,
+            max_pending=max_pending,
+            flush_reports=flush_reports,
+            flush_interval=flush_interval,
+        )
+        self.started_at: float | None = None
+        self.checkpoints_written = 0
+        self.checkpoint_failures = 0
+        self.last_checkpoint_at: float | None = None
+        self.requests_served = 0
+        self._server: asyncio.base_events.Server | None = None
+        self._checkpoint_task: asyncio.Task | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._checkpoint_lock = asyncio.Lock()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Start ingest workers and the HTTP listener; returns the bound
+        ``(host, port)`` (pass ``port=0`` for an ephemeral port)."""
+        if self._server is not None:
+            raise ServiceError("service already started")
+        await self.pipeline.start()
+        self._server = await asyncio.start_server(self._handle_connection, host, port)
+        if self.checkpoints is not None:
+            self._checkpoint_task = asyncio.create_task(
+                self._checkpoint_timer(), name="service-checkpointer"
+            )
+        self.started_at = time.time()
+        bound = self._server.sockets[0].getsockname()
+        return bound[0], bound[1]
+
+    async def stop(self, *, final_checkpoint: bool = True) -> None:
+        """Graceful shutdown: stop accepting, drain ingest, checkpoint.
+
+        The listener and every open connection are torn down *before* the
+        drain, so no report can be acknowledged after the final flush — an
+        accepted 200 always means the report is in the final checkpoint.
+        (A handler cancelled mid-request surfaces as a dropped connection,
+        never a false ack.)
+
+        ``final_checkpoint=False`` skips the drain+checkpoint — the
+        "crash" path used by tests to prove recovery from the last periodic
+        checkpoint alone.
+        """
+        if self._checkpoint_task is not None:
+            self._checkpoint_task.cancel()
+            await asyncio.gather(self._checkpoint_task, return_exceptions=True)
+            self._checkpoint_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Idle keep-alive connections hold parked handler tasks; reap them
+        # before draining so nothing new can be submitted (or falsely
+        # acknowledged) once the drain starts.
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+        if final_checkpoint:
+            await self.pipeline.stop()
+            await self.checkpoint()
+        else:
+            await self.pipeline.abort()
+
+    async def checkpoint(self) -> dict | None:
+        """Write a checkpoint now (no-op without a checkpoint directory).
+
+        Accumulator snapshots are captured here, on the event loop — where
+        every flush also runs — before the file I/O moves to a worker
+        thread, so a concurrent flush can neither tear a snapshot nor
+        desynchronize the manifest's report counts from the payloads.
+        """
+        if self.checkpoints is None:
+            return None
+        # Serialize writers: the periodic timer, POST /v1/checkpoint, and
+        # campaign creation may all checkpoint concurrently, and two
+        # interleaved save_frozen calls could leave the manifest referencing
+        # the other save's payload bytes.
+        async with self._checkpoint_lock:
+            frozen = [
+                (campaign, campaign.accumulator.snapshot())
+                for campaign in self.manager.campaigns()
+            ]
+            manifest = await asyncio.to_thread(
+                self.checkpoints.save_frozen, frozen
+            )
+            self.checkpoints_written += 1
+            self.last_checkpoint_at = manifest["saved_at"]
+            return manifest
+
+    async def _checkpoint_timer(self) -> None:
+        import sys
+
+        while True:
+            await asyncio.sleep(self.checkpoint_interval)
+            try:
+                await self.checkpoint()
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:
+                # A transient write failure (ENOSPC, NFS hiccup) must not
+                # silently end periodic checkpointing for the process.
+                self.checkpoint_failures += 1
+                print(
+                    f"checkpoint failed (attempt will retry in "
+                    f"{self.checkpoint_interval:g}s): {error}",
+                    file=sys.stderr,
+                    flush=True,
+                )
+
+    # -- HTTP plumbing -----------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                malformed = None
+                try:
+                    request = await self._read_request(reader)
+                except _HttpError as error:
+                    # The request never parsed; answer once, then drop the
+                    # connection (its framing can no longer be trusted).
+                    malformed = error
+                    request = None
+                if request is None and malformed is None:
+                    break
+                self.requests_served += 1
+                if malformed is not None:
+                    status, payload = malformed.status, {"error": str(malformed)}
+                else:
+                    try:
+                        status, payload = await self._dispatch(request)
+                    except _HttpError as error:
+                        status, payload = error.status, {"error": str(error)}
+                    except ReproError as error:
+                        status, payload = 400, {"error": str(error)}
+                    except Exception as error:  # pragma: no cover - defense
+                        status, payload = 500, {"error": f"internal error: {error}"}
+                body = json.dumps(payload).encode("utf-8")
+                writer.write(
+                    (
+                        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                        "Content-Type: application/json\r\n"
+                        f"Content-Length: {len(body)}\r\n"
+                        "\r\n"
+                    ).encode("ascii")
+                    + body
+                )
+                await writer.drain()
+                if malformed is not None:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    @staticmethod
+    async def _read_request(reader) -> _Request | None:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError:
+            return None
+        except asyncio.LimitOverrunError:
+            raise _HttpError(413, "request headers too large")
+        if len(head) > MAX_HEADER_BYTES:
+            raise _HttpError(413, "request headers too large")
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3:
+            raise _HttpError(400, f"malformed request line {lines[0]!r}")
+        method, target = parts[0].upper(), parts[1]
+        headers = {}
+        for line in lines[1:]:
+            if ":" in line:
+                key, value = line.split(":", 1)
+                headers[key.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise _HttpError(400, "Content-Length is not an integer")
+        if length < 0:
+            raise _HttpError(400, "Content-Length is negative")
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, f"request body of {length} bytes too large")
+        raw = await reader.readexactly(length) if length else b""
+        body: dict = {}
+        if raw:
+            try:
+                body = json.loads(raw)
+            except json.JSONDecodeError as error:
+                raise _HttpError(400, f"request body is not valid JSON: {error}")
+            if not isinstance(body, dict):
+                raise _HttpError(400, "request body must be a JSON object")
+        parsed = urllib.parse.urlsplit(target)
+        params = {
+            key: values[-1]
+            for key, values in urllib.parse.parse_qs(parsed.query).items()
+        }
+        return _Request(
+            method=method, path=parsed.path, params=params, body=body
+        )
+
+    # -- routing -----------------------------------------------------------
+
+    async def _dispatch(self, request: _Request) -> tuple[int, dict]:
+        method, path = request.method, request.path.rstrip("/") or "/"
+        if path == "/v1/healthz" and method == "GET":
+            return 200, self._healthz()
+        if path == "/v1/metrics" and method == "GET":
+            return 200, self._metrics()
+        if path == "/v1/campaigns":
+            if method == "POST":
+                return await self._create_campaign(request.body)
+            if method == "GET":
+                return 200, {
+                    "campaigns": [
+                        campaign.describe()
+                        for campaign in self.manager.campaigns()
+                    ]
+                }
+            raise _HttpError(405, f"{method} not allowed on {path}")
+        if path.startswith("/v1/campaigns/"):
+            return self._campaign_subresource(method, path)
+        if path == "/v1/report" and method == "POST":
+            body = dict(request.body)
+            if "report" not in body:
+                raise _HttpError(400, "body needs a 'report' field")
+            body["reports"] = [body.pop("report")]
+            return await self._ingest(body)
+        if path == "/v1/reports" and method == "POST":
+            return await self._ingest(request.body)
+        if path == "/v1/query" and method == "GET":
+            return await self._query(request.params)
+        if path == "/v1/checkpoint" and method == "POST":
+            manifest = await self.checkpoint()
+            if manifest is None:
+                raise _HttpError(400, "service has no checkpoint directory")
+            return 200, {
+                "saved_at": manifest["saved_at"],
+                "campaigns": sorted(manifest["campaigns"]),
+            }
+        raise _HttpError(404, f"no route for {method} {path}")
+
+    def _campaign_subresource(self, method: str, path: str) -> tuple[int, dict]:
+        parts = path.split("/")[3:]  # ['', 'v1', 'campaigns', name, ...]
+        if method != "GET" or len(parts) not in (1, 2):
+            raise _HttpError(405, f"{method} not allowed on {path}")
+        try:
+            campaign = self.manager.get(parts[0])
+        except ServiceError as error:
+            raise _HttpError(404, str(error))
+        if len(parts) == 1:
+            return 200, campaign.describe()
+        if parts[1] == "strategy":
+            strategy = campaign.session.strategy
+            return 200, {
+                "campaign": campaign.name,
+                "name": strategy.name,
+                "epsilon": strategy.epsilon,
+                "domain_size": strategy.domain_size,
+                "num_outputs": strategy.num_outputs,
+                "probabilities": [
+                    [float(v) for v in row] for row in strategy.probabilities
+                ],
+            }
+        raise _HttpError(404, f"no campaign subresource {parts[1]!r}")
+
+    # -- handlers ----------------------------------------------------------
+
+    async def _create_campaign(self, body: dict) -> tuple[int, dict]:
+        try:
+            name = body["name"]
+            workload = body["workload"]
+            domain_size = int(body["domain_size"])
+            epsilon = float(body["epsilon"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise _HttpError(
+                400,
+                "campaign creation needs name, workload, domain_size, "
+                f"epsilon ({error})",
+            )
+        mechanism = str(body.get("mechanism", "Hadamard"))
+        iterations = int(body.get("iterations", 300))
+        if name in self.manager:
+            raise _HttpError(409, f"campaign {name!r} already exists")
+        # Strategy resolution can be slow (PGD); run it off the loop.  The
+        # manager itself is only ever mutated here, on the loop (build() is
+        # pure), so concurrent listing/metrics handlers never race it.
+        campaign = await asyncio.to_thread(
+            self.manager.build,
+            name,
+            workload=workload,
+            domain_size=domain_size,
+            epsilon=epsilon,
+            mechanism=mechanism,
+            iterations=iterations,
+            store=self.store,
+        )
+        try:
+            self.manager.adopt(campaign)
+        except ServiceError:
+            # A concurrent create for the same name won the race.
+            raise _HttpError(409, f"campaign {name!r} already exists")
+        await self.checkpoint()
+        return 200, campaign.describe()
+
+    async def _ingest(self, body: dict) -> tuple[int, dict]:
+        campaign = body.get("campaign")
+        if not isinstance(campaign, str):
+            raise _HttpError(400, "body needs a 'campaign' field")
+        if ("reports" in body) == ("histogram" in body):
+            raise _HttpError(
+                400, "body needs exactly one of 'reports' or 'histogram'"
+            )
+        if "reports" in body:
+            accepted = await self.pipeline.submit_reports(
+                campaign, body["reports"]
+            )
+        else:
+            accepted = await self.pipeline.submit_histogram(
+                campaign, body["histogram"]
+            )
+        return 200, {
+            "campaign": campaign,
+            "accepted": accepted,
+            "queue_depth": self.pipeline.queue_depth,
+        }
+
+    async def _query(self, params: dict[str, str]) -> tuple[int, dict]:
+        name = params.get("campaign")
+        if not name:
+            raise _HttpError(400, "query needs ?campaign=<name>")
+        try:
+            confidence = float(params.get("confidence", "0.95"))
+        except ValueError:
+            raise _HttpError(400, "confidence must be a float in (0, 1)")
+        sync = params.get("sync", "0") not in ("0", "", "false")
+        if sync:
+            await self.pipeline.drain()
+            pending = []
+        else:
+            pending = self.pipeline.pending_accumulators(name)
+        try:
+            answer = self.manager.query(name, confidence, pending=pending)
+        except ServiceError as error:
+            raise _HttpError(404, str(error))
+        return 200, answer.to_json()
+
+    def _healthz(self) -> dict:
+        return {
+            "status": "ok",
+            "version": __version__,
+            "campaigns": len(self.manager),
+            "recovered": self.recovered,
+            "uptime_seconds": (
+                time.time() - self.started_at if self.started_at else 0.0
+            ),
+        }
+
+    def _metrics(self) -> dict:
+        return {
+            "uptime_seconds": (
+                time.time() - self.started_at if self.started_at else 0.0
+            ),
+            "requests_served": self.requests_served,
+            "campaigns": {
+                campaign.name: {
+                    "num_reports": campaign.num_reports,
+                    "flushes": campaign.flushes,
+                }
+                for campaign in self.manager.campaigns()
+            },
+            "total_reports": self.manager.total_reports(),
+            "ingest": self.pipeline.stats.to_json(),
+            "queue_depth": self.pipeline.queue_depth,
+            "checkpoints_written": self.checkpoints_written,
+            "checkpoint_failures": self.checkpoint_failures,
+            "last_checkpoint_at": self.last_checkpoint_at,
+        }
+
+
+async def _serve_forever(service: CollectionService, host: str, port: int) -> None:
+    import signal
+
+    loop = asyncio.get_running_loop()
+    stopping = asyncio.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stopping.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+    bound_host, bound_port = await service.start(host, port)
+    print(
+        f"repro service listening on http://{bound_host}:{bound_port} "
+        f"({len(service.manager)} campaign(s)"
+        f"{', recovered from checkpoint' if service.recovered else ''})",
+        flush=True,
+    )
+    await stopping.wait()
+    print("repro service shutting down (draining + final checkpoint)", flush=True)
+    await service.stop()
+
+
+def run_service(
+    service: CollectionService, host: str = "127.0.0.1", port: int = 8320
+) -> None:
+    """Blocking entry point used by ``repro serve``: runs until SIGINT or
+    SIGTERM, then drains, checkpoints, and exits."""
+    asyncio.run(_serve_forever(service, host, port))
+
+
+class ServiceThread:
+    """Run a :class:`CollectionService` on a background event-loop thread.
+
+    The in-process deployment used by tests, examples, and benchmarks:
+    the calling thread keeps a normal synchronous view (and can use the
+    blocking :class:`~repro.service.client.ServiceClient`) while the
+    service runs on its own loop.
+
+    Examples
+    --------
+    >>> service = CollectionService()
+    >>> with ServiceThread(service) as (host, port):
+    ...     isinstance(port, int) and port > 0
+    True
+    """
+
+    def __init__(
+        self, service: CollectionService, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.service = service
+        self._host_request, self._port_request = host, port
+        self.host: str | None = None
+        self.port: int | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    def start(self) -> tuple[str, int]:
+        if self._thread is not None:
+            raise ServiceError("service thread already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        assert self.host is not None and self.port is not None
+        return self.host, self.port
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self.host, self.port = self._loop.run_until_complete(
+                self.service.start(self._host_request, self._port_request)
+            )
+        except BaseException as error:
+            self._startup_error = error
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.close()
+
+    def stop(self, *, final_checkpoint: bool = True) -> None:
+        """Stop the service and join the thread.
+
+        ``final_checkpoint=False`` simulates a crash: the listener dies
+        without draining or checkpointing, so recovery exercises the last
+        *periodic* checkpoint only.
+        """
+        if self._loop is None or self._thread is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.stop(final_checkpoint=final_checkpoint), self._loop
+        )
+        future.result(timeout=60)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=60)
+        self._loop, self._thread = None, None
+
+    def run_coroutine(self, coroutine):
+        """Run one coroutine on the service loop and wait for its result
+        (lets synchronous callers poke the pipeline directly)."""
+        if self._loop is None:
+            raise ServiceError("service thread is not running")
+        return asyncio.run_coroutine_threadsafe(coroutine, self._loop).result(
+            timeout=60
+        )
+
+    def __enter__(self) -> tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, exc_type, exc, traceback) -> None:
+        self.stop()

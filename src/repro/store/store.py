@@ -79,7 +79,7 @@ def default_store_path() -> Path:
 
 
 def _library_version() -> str:
-    from repro import __version__
+    from repro._version import __version__
 
     return __version__
 

@@ -1,0 +1,106 @@
+"""The service CLI family: ``repro report`` / ``repro query`` / ``--version``
+against an in-process server (``repro serve`` itself is exercised as a real
+subprocess by ``scripts/service_smoke.py`` and CI's service-smoke job)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.service import CollectionService, ServiceThread
+
+
+@pytest.fixture
+def live_server():
+    service = CollectionService(flush_interval=0.02)
+    service.manager.create(
+        "cli-demo",
+        workload="Histogram",
+        domain_size=8,
+        epsilon=1.0,
+        mechanism="Randomized Response",
+    )
+    thread = ServiceThread(service)
+    host, port = thread.start()
+    try:
+        yield host, port
+    finally:
+        thread.stop()
+
+
+class TestVersionFlag:
+    def test_version_prints_library_version(self, capsys):
+        from repro._version import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+
+class TestReportAndQuery:
+    def test_report_values_then_query(self, live_server, capsys):
+        host, port = live_server
+        code = main(
+            [
+                "report",
+                "--host", host,
+                "--port", str(port),
+                "--campaign", "cli-demo",
+                "--values", "0,1,2,3,3",
+                "--seed", "0",
+            ]
+        )
+        assert code == 0
+        assert "sent 5" in capsys.readouterr().out
+
+        code = main(
+            [
+                "query",
+                "--host", host,
+                "--port", str(port),
+                "--campaign", "cli-demo",
+                "--sync",
+                "--limit", "0",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "5 reports" in output
+        assert "interval" in output
+
+    def test_report_simulate(self, live_server, capsys):
+        host, port = live_server
+        code = main(
+            [
+                "report",
+                "--host", host,
+                "--port", str(port),
+                "--campaign", "cli-demo",
+                "--simulate", "2000",
+                "--seed", "1",
+            ]
+        )
+        assert code == 0
+        assert "2,000 locally-randomized reports" in capsys.readouterr().out
+
+    def test_report_requires_exactly_one_source(self, live_server, capsys):
+        host, port = live_server
+        argv = ["report", "--host", host, "--port", str(port),
+                "--campaign", "cli-demo"]
+        assert main(argv) == 2
+        assert main(argv + ["--values", "1", "--simulate", "5"]) == 2
+
+    def test_query_unknown_campaign_raises(self, live_server):
+        from repro.exceptions import ServiceError
+
+        host, port = live_server
+        with pytest.raises(ServiceError, match="unknown campaign"):
+            main(
+                [
+                    "query",
+                    "--host", host,
+                    "--port", str(port),
+                    "--campaign", "ghost",
+                ]
+            )

@@ -87,6 +87,55 @@ class TestShardAccumulator:
         with pytest.raises(ProtocolError):
             ShardAccumulator.from_bytes(bad.to_bytes())
 
+    def test_payload_is_version_tagged(self):
+        import io
+
+        from repro.protocol import ACCUMULATOR_FORMAT_VERSION, ACCUMULATOR_MAGIC
+
+        payload = ShardAccumulator(3).add_reports(np.array([1])).to_bytes()
+        with np.load(io.BytesIO(payload), allow_pickle=False) as archive:
+            assert str(archive["format_magic"]) == ACCUMULATOR_MAGIC
+            assert int(archive["format_version"]) == ACCUMULATOR_FORMAT_VERSION
+
+    def test_accepts_legacy_untagged_payload(self):
+        # Payload layout written before the format tag existed.
+        import io
+
+        buffer = io.BytesIO()
+        np.savez_compressed(
+            buffer,
+            histogram=np.array([2.0, 0.0, 1.0]),
+            num_reports=np.asarray(3, dtype=np.int64),
+        )
+        restored = ShardAccumulator.from_bytes(buffer.getvalue())
+        assert restored.num_reports == 3
+        assert np.array_equal(restored.histogram, [2.0, 0.0, 1.0])
+
+    def test_rejects_wrong_magic_and_future_version(self):
+        import io
+
+        from repro.protocol import ACCUMULATOR_MAGIC
+
+        def payload(magic, version):
+            buffer = io.BytesIO()
+            np.savez_compressed(
+                buffer,
+                format_magic=np.asarray(magic),
+                format_version=np.asarray(version, dtype=np.int64),
+                histogram=np.array([1.0]),
+                num_reports=np.asarray(1, dtype=np.int64),
+            )
+            return buffer.getvalue()
+
+        with pytest.raises(ProtocolError, match="magic"):
+            ShardAccumulator.from_bytes(payload("some/other-blob", 1))
+        with pytest.raises(ProtocolError, match="format version 99"):
+            ShardAccumulator.from_bytes(payload(ACCUMULATOR_MAGIC, 99))
+
+    def test_garbage_bytes_raise_protocol_error(self):
+        with pytest.raises(ProtocolError, match="not a serialized"):
+            ShardAccumulator.from_bytes(b"definitely not an npz payload")
+
 
 class TestSplitDataVector:
     def test_partition_is_exact_and_even(self):

@@ -1,0 +1,291 @@
+"""Tests for the async micro-batching ingest pipeline."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service import CampaignManager, IngestPipeline
+
+
+def make_manager(domain_size: int = 8) -> CampaignManager:
+    manager = CampaignManager()
+    manager.create(
+        "demo",
+        workload="Histogram",
+        domain_size=domain_size,
+        epsilon=1.0,
+        mechanism="Randomized Response",
+    )
+    return manager
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestValidation:
+    def test_rejects_before_start(self):
+        pipeline = IngestPipeline(make_manager())
+
+        async def submit():
+            await pipeline.submit_reports("demo", [0])
+
+        with pytest.raises(ServiceError, match="not running"):
+            run(submit())
+
+    @pytest.mark.parametrize(
+        "reports",
+        [[], [[0, 1]], [0, 8], [-1], [0.5], ["a"], [None], [0, "x"],
+         [[0], [1, 2]], "abc"],
+    )
+    def test_rejects_bad_reports_with_service_error(self, reports):
+        # Every malformed payload — including strings, nulls, and ragged
+        # nesting — must surface as ServiceError (HTTP 400), never as a
+        # raw ValueError/TypeError (HTTP 500).
+        manager = make_manager()
+        pipeline = IngestPipeline(manager)
+
+        async def submit():
+            await pipeline.start()
+            try:
+                with pytest.raises(ServiceError):
+                    await pipeline.submit_reports("demo", reports)
+            finally:
+                await pipeline.stop()
+
+        run(submit())
+        assert manager.get("demo").num_reports == 0
+
+    @pytest.mark.parametrize(
+        "histogram",
+        [["a"] * 8, [float("nan")] + [0.0] * 7, [float("inf")] + [0.0] * 7],
+    )
+    def test_rejects_non_finite_or_non_numeric_histogram(self, histogram):
+        pipeline = IngestPipeline(make_manager())
+
+        async def submit():
+            await pipeline.start()
+            try:
+                with pytest.raises(ServiceError):
+                    await pipeline.submit_histogram("demo", histogram)
+            finally:
+                await pipeline.stop()
+
+        run(submit())
+
+    def test_rejected_batch_is_all_or_nothing(self):
+        manager = make_manager()
+        pipeline = IngestPipeline(manager)
+
+        async def submit():
+            await pipeline.start()
+            with pytest.raises(ServiceError):
+                await pipeline.submit_reports("demo", [0, 1, 2, 99])
+            await pipeline.stop()
+
+        run(submit())
+        assert manager.get("demo").num_reports == 0
+        assert pipeline.stats.rejected_batches == 1
+
+    def test_float_integer_reports_accepted(self):
+        # JSON has no int/float distinction; 3.0 must count as 3.
+        manager = make_manager()
+        pipeline = IngestPipeline(manager)
+
+        async def submit():
+            await pipeline.start()
+            await pipeline.submit_reports("demo", [0.0, 3.0, 3.0])
+            await pipeline.stop()
+
+        run(submit())
+        accumulator = manager.get("demo").accumulator
+        assert accumulator.num_reports == 3
+        assert accumulator.histogram[3] == 2
+
+    def test_histogram_shape_checked(self):
+        pipeline = IngestPipeline(make_manager())
+
+        async def submit():
+            await pipeline.start()
+            try:
+                with pytest.raises(ServiceError, match="shape"):
+                    await pipeline.submit_histogram("demo", [1.0, 2.0])
+            finally:
+                await pipeline.stop()
+
+        run(submit())
+
+    def test_unknown_campaign(self):
+        pipeline = IngestPipeline(make_manager())
+
+        async def submit():
+            await pipeline.start()
+            try:
+                with pytest.raises(ServiceError, match="unknown campaign"):
+                    await pipeline.submit_reports("ghost", [0])
+            finally:
+                await pipeline.stop()
+
+        run(submit())
+
+
+class TestFolding:
+    def test_reports_and_histograms_fold_together(self):
+        manager = make_manager()
+        pipeline = IngestPipeline(manager)
+
+        async def feed():
+            await pipeline.start()
+            await pipeline.submit_reports("demo", [0, 1, 1])
+            await pipeline.submit_histogram(
+                "demo", [0.0, 0.0, 5.0, 0.0, 0.0, 0.0, 0.0, 0.0]
+            )
+            await pipeline.drain()
+            await pipeline.stop()
+
+        run(feed())
+        accumulator = manager.get("demo").accumulator
+        assert accumulator.num_reports == 8
+        assert np.array_equal(
+            accumulator.histogram, [1, 2, 5, 0, 0, 0, 0, 0]
+        )
+
+    def test_concurrent_ingest_matches_serial_fold(self):
+        """Satellite: any interleaving across workers == a serial fold."""
+        rng = np.random.default_rng(7)
+        batches = [rng.integers(0, 8, size=size) for size in rng.integers(1, 200, 64)]
+        manager = make_manager()
+        pipeline = IngestPipeline(
+            manager, num_workers=4, flush_reports=97, flush_interval=0.01
+        )
+
+        async def feed():
+            await pipeline.start()
+            await asyncio.gather(
+                *(pipeline.submit_reports("demo", batch) for batch in batches)
+            )
+            await pipeline.drain()
+            await pipeline.stop()
+
+        run(feed())
+        serial = manager.get("demo").session.new_accumulator()
+        for batch in batches:
+            serial.add_reports(batch)
+        live = manager.get("demo").accumulator
+        assert live == serial  # bit-identical histogram + count
+        assert pipeline.stats.ingested == sum(len(b) for b in batches)
+
+    def test_threshold_flush_and_timer_flush(self):
+        manager = make_manager()
+        pipeline = IngestPipeline(
+            manager, num_workers=1, flush_reports=10, flush_interval=0.02
+        )
+
+        async def feed():
+            await pipeline.start()
+            # Over the threshold: flushes without waiting for the timer.
+            await pipeline.submit_reports("demo", list(np.zeros(25, dtype=int)))
+            await pipeline._queue.join()
+            threshold_flushed = manager.get("demo").num_reports
+            # Under the threshold: becomes visible via the timer flush.
+            await pipeline.submit_reports("demo", [1, 1])
+            await pipeline._queue.join()
+            deadline = asyncio.get_event_loop().time() + 2.0
+            while manager.get("demo").num_reports < 27:
+                if asyncio.get_event_loop().time() > deadline:
+                    break
+                await asyncio.sleep(0.01)
+            await pipeline.stop()
+            return threshold_flushed
+
+        threshold_flushed = run(feed())
+        assert threshold_flushed == 25
+        assert manager.get("demo").num_reports == 27
+        assert manager.get("demo").flushes >= 2
+
+    def test_pending_accumulators_cover_unflushed_reports(self):
+        manager = make_manager()
+        pipeline = IngestPipeline(
+            manager, num_workers=1, flush_reports=1_000_000, flush_interval=60.0
+        )
+
+        async def feed():
+            await pipeline.start()
+            await pipeline.submit_reports("demo", [0, 1, 2])
+            await pipeline._queue.join()
+            # nothing flushed yet — the live accumulator is empty...
+            assert manager.get("demo").num_reports == 0
+            # ...but a live query folds the pending partials in.
+            answer = manager.query(
+                "demo", pending=pipeline.pending_accumulators("demo")
+            )
+            assert answer.num_reports == 3
+            await pipeline.stop()
+
+        run(feed())
+        assert manager.get("demo").num_reports == 3  # stop() flushes
+
+    def test_drain_is_bounded_under_sustained_ingest(self):
+        """drain() waits only for batches submitted before the call — a
+        steady stream on one campaign must not starve it forever."""
+        manager = make_manager()
+        pipeline = IngestPipeline(manager, num_workers=1, flush_interval=10.0)
+
+        async def feed():
+            await pipeline.start()
+            stop_feeding = False
+
+            async def firehose():
+                while not stop_feeding:
+                    await pipeline.submit_reports("demo", [0, 1])
+                    await asyncio.sleep(0)
+
+            feeder = asyncio.create_task(firehose())
+            await asyncio.sleep(0.02)  # let the stream establish itself
+            await asyncio.wait_for(pipeline.drain(), timeout=5.0)
+            stop_feeding = True
+            await feeder
+            await pipeline.stop()
+
+        run(feed())
+
+    def test_backpressure_bounded_queue(self):
+        manager = make_manager()
+        pipeline = IngestPipeline(manager, num_workers=1, max_pending=2)
+
+        async def feed():
+            # Workers not started: the queue must fill and block at its bound.
+            pipeline._running = True
+            await pipeline.submit_reports("demo", [0])
+            await pipeline.submit_reports("demo", [1])
+            assert pipeline.queue_depth == 2
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(
+                    pipeline.submit_reports("demo", [2]), timeout=0.05
+                )
+
+        run(feed())
+
+    def test_stats_json_round_trip(self):
+        import json
+
+        pipeline = IngestPipeline(make_manager())
+        payload = pipeline.stats.to_json()
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_workers": 0},
+            {"max_pending": 0},
+            {"flush_reports": 0},
+            {"flush_interval": 0.0},
+        ],
+    )
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ServiceError):
+            IngestPipeline(make_manager(), **kwargs)

@@ -1,0 +1,321 @@
+"""End-to-end tests of the HTTP service + client SDK.
+
+Each test runs a real :class:`CollectionService` on a background
+event-loop thread bound to an ephemeral port and talks to it over actual
+sockets through the blocking SDK — the same path production traffic takes.
+"""
+
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service import (
+    CollectionService,
+    ServiceClient,
+    ServiceThread,
+    CheckpointStore,
+)
+
+
+@pytest.fixture
+def live():
+    """A running service + connected client (fast flush for tests)."""
+    service = CollectionService(flush_interval=0.02, flush_reports=512)
+    thread = ServiceThread(service)
+    host, port = thread.start()
+    client = ServiceClient(host, port)
+    try:
+        yield service, client
+    finally:
+        client.close()
+        thread.stop()
+
+
+def make_campaign(client, name="demo", domain_size=8, epsilon=1.0):
+    return client.create_campaign(
+        name,
+        workload="Histogram",
+        domain_size=domain_size,
+        epsilon=epsilon,
+        mechanism="Randomized Response",
+    )
+
+
+class TestEndpoints:
+    def test_healthz_and_metrics(self, live):
+        _, client = live
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["recovered"] is False
+        from repro._version import __version__
+
+        assert health["version"] == __version__
+        metrics = client.metrics()
+        assert metrics["total_reports"] == 0
+        assert metrics["checkpoints_written"] == 0
+
+    def test_campaign_lifecycle(self, live):
+        _, client = live
+        created = make_campaign(client)
+        assert created["name"] == "demo"
+        assert created["num_outputs"] == 8
+        assert [c["name"] for c in client.campaigns()] == ["demo"]
+        assert client.campaign("demo")["workload"] == "Histogram"
+        with pytest.raises(ServiceError, match="already exists"):
+            make_campaign(client)
+        with pytest.raises(ServiceError, match="unknown campaign"):
+            client.campaign("ghost")
+
+    def test_strategy_is_served_and_revalidated(self, live):
+        _, client = live
+        make_campaign(client)
+        strategy = client.strategy("demo")
+        assert strategy.shape == (8, 8)
+        assert strategy.epsilon == 1.0
+        # exact float round trip through JSON
+        from repro.mechanisms import randomized_response
+
+        assert np.array_equal(
+            strategy.probabilities, randomized_response(8, 1.0).probabilities
+        )
+
+    def test_single_report_endpoint(self, live):
+        _, client = live
+        make_campaign(client)
+        response = client._request(
+            "POST", "/v1/report", {"campaign": "demo", "report": 3}
+        )
+        assert response["accepted"] == 1
+        assert client.query("demo", sync=True)["num_reports"] == 1
+
+    def test_bad_requests_get_json_errors(self, live):
+        _, client = live
+        make_campaign(client)
+        with pytest.raises(ServiceError, match="404"):
+            client._request("GET", "/v1/nope")
+        with pytest.raises(ServiceError, match="campaign"):
+            client._request("POST", "/v1/reports", {"reports": [1]})
+        with pytest.raises(ServiceError, match="exactly one"):
+            client._request(
+                "POST",
+                "/v1/reports",
+                {"campaign": "demo", "reports": [1], "histogram": [1.0] * 8},
+            )
+        with pytest.raises(ServiceError, match="output range"):
+            client.send_reports("demo", [99])
+        with pytest.raises(ServiceError, match="400"):
+            client._request("POST", "/v1/campaigns", {"name": "incomplete"})
+
+    def test_malformed_http_gets_an_error_response(self, live):
+        service, client = live
+        import http.client
+
+        connection = http.client.HTTPConnection(client.host, client.port)
+        connection.request("BREW", "/v1/espresso")
+        response = connection.getresponse()
+        assert response.status == 404
+        connection.close()
+
+    def test_bad_content_length_gets_400_not_dropped(self, live):
+        _, client = live
+        import socket
+
+        for header in (b"Content-Length: abc", b"Content-Length: -5"):
+            with socket.create_connection(
+                (client.host, client.port), timeout=5
+            ) as raw:
+                raw.sendall(
+                    b"POST /v1/reports HTTP/1.1\r\n" + header + b"\r\n\r\n"
+                )
+                response = raw.recv(4096)
+            assert response.startswith(b"HTTP/1.1 400"), response[:40]
+
+    def test_string_reports_get_400_not_500(self, live):
+        _, client = live
+        make_campaign(client)
+        for payload in (["abc"], [None], [0, "x"]):
+            with pytest.raises(ServiceError, match="400"):
+                client._request(
+                    "POST",
+                    "/v1/reports",
+                    {"campaign": "demo", "reports": payload},
+                )
+        assert client.query("demo", sync=True)["num_reports"] == 0
+
+    def test_raw_urllib_query(self, live):
+        """The API is plain HTTP — no SDK required."""
+        _, client = live
+        make_campaign(client)
+        client.send_reports("demo", [0, 1, 2])
+        with urllib.request.urlopen(
+            f"http://{client.host}:{client.port}/v1/query?campaign=demo&sync=1"
+        ) as response:
+            import json
+
+            payload = json.loads(response.read())
+        assert payload["num_reports"] == 3
+
+    def test_checkpoint_endpoint_requires_directory(self, live):
+        _, client = live
+        with pytest.raises(ServiceError, match="checkpoint"):
+            client.checkpoint()
+
+
+class TestReporter:
+    def test_client_side_randomization_only_ships_output_ids(self, live):
+        _, client = live
+        make_campaign(client)
+        reporter = client.reporter(
+            "demo", batch_size=100, rng=np.random.default_rng(0)
+        )
+        values = np.random.default_rng(1).integers(0, 8, size=950)
+        reporter.report_many(values)
+        assert reporter.pending == 50  # 9 full batches shipped
+        assert reporter.reports_sent == 900
+        reporter.flush_all()
+        assert reporter.pending == 0
+        answer = client.query("demo", sync=True)
+        assert answer["num_reports"] == 950
+
+    def test_reporter_context_manager_flushes(self, live):
+        _, client = live
+        make_campaign(client)
+        with client.reporter("demo", rng=np.random.default_rng(0)) as reporter:
+            for value in [1, 2, 3]:
+                reporter.report(value)
+        assert client.query("demo", sync=True)["num_reports"] == 3
+
+    def test_reporter_rejects_out_of_domain_values(self, live):
+        _, client = live
+        make_campaign(client)
+        reporter = client.reporter("demo")
+        with pytest.raises(ServiceError, match="domain"):
+            reporter.report(8)
+
+
+class TestAcceptance:
+    """The ISSUE's end-to-end criterion, in-process."""
+
+    def test_live_estimates_match_batch_and_survive_crash(self, tmp_path):
+        num_reports = 10_000
+        service = CollectionService(
+            checkpoint_dir=tmp_path,
+            checkpoint_interval=600.0,  # only explicit checkpoints
+            flush_interval=0.02,
+        )
+        thread = ServiceThread(service)
+        host, port = thread.start()
+        client = ServiceClient(host, port)
+        client.create_campaign(
+            "accept",
+            workload="Prefix",
+            domain_size=16,
+            epsilon=1.0,
+            mechanism="Hadamard",
+        )
+
+        # 1. ingest >= 10k client-randomized reports through the async path
+        reporter = client.reporter(
+            "accept", batch_size=1000, rng=np.random.default_rng(0)
+        )
+        values = np.random.default_rng(1).integers(0, 16, size=num_reports)
+        for start in range(0, num_reports, 2500):
+            reporter.report_many(values[start : start + 2500])
+        reporter.flush_all()
+
+        # 2. live query == ProtocolSession.finalize on the equivalent batch
+        answer = client.query("accept", sync=True)
+        assert answer["num_reports"] == num_reports
+        campaign = service.manager.get("accept")
+        batch = campaign.session.finalize(campaign.accumulator)
+        assert np.allclose(
+            np.asarray(answer["estimates"]), batch.workload_estimates,
+            rtol=0, atol=1e-9,
+        )
+
+        # 3. checkpoint, kill without a final checkpoint, restart, compare
+        client.checkpoint()
+        pre_kill = client.query("accept", sync=True)
+        client.close()
+        thread.stop(final_checkpoint=False)  # simulated crash
+
+        recovered_service = CollectionService(checkpoint_dir=tmp_path)
+        assert recovered_service.recovered
+        thread2 = ServiceThread(recovered_service)
+        host2, port2 = thread2.start()
+        client2 = ServiceClient(host2, port2)
+        try:
+            post_restart = client2.query("accept", sync=True)
+            assert post_restart["num_reports"] == pre_kill["num_reports"]
+            # bit-identical, not merely close
+            assert post_restart["estimates"] == pre_kill["estimates"]
+            assert post_restart["lower"] == pre_kill["lower"]
+            assert post_restart["upper"] == pre_kill["upper"]
+            # and the recovered service keeps ingesting
+            client2.send_reports("accept", [0, 1, 2])
+            assert (
+                client2.query("accept", sync=True)["num_reports"]
+                == num_reports + 3
+            )
+        finally:
+            client2.close()
+            thread2.stop()
+
+    def test_live_query_sees_unflushed_reports(self, live):
+        service, client = live
+        make_campaign(client)
+        # flush thresholds far away: reports sit in worker partials
+        service.pipeline.flush_reports = 1_000_000
+        service.pipeline.flush_interval = 60.0
+        client.send_reports("demo", [0, 1, 2, 3])
+        # async ingestion: poll briefly until the workers have folded
+        import time
+
+        deadline = time.time() + 2.0
+        while time.time() < deadline:
+            if client.query("demo")["num_reports"] == 4:
+                break
+            time.sleep(0.01)
+        assert client.query("demo")["num_reports"] == 4
+
+    def test_multi_campaign_isolation(self, live):
+        _, client = live
+        make_campaign(client, "first", domain_size=8)
+        make_campaign(client, "second", domain_size=8)
+        client.send_reports("first", [0, 0, 0])
+        client.send_reports("second", [7])
+        assert client.query("first", sync=True)["num_reports"] == 3
+        assert client.query("second", sync=True)["num_reports"] == 1
+        metrics = client.metrics()
+        assert metrics["total_reports"] == 4
+        assert metrics["campaigns"]["first"]["num_reports"] == 3
+
+
+class TestServiceConfig:
+    def test_rejects_bad_checkpoint_interval(self):
+        with pytest.raises(ServiceError):
+            CollectionService(checkpoint_interval=0.0)
+
+    def test_periodic_checkpoints_fire(self, tmp_path):
+        service = CollectionService(
+            checkpoint_dir=tmp_path, checkpoint_interval=0.05
+        )
+        thread = ServiceThread(service)
+        host, port = thread.start()
+        client = ServiceClient(host, port)
+        try:
+            make_campaign(client)
+            import time
+
+            deadline = time.time() + 5.0
+            while time.time() < deadline:
+                if client.metrics()["checkpoints_written"] >= 2:
+                    break
+                time.sleep(0.02)
+            assert client.metrics()["checkpoints_written"] >= 2
+            assert CheckpointStore(tmp_path).exists()
+        finally:
+            client.close()
+            thread.stop()

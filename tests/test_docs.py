@@ -20,6 +20,7 @@ DOC_PAGES = (
     "mechanism-catalog.md",
     "strategy-store.md",
     "protocol-engine.md",
+    "serving.md",
 )
 
 

@@ -9,7 +9,18 @@ import repro
 
 class TestTopLevel:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        # Single-sourced from repro._version (the store's provenance records
+        # and the CLI's --version read the same constant).
+        from repro._version import __version__
+
+        assert repro.__version__ == __version__
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3 and all(part.isdigit() for part in parts)
+
+    def test_store_provenance_uses_same_version(self):
+        from repro.store.store import _library_version
+
+        assert _library_version() == repro.__version__
 
     def test_all_names_resolve(self):
         for name in repro.__all__:
@@ -25,6 +36,8 @@ class TestTopLevel:
             "OptimizationError",
             "ProtocolError",
             "DataError",
+            "StoreError",
+            "ServiceError",
         ):
             exception = getattr(repro, name)
             assert issubclass(exception, repro.ReproError)
@@ -41,6 +54,8 @@ class TestTopLevel:
             "repro.optimization",
             "repro.postprocess",
             "repro.protocol",
+            "repro.service",
+            "repro.store",
             "repro.workloads",
         ],
     )
