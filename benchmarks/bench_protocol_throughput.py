@@ -117,6 +117,12 @@ def main(argv=None) -> int:
         help="skip the seed path (e.g. on memory-starved CI)",
     )
     parser.add_argument("--json", default=None, help="write results to this path")
+    parser.add_argument(
+        "--check-against",
+        default=None,
+        help="baseline JSON of users/sec floors; exit 1 on a regression "
+        "beyond the baseline's tolerance (default 30%%)",
+    )
     arguments = parser.parse_args(argv)
 
     num_users = int(arguments.users)
@@ -209,6 +215,26 @@ def main(argv=None) -> int:
         with open(arguments.json, "w") as handle:
             json.dump(results, handle, indent=2, sort_keys=True)
         print(f"wrote {arguments.json}")
+
+    if arguments.check_against:
+        with open(arguments.check_against, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        tolerance = float(baseline.get("tolerance", 0.30))
+        regressions = 0
+        for key in ("engine_users_per_sec", "fast_users_per_sec"):
+            if key not in baseline:
+                continue
+            floor = float(baseline[key]) * (1.0 - tolerance)
+            got = results.get(key, 0.0)
+            verdict = "ok" if got >= floor else "REGRESSION"
+            if got < floor:
+                regressions += 1
+            print(
+                f"check: {verdict:>10}  {key}: {got:,.0f} users/sec "
+                f"(floor {floor:,.0f} = baseline - {tolerance:.0%})"
+            )
+        if regressions:
+            return 1
 
     if not deterministic:
         return 1

@@ -1,22 +1,29 @@
-"""Collection-service ingest throughput: reports/sec vs batch size.
+"""Collection-service ingest throughput: reports/sec vs batch size,
+worker-process count, and wire transport.
 
 Measures the full client→server path — client-side randomization already
-done, reports shipped over real HTTP to the asyncio service, folded by the
-micro-batching ingest pipeline, and drained — for a sweep of client batch
-sizes.  Small batches stress per-request overhead (HTTP parse + JSON +
-queue hop per few reports); large batches amortize it, converging toward
-the pipeline's raw folding rate, which is also measured directly (no HTTP)
-as the ceiling.
+done, reports shipped over real HTTP, folded by the ingest tier, and
+drained — across a sweep of client batch sizes, cluster worker counts
+(``0`` = the single-process in-loop pipeline), and wire transports
+(``json`` vs the packed binary frames).  Small batches stress per-request
+overhead; large batches converge toward the folding rate, whose no-HTTP
+ceiling is also measured directly.
 
-The script asserts correctness along the way: after every sweep the
-drained service count must equal the number of reports sent, and the final
-estimate must match a batch ``finalize`` of the same histogram.
+The script asserts correctness along the way: every configuration must
+count exactly the reports sent, and its drained estimates must be
+bit-identical to the single-process reference fold (the cluster tier's
+core contract).  With ``--check-against`` it also acts as a CI
+regression gate: measured reports/sec must stay within ``tolerance``
+(default 30%) of the committed baseline floors, or the script exits 1.
 
 Run::
 
     PYTHONPATH=src python benchmarks/bench_service_ingest.py \
-        --reports 200000 --domain 64 --batch-sizes 100,1000,10000 \
-        --json service_ingest.json
+        --reports 100000 --domain 64 --batch-sizes 100,1000,10000 \
+        --workers 0,2 --transport json,binary --json service_ingest.json
+
+    PYTHONPATH=src python benchmarks/bench_service_ingest.py \
+        --check-against benchmarks/baselines/service_ingest.json
 """
 
 from __future__ import annotations
@@ -38,16 +45,53 @@ from repro.service import (
     ServiceThread,
 )
 
+CAMPAIGN = "bench"
 
-def time_http_path(client, campaign, reports, batch_size):
-    """Ship pre-randomized reports over HTTP in ``batch_size`` chunks and
-    drain; returns (elapsed_seconds, reports_counted_by_server)."""
+
+def time_http_path(client, campaign, reports, batch_size, num_threads=1):
+    """Ship pre-randomized reports over HTTP in ``batch_size`` chunks from
+    ``num_threads`` concurrent connections and drain; returns
+    (elapsed_seconds, final sync-query answer).
+
+    Concurrency matters for the cluster sweep: one synchronous sender is
+    itself the bottleneck, so scale-out only becomes visible under the
+    multi-connection load a real deployment sees.
+    """
+    import threading
+
+    slices = np.array_split(reports, num_threads)
+    errors: list[BaseException] = []
+
+    def send(worker_slice):
+        sender = ServiceClient(
+            client.host, client.port, transport=client.transport
+        )
+        try:
+            for begin in range(0, worker_slice.shape[0], batch_size):
+                sender.send_reports(
+                    campaign, worker_slice[begin : begin + batch_size]
+                )
+        except BaseException as error:  # noqa: BLE001 - surfaced below
+            errors.append(error)
+        finally:
+            sender.close()
+
     start = time.perf_counter()
-    for begin in range(0, reports.shape[0], batch_size):
-        client.send_reports(campaign, reports[begin : begin + batch_size])
+    if num_threads == 1:
+        send(slices[0])
+    else:
+        threads = [
+            threading.Thread(target=send, args=(piece,)) for piece in slices
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    if errors:
+        raise errors[0]
     answer = client.query(campaign, sync=True)
     elapsed = time.perf_counter() - start
-    return elapsed, answer["num_reports"]
+    return elapsed, answer
 
 
 def time_direct_pipeline(manager_factory, reports, batch_size):
@@ -61,14 +105,46 @@ def time_direct_pipeline(manager_factory, reports, batch_size):
         start = time.perf_counter()
         for begin in range(0, reports.shape[0], batch_size):
             await pipeline.submit_reports(
-                "bench", reports[begin : begin + batch_size]
+                CAMPAIGN, reports[begin : begin + batch_size]
             )
         await pipeline.drain()
         elapsed = time.perf_counter() - start
         await pipeline.stop()
-        return elapsed, manager.get("bench").num_reports
+        return elapsed, manager.get(CAMPAIGN).num_reports
 
     return asyncio.run(run())
+
+
+def check_against(results: dict, baseline_path: str) -> int:
+    """Gate the measured sweep against committed baseline floors; returns
+    the number of rows regressing more than the allowed tolerance."""
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    tolerance = float(baseline.get("tolerance", 0.30))
+    measured = {
+        (row["workers"], row["transport"], row["batch_size"]): row[
+            "http_reports_per_sec"
+        ]
+        for row in results["sweep"]
+    }
+    failures = 0
+    for row in baseline["sweep"]:
+        key = (row["workers"], row["transport"], row["batch_size"])
+        floor = float(row["http_reports_per_sec"]) * (1.0 - tolerance)
+        got = measured.get(key)
+        if got is None:
+            print(f"check: MISSING  workers={key[0]} {key[1]} batch={key[2]}")
+            failures += 1
+            continue
+        verdict = "ok" if got >= floor else "REGRESSION"
+        if got < floor:
+            failures += 1
+        print(
+            f"check: {verdict:>10}  workers={key[0]} {key[1]:>6} "
+            f"batch={key[2]:>6}: {got:>12,.0f} reports/sec "
+            f"(floor {floor:,.0f} = baseline - {tolerance:.0%})"
+        )
+    return failures
 
 
 def main(argv=None) -> int:
@@ -81,12 +157,41 @@ def main(argv=None) -> int:
         default="100,1000,10000",
         help="comma-separated client batch sizes to sweep",
     )
+    parser.add_argument(
+        "--workers",
+        default="0,2",
+        help="comma-separated cluster worker counts (0 = single-process)",
+    )
+    parser.add_argument(
+        "--transport",
+        default="json,binary",
+        help="comma-separated wire transports to sweep",
+    )
+    parser.add_argument(
+        "--client-threads",
+        type=int,
+        default=4,
+        help="concurrent client connections per configuration (held "
+        "constant across the sweep so worker scaling is load-driven)",
+    )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--skip-direct",
+        action="store_true",
+        help="skip the no-HTTP direct-pipeline ceiling",
+    )
     parser.add_argument("--json", default=None, help="write results to this path")
+    parser.add_argument(
+        "--check-against",
+        default=None,
+        help="baseline JSON of floors; exit 1 on a >tolerance regression",
+    )
     arguments = parser.parse_args(argv)
 
     num_reports = int(arguments.reports)
     batch_sizes = [int(v) for v in arguments.batch_sizes.split(",") if v.strip()]
+    worker_counts = [int(v) for v in arguments.workers.split(",") if v.strip()]
+    transports = [v.strip() for v in arguments.transport.split(",") if v.strip()]
     strategy = hadamard_response(arguments.domain, arguments.epsilon)
 
     # Pre-randomize once: the benchmark isolates ingest, not the sampler.
@@ -97,7 +202,7 @@ def main(argv=None) -> int:
     def manager_factory() -> CampaignManager:
         manager = CampaignManager()
         manager.create(
-            "bench",
+            CAMPAIGN,
             workload="Histogram",
             domain_size=arguments.domain,
             epsilon=arguments.epsilon,
@@ -105,68 +210,131 @@ def main(argv=None) -> int:
         )
         return manager
 
+    # Single-process reference answer every configuration must reproduce
+    # bit for bit (counts are integers; merges commute).
+    reference_manager = manager_factory()
+    reference_pending = [
+        reference_manager.get(CAMPAIGN).session.new_accumulator().add_reports(
+            reports
+        )
+    ]
+    reference = reference_manager.query(
+        CAMPAIGN, pending=reference_pending
+    ).to_json()
+
+    import os
+
+    cpu_count = os.cpu_count() or 1
     results = {
         "num_reports": num_reports,
         "domain_size": arguments.domain,
         "num_outputs": strategy.num_outputs,
         "epsilon": arguments.epsilon,
+        "client_threads": arguments.client_threads,
+        "cpu_count": cpu_count,
         "sweep": [],
+        "direct": [],
     }
     print(
         f"service ingest: N = {num_reports:,} pre-randomized reports, "
-        f"n = {arguments.domain}, m = {strategy.num_outputs} outputs"
+        f"n = {arguments.domain}, m = {strategy.num_outputs} outputs, "
+        f"workers {worker_counts}, transports {transports}, "
+        f"{cpu_count} cpu core(s)"
     )
+    if max(worker_counts) >= cpu_count:
+        print(
+            f"NOTE: {cpu_count} core(s) < workers+coordinator — worker "
+            "scale-out cannot beat the single process here; cross-worker "
+            "numbers measure dispatch overhead, not parallel speedup"
+        )
 
     failures = 0
-    for batch_size in batch_sizes:
-        service = CollectionService(
-            manager=manager_factory(), flush_interval=0.05
-        )
-        thread = ServiceThread(service)
-        host, port = thread.start()
-        client = ServiceClient(host, port)
-        http_seconds, counted = time_http_path(
-            client, "bench", reports, batch_size
-        )
-        campaign = service.manager.get("bench")
-        estimate_ok = bool(
-            np.array_equal(
-                campaign.session.finalize(campaign.accumulator).response_vector,
-                np.bincount(reports, minlength=strategy.num_outputs).astype(
-                    float
-                ),
+    for workers in worker_counts:
+        for transport in transports:
+            # One service (and one worker-pool spawn) per configuration;
+            # each batch size gets its own campaign so every run is
+            # checked bit-for-bit against the reference fold.
+            service = CollectionService(
+                manager=CampaignManager(),
+                flush_interval=0.05,
+                cluster_workers=workers,
             )
-        )
-        client.close()
-        thread.stop()
+            thread = ServiceThread(service)
+            host, port = thread.start()
+            print(f"-- workers={workers} transport={transport} on {host}:{port}")
+            client = ServiceClient(host, port, transport=transport)
+            for batch_size in batch_sizes:
+                campaign = f"{CAMPAIGN}-{batch_size}"
+                client.create_campaign(
+                    campaign,
+                    workload="Histogram",
+                    domain_size=arguments.domain,
+                    epsilon=arguments.epsilon,
+                    mechanism="Hadamard",
+                    exist_ok=True,
+                )
+                http_seconds, answer = time_http_path(
+                    client,
+                    campaign,
+                    reports,
+                    batch_size,
+                    num_threads=arguments.client_threads,
+                )
+                count_ok = answer["num_reports"] == num_reports
+                estimate_ok = answer["estimates"] == reference["estimates"]
+                if not (count_ok and estimate_ok):
+                    failures += 1
+                row = {
+                    "workers": workers,
+                    "transport": transport,
+                    "batch_size": batch_size,
+                    "port": port,
+                    "http_seconds": round(http_seconds, 6),
+                    "http_reports_per_sec": round(
+                        num_reports / http_seconds, 1
+                    ),
+                    "count_ok": count_ok,
+                    "estimate_ok": estimate_ok,
+                }
+                results["sweep"].append(row)
+                print(
+                    f"   batch {batch_size:>7,}: "
+                    f"{num_reports / http_seconds:>12,.0f} reports/sec   "
+                    f"[{'ok' if count_ok and estimate_ok else 'MISMATCH'}]"
+                )
+            client.close()
+            thread.stop()
 
-        direct_seconds, direct_counted = time_direct_pipeline(
-            manager_factory, reports, batch_size
-        )
-        count_ok = counted == num_reports and direct_counted == num_reports
-        if not (count_ok and estimate_ok):
-            failures += 1
-        row = {
-            "batch_size": batch_size,
-            "http_seconds": round(http_seconds, 6),
-            "http_reports_per_sec": round(num_reports / http_seconds, 1),
-            "direct_seconds": round(direct_seconds, 6),
-            "direct_reports_per_sec": round(num_reports / direct_seconds, 1),
-            "count_ok": count_ok,
-            "estimate_ok": estimate_ok,
-        }
-        results["sweep"].append(row)
-        print(
-            f"batch {batch_size:>7,}: http {num_reports / http_seconds:>12,.0f} "
-            f"reports/sec   direct {num_reports / direct_seconds:>12,.0f} "
-            f"reports/sec   "
-            f"[{'ok' if count_ok and estimate_ok else 'MISMATCH'}]"
-        )
+    if not arguments.skip_direct:
+        for batch_size in batch_sizes:
+            direct_seconds, direct_counted = time_direct_pipeline(
+                manager_factory, reports, batch_size
+            )
+            if direct_counted != num_reports:
+                failures += 1
+            results["direct"].append(
+                {
+                    "batch_size": batch_size,
+                    "direct_seconds": round(direct_seconds, 6),
+                    "direct_reports_per_sec": round(
+                        num_reports / direct_seconds, 1
+                    ),
+                    "count_ok": direct_counted == num_reports,
+                }
+            )
+            print(
+                f"direct batch {batch_size:>7,}: "
+                f"{num_reports / direct_seconds:>12,.0f} reports/sec "
+                "(no-HTTP ceiling)"
+            )
 
     if arguments.json:
         with open(arguments.json, "w", encoding="utf-8") as handle:
             json.dump(results, handle, indent=2)
         print(f"wrote {arguments.json}")
+
+    if arguments.check_against:
+        failures += check_against(results, arguments.check_against)
     return 1 if failures else 0
 
 

@@ -3,10 +3,12 @@
 
 Drives the collection service exactly as a deployment would:
 
-1. start ``repro serve`` as a subprocess with a bootstrapped fixture
-   campaign and a checkpoint directory;
-2. push client-randomized reports through the SDK (the server never sees a
-   raw value);
+1. start ``repro serve`` as a subprocess on an **ephemeral port** (the
+   server binds port 0 and the chosen port is parsed from its startup
+   line, so parallel CI jobs can never collide) with a bootstrapped
+   fixture campaign and a checkpoint directory;
+2. push client-randomized reports through the SDK (the server never sees
+   a raw value), over the JSON or binary transport per ``--transport``;
 3. assert ``GET /v1/query`` answers within statistical tolerance of the
    known ground truth (every query inside 6 plug-in standard errors);
 4. force a checkpoint, ``SIGKILL`` the server (a genuine crash — no
@@ -14,17 +16,25 @@ Drives the collection service exactly as a deployment would:
    the recovered estimates are **bit-identical** to the pre-kill answer;
 5. verify the restarted service still ingests.
 
+``--workers K`` runs the whole scenario against the multi-process
+cluster tier (coordinator + K worker processes), including the SIGKILL
+of the coordinator, which orphans and reaps the workers.
+
 Exits non-zero on any failure.  Run::
 
     PYTHONPATH=src python scripts/service_smoke.py
+    PYTHONPATH=src python scripts/service_smoke.py --workers 2 --transport binary
 """
 
 from __future__ import annotations
 
+import argparse
+import re
 import signal
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -42,70 +52,110 @@ EPSILON = 1.0
 NUM_CLIENTS = 20_000
 CAMPAIGN = "smoke"
 
-
-def free_port() -> int:
-    import socket
-
-    with socket.socket() as probe:
-        probe.bind(("127.0.0.1", 0))
-        return probe.getsockname()[1]
+_LISTENING = re.compile(r"listening on http://[\d.]+:(\d+)")
 
 
-def start_server(port: int, checkpoint_dir: str) -> subprocess.Popen:
-    process = subprocess.Popen(
-        [
-            sys.executable,
-            "-m",
-            "repro",
-            "serve",
-            "--port",
-            str(port),
-            "--checkpoint-dir",
-            checkpoint_dir,
-            "--checkpoint-interval",
-            "5",
-            "--flush-interval",
-            "0.05",
-            "--campaign",
-            CAMPAIGN,
-            "--workload",
-            "Histogram",
-            "--domain",
-            str(DOMAIN),
-            "--epsilon",
-            str(EPSILON),
-        ],
-        cwd=REPO_ROOT,
-        env={
-            **__import__("os").environ,
-            "PYTHONPATH": str(REPO_ROOT / "src"),
-        },
-        stdout=subprocess.PIPE,
-        stderr=subprocess.STDOUT,
-        text=True,
-    )
-    deadline = time.time() + 30
-    while True:
-        try:
-            ServiceClient("127.0.0.1", port, timeout=2.0).healthz()
-            return process
-        except Exception:
-            if process.poll() is not None or time.time() > deadline:
-                output = process.stdout.read() if process.stdout else ""
-                process.kill()
-                raise SystemExit(
-                    f"server failed to come up on port {port}:\n{output}"
-                )
-            time.sleep(0.1)
+class Server:
+    """One ``repro serve`` subprocess bound to an ephemeral port."""
+
+    def __init__(self, checkpoint_dir: str, workers: int, transport: str):
+        self.process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--port",
+                "0",  # ephemeral: the OS picks a free port, no collisions
+                "--workers",
+                str(workers),
+                "--transport",
+                transport,
+                "--checkpoint-dir",
+                checkpoint_dir,
+                "--checkpoint-interval",
+                "5",
+                "--flush-interval",
+                "0.05",
+                "--campaign",
+                CAMPAIGN,
+                "--workload",
+                "Histogram",
+                "--domain",
+                str(DOMAIN),
+                "--epsilon",
+                str(EPSILON),
+            ],
+            cwd=REPO_ROOT,
+            env={
+                **__import__("os").environ,
+                "PYTHONPATH": str(REPO_ROOT / "src"),
+            },
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        self.lines: list[str] = []
+        self.port: int | None = None
+        self._bound = threading.Event()
+        self._reader = threading.Thread(target=self._drain, daemon=True)
+        self._reader.start()
+
+    def _drain(self) -> None:
+        for line in self.process.stdout:
+            self.lines.append(line)
+            match = _LISTENING.search(line)
+            if match and self.port is None:
+                self.port = int(match.group(1))
+                self._bound.set()
+        self._bound.set()  # EOF: unblock waiters even on startup failure
+
+    def wait_ready(self, timeout: float = 60.0) -> int:
+        deadline = time.time() + timeout
+        self._bound.wait(timeout)
+        if self.port is None:
+            output = "".join(self.lines)
+            self.process.kill()
+            raise SystemExit(f"server never reported its port:\n{output}")
+        while time.time() < deadline:
+            try:
+                ServiceClient("127.0.0.1", self.port, timeout=2.0).healthz()
+                return self.port
+            except Exception:
+                if self.process.poll() is not None:
+                    raise SystemExit(
+                        "server died during startup:\n" + "".join(self.lines)
+                    )
+                time.sleep(0.1)
+        raise SystemExit(f"server on :{self.port} never became healthy")
 
 
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="cluster worker processes (0 = single-process service)",
+    )
+    parser.add_argument(
+        "--transport",
+        choices=("json", "binary"),
+        default="json",
+        help="ingest wire format the SDK ships reports over",
+    )
+    arguments = parser.parse_args()
+
     checkpoint_dir = tempfile.mkdtemp(prefix="repro-service-smoke-")
-    port = free_port()
-    print(f"[smoke] starting repro serve on :{port} (checkpoints {checkpoint_dir})")
-    server = start_server(port, checkpoint_dir)
+    server = Server(checkpoint_dir, arguments.workers, arguments.transport)
+    port = server.wait_ready()
+    print(
+        f"[smoke] repro serve bound ephemeral port {port} "
+        f"(workers={arguments.workers}, transport={arguments.transport}, "
+        f"checkpoints {checkpoint_dir})"
+    )
     try:
-        client = ServiceClient("127.0.0.1", port)
+        client = ServiceClient("127.0.0.1", port, transport=arguments.transport)
         truth = zipf_data(DOMAIN, NUM_CLIENTS, seed=1)
         values = expand_users(truth)
         rng = np.random.default_rng(0)
@@ -140,13 +190,16 @@ def main() -> int:
         pre_kill = client.query(CAMPAIGN, sync=True)
         client.close()
         print("[smoke] SIGKILL the server (no graceful shutdown)")
-        server.send_signal(signal.SIGKILL)
-        server.wait(timeout=30)
+        server.process.send_signal(signal.SIGKILL)
+        server.process.wait(timeout=30)
 
-        port2 = free_port()
-        server2 = start_server(port2, checkpoint_dir)
+        server2 = Server(checkpoint_dir, arguments.workers, arguments.transport)
+        port2 = server2.wait_ready()
+        print(f"[smoke] restarted on ephemeral port {port2}")
         try:
-            client2 = ServiceClient("127.0.0.1", port2)
+            client2 = ServiceClient(
+                "127.0.0.1", port2, transport=arguments.transport
+            )
             health = client2.healthz()
             assert health["recovered"], "server did not recover the checkpoint"
             post = client2.query(CAMPAIGN, sync=True)
@@ -166,15 +219,15 @@ def main() -> int:
             print("[smoke] recovered service still ingesting — PASS")
             client2.close()
         finally:
-            server2.send_signal(signal.SIGTERM)
+            server2.process.send_signal(signal.SIGTERM)
             try:
-                server2.wait(timeout=30)
+                server2.process.wait(timeout=30)
             except subprocess.TimeoutExpired:
-                server2.kill()
+                server2.process.kill()
         return 0
     finally:
-        if server.poll() is None:
-            server.kill()
+        if server.process.poll() is None:
+            server.process.kill()
 
 
 if __name__ == "__main__":

@@ -47,6 +47,7 @@ from repro import (
 )
 from repro._version import __version__
 from repro.exceptions import (
+    ClusterDegradedError,
     DataError,
     DomainError,
     FactorizationError,
@@ -71,6 +72,7 @@ from repro.store import StrategyStore
 from repro.workloads import Workload
 
 __all__ = [
+    "ClusterDegradedError",
     "DataError",
     "DomainError",
     "FactorizationError",

@@ -220,6 +220,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--ingest-workers", type=int, default=2, help="ingest worker tasks"
     )
     serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="cluster worker processes K (0 = single-process service); "
+        "report batches are dispatched across the workers and folds "
+        "merge bit-identically to a serial pass",
+    )
+    serve.add_argument(
+        "--transport",
+        choices=("json", "binary", "both"),
+        default="both",
+        help="accepted ingest wire format(s) on /v1/report(s)",
+    )
+    serve.add_argument(
         "--flush-reports",
         type=int,
         default=8192,
@@ -285,6 +299,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument(
         "--batch-size", type=int, default=500, help="reports per HTTP batch"
+    )
+    report.add_argument(
+        "--transport",
+        choices=("json", "binary"),
+        default="json",
+        help="ingest wire format (binary = packed frames, ~5x less wire)",
     )
 
     query = subcommands.add_parser(
@@ -598,6 +618,8 @@ def _run_serve(arguments) -> int:
         max_pending=arguments.max_pending,
         flush_reports=arguments.flush_reports,
         flush_interval=arguments.flush_interval,
+        cluster_workers=arguments.workers,
+        transport=arguments.transport,
     )
     if arguments.campaign is not None and arguments.campaign not in service.manager:
         service.manager.create(
@@ -626,7 +648,9 @@ def _run_report(arguments) -> int:
     if (arguments.values is None) == (arguments.simulate is None):
         print("pass exactly one of --values or --simulate", file=sys.stderr)
         return 2
-    client = ServiceClient(arguments.host, arguments.port)
+    client = ServiceClient(
+        arguments.host, arguments.port, transport=arguments.transport
+    )
     reporter = client.reporter(
         arguments.campaign,
         batch_size=arguments.batch_size,

@@ -51,3 +51,9 @@ class StoreError(ReproError):
 class ServiceError(ReproError):
     """The collection service was misused or its state is damaged (unknown
     campaign, malformed request, corrupt checkpoint)."""
+
+
+class ClusterDegradedError(ServiceError):
+    """A cluster worker process died, so the pool refuses to operate (its
+    un-checkpointed reports are lost); the HTTP layer maps this to a 503
+    rather than a client-fault 400."""

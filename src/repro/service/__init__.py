@@ -15,8 +15,14 @@ a crash.  Clients randomize locally — the server never sees a raw value.
   micro-batching ingestion.
 * :class:`~repro.service.checkpoint.CheckpointStore` — atomic snapshots +
   crash recovery.
-* :class:`~repro.service.server.CollectionService` — the asyncio
-  JSON-over-HTTP server (``repro serve``).
+* :class:`~repro.service.server.CollectionService` — the asyncio HTTP
+  server (``repro serve``), JSON or binary-framed ingest.
+* :class:`~repro.service.cluster.WorkerPool` — the multi-process
+  scale-out tier (``repro serve --workers K``): per-process
+  :class:`~repro.service.ingest.IngestPipeline` over owned shard
+  accumulators, merged bit-identically for queries and checkpoints.
+* :mod:`repro.service.framing` — the length-prefixed binary ingest
+  frames (``--transport binary``).
 * :class:`~repro.service.client.ServiceClient` /
   :class:`~repro.service.client.CampaignReporter` — the client SDK with
   client-side randomization and fire-and-forget batching.
@@ -32,8 +38,28 @@ from repro.service.campaigns import (
 )
 from repro.service.checkpoint import MANIFEST_VERSION, CheckpointStore
 from repro.service.client import CampaignReporter, ServiceClient
-from repro.service.ingest import MAX_BATCH_REPORTS, IngestPipeline, IngestStats
-from repro.service.server import CollectionService, ServiceThread, run_service
+from repro.service.cluster import ShardManager, WorkerPool
+from repro.service.framing import (
+    FRAME_CONTENT_TYPE,
+    Frame,
+    decode_frame,
+    decode_frames,
+    encode_histogram,
+    encode_reports,
+)
+from repro.service.ingest import (
+    MAX_BATCH_REPORTS,
+    IngestPipeline,
+    IngestStats,
+    validate_histogram,
+    validate_reports,
+)
+from repro.service.server import (
+    TRANSPORTS,
+    CollectionService,
+    ServiceThread,
+    run_service,
+)
 
 __all__ = [
     "Campaign",
@@ -41,6 +67,8 @@ __all__ = [
     "CampaignReporter",
     "CheckpointStore",
     "CollectionService",
+    "FRAME_CONTENT_TYPE",
+    "Frame",
     "IngestPipeline",
     "IngestStats",
     "MANIFEST_VERSION",
@@ -48,6 +76,15 @@ __all__ = [
     "QueryAnswer",
     "ServiceClient",
     "ServiceThread",
+    "ShardManager",
+    "TRANSPORTS",
+    "WorkerPool",
+    "decode_frame",
+    "decode_frames",
+    "encode_histogram",
+    "encode_reports",
     "run_service",
     "validate_campaign_name",
+    "validate_histogram",
+    "validate_reports",
 ]

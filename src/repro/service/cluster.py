@@ -1,0 +1,637 @@
+"""Multi-process scale-out tier for the collection service.
+
+The server side of the paper's mechanism only ever *adds*: every report
+folds into a response histogram, estimates are a linear function of the
+folded sums (the factorization view), so aggregation parallelizes across
+processes without changing a single bit of the answer.  This module is
+that seam: a coordinator (the asyncio HTTP process) dispatches validated
+report batches over :mod:`multiprocessing` pipes to ``K`` worker
+processes, each running its own
+:class:`~repro.service.ingest.IngestPipeline` over shard accumulators it
+exclusively owns.  Queries and checkpoints pull per-worker snapshots back
+through the version-tagged :meth:`ShardAccumulator.to_bytes` payloads and
+merge them — the same commutative-monoid merge the in-process pipeline
+uses, so serial and worker-pool folds are bit-identical.
+
+Division of labor: the coordinator reads HTTP framing and routes on the
+path + content type only; ingest *bodies* — JSON or binary frames — are
+shipped to a worker verbatim, and the worker parses, validates, and folds
+them, so the per-report decode cost lands on the worker's core and the
+coordinator stays an almost pure switchboard.  Validation failures travel
+back on the reply and surface as a synchronous 400, exactly like the
+single-process path.  Dispatch is pipelined: a sender thread and a reader
+thread per worker connection keep any number of batches in flight (bounded
+by a per-worker semaphore), with replies matched to awaiting handlers in
+FIFO order — the order the worker necessarily answers in.
+
+Failure semantics are deliberately loud: a worker that dies (crash,
+``SIGKILL``) takes its un-checkpointed reports with it, so the pool marks
+itself degraded and every subsequent submit/drain/snapshot raises
+:class:`~repro.exceptions.ServiceError` instead of silently under-counting.
+Recovery is a restart from the last coordinated checkpoint, which covered
+every worker's shards atomically (single manifest over the merged fold).
+
+Workers are spawned (not forked) by default: the coordinator runs threads
+and an event loop, and forking such a process can deadlock in numpy/BLAS
+locks.  Spawn costs ~1 s of interpreter+numpy import per worker at
+startup; steady-state dispatch is a pickle over a pipe.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import multiprocessing
+import queue
+import signal
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ClusterDegradedError, ReproError, ServiceError
+from repro.protocol.engine import ShardAccumulator
+from repro.service.framing import unpack_reports
+from repro.service.ingest import (
+    IngestPipeline,
+    fold_frame_body,
+    fold_json_body,
+)
+
+#: Maximum dispatched-but-unanswered batches per worker; acquiring past it
+#: awaits (backpressure), bounding pipe-buffer growth under overload.
+MAX_INFLIGHT_PER_WORKER = 64
+
+#: Sender-queue sentinel that tells the sender thread to exit.
+_CLOSE = object()
+
+#: How the worker processes are created.  ``spawn`` is the safe default
+#: (see module docstring); ``fork`` is faster to start and fine for
+#: short-lived single-threaded drivers.
+DEFAULT_START_METHOD = "spawn"
+
+
+class _ShardSession:
+    """Worker-side stand-in for a :class:`ProtocolSession`: a worker never
+    reconstructs estimates, so it only needs the output alphabet size."""
+
+    __slots__ = ("num_outputs",)
+
+    def __init__(self, num_outputs: int) -> None:
+        self.num_outputs = int(num_outputs)
+
+    def new_accumulator(self) -> ShardAccumulator:
+        return ShardAccumulator(self.num_outputs)
+
+
+class _ShardCampaign:
+    """Worker-side view of one campaign: accumulator + flush counter."""
+
+    __slots__ = ("name", "session", "accumulator", "flushes")
+
+    def __init__(self, name: str, num_outputs: int) -> None:
+        self.name = name
+        self.session = _ShardSession(num_outputs)
+        self.accumulator = self.session.new_accumulator()
+        self.flushes = 0
+
+    @property
+    def num_reports(self) -> int:
+        return self.accumulator.num_reports
+
+
+class ShardManager:
+    """The worker's campaign registry, duck-typed to what
+    :class:`~repro.service.ingest.IngestPipeline` needs from a
+    :class:`~repro.service.campaigns.CampaignManager` — strategies,
+    operators, and query answering stay on the coordinator.
+
+    Examples
+    --------
+    >>> manager = ShardManager()
+    >>> manager.open("demo", num_outputs=4)
+    >>> manager.get("demo").session.num_outputs
+    4
+    """
+
+    def __init__(self) -> None:
+        self._campaigns: dict[str, _ShardCampaign] = {}
+
+    def open(self, name: str, num_outputs: int) -> None:
+        existing = self._campaigns.get(name)
+        if existing is not None:
+            if existing.session.num_outputs != int(num_outputs):
+                raise ServiceError(
+                    f"campaign {name!r} already open over "
+                    f"{existing.session.num_outputs} outputs, not {num_outputs}"
+                )
+            return
+        self._campaigns[name] = _ShardCampaign(name, num_outputs)
+
+    def get(self, name: str) -> _ShardCampaign:
+        campaign = self._campaigns.get(name)
+        if campaign is None:
+            known = ", ".join(sorted(self._campaigns)) or "none"
+            raise ServiceError(
+                f"unknown campaign {name!r} (open on this worker: {known})"
+            )
+        return campaign
+
+    def campaigns(self) -> list[_ShardCampaign]:
+        return list(self._campaigns.values())
+
+    def __len__(self) -> int:
+        return len(self._campaigns)
+
+
+def _worker_main(connection, index: int, flush_reports: int, flush_interval: float):
+    """Entry point of one worker process (module-level so ``spawn`` can
+    import it).  Shutdown is protocol-driven — ``("stop",)`` or pipe EOF —
+    so terminal signals aimed at the process *group* (an operator's
+    Ctrl-C) leave workers alive for the coordinator's graceful drain."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    try:
+        asyncio.run(_worker_loop(connection, flush_reports, flush_interval))
+    finally:
+        connection.close()
+
+
+async def _worker_loop(connection, flush_reports: int, flush_interval: float):
+    manager = ShardManager()
+    pipeline = IngestPipeline(
+        manager,
+        num_workers=1,
+        flush_reports=flush_reports,
+        flush_interval=flush_interval,
+    )
+    await pipeline.start()
+    loop = asyncio.get_running_loop()
+    while True:
+        try:
+            message = await loop.run_in_executor(None, connection.recv)
+        except (EOFError, OSError):
+            break  # coordinator is gone; nothing left to serve
+        try:
+            reply = ("ok", await _handle(message, manager, pipeline))
+        except ReproError as error:
+            # A validation/client fault: travels back as a 400.
+            reply = ("err", f"{error}")
+        except Exception as error:  # noqa: BLE001 - reply, don't die
+            # An unexpected internal bug: tagged so the coordinator maps
+            # it to a 500, exactly as the in-process path would.
+            reply = ("fatal", f"{type(error).__name__}: {error}")
+        try:
+            connection.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+        if message[0] == "stop":
+            break
+
+
+async def _handle(message, manager: ShardManager, pipeline: IngestPipeline):
+    op = message[0]
+    if op == "json":
+        _, payload, single = message
+        per_campaign = await fold_json_body(pipeline, payload, single)
+        return {"accepted": sum(per_campaign.values()), "campaigns": per_campaign}
+    if op == "frames":
+        _, payload = message
+        per_campaign = await fold_frame_body(pipeline, payload)
+        return {"accepted": sum(per_campaign.values()), "campaigns": per_campaign}
+    if op == "reports":
+        _, name, array = message
+        return await pipeline.submit_reports(name, array)
+    if op == "reports_packed":
+        _, name, item_size, payload = message
+        return await pipeline.submit_reports(
+            name, unpack_reports(payload, item_size)
+        )
+    if op == "histogram":
+        _, name, array = message
+        return await pipeline.submit_histogram(name, array)
+    if op == "open":
+        _, name, num_outputs = message
+        manager.open(name, num_outputs)
+        return None
+    if op == "drain":
+        await pipeline.drain()
+        return None
+    if op == "snapshot":
+        _, only = message
+        pipeline.flush_all()
+        return {
+            campaign.name: campaign.accumulator.to_bytes()
+            for campaign in manager.campaigns()
+            if campaign.num_reports and (only is None or campaign.name == only)
+        }
+    if op == "stats":
+        return {
+            "ingest": pipeline.stats.to_json(),
+            "queue_depth": pipeline.queue_depth,
+            "campaigns": {
+                campaign.name: campaign.num_reports
+                for campaign in manager.campaigns()
+            },
+        }
+    if op == "ping":
+        return "pong"
+    if op == "stop":
+        await pipeline.stop()
+        return None
+    raise ServiceError(f"unknown cluster op {op!r}")
+
+
+
+
+@dataclass
+class _WorkerHandle:
+    """Coordinator-side state for one worker process.
+
+    The sender thread owns all writes to the pipe (fed by an unbounded
+    queue; admission is bounded upstream by ``inflight``), the reader
+    thread owns all reads and hands each reply to the event loop, which
+    resolves the oldest pending future — FIFO, matching the order the
+    single-loop worker necessarily answers in.
+    """
+
+    index: int
+    process: multiprocessing.process.BaseProcess
+    connection: object
+    inflight: asyncio.Semaphore
+    send_queue: "queue.SimpleQueue" = field(default_factory=queue.SimpleQueue)
+    pending: "collections.deque[asyncio.Future]" = field(
+        default_factory=collections.deque
+    )
+    sender: threading.Thread | None = None
+    reader: threading.Thread | None = None
+    alive: bool = True
+    fail_reason: str = ""
+    dispatched_batches: int = 0
+    dispatched_reports: int = 0
+
+
+class WorkerPool:
+    """Coordinator handle over ``K`` worker processes.
+
+    All methods are coroutines meant to run on the service's event loop;
+    the blocking pipe round trips run on executor threads, one in flight
+    per worker (a per-worker lock serializes request/reply pairs while
+    different workers proceed in parallel).
+
+    Parameters
+    ----------
+    num_workers:
+        Worker process count ``K``.
+    flush_reports, flush_interval:
+        Forwarded to each worker's :class:`IngestPipeline`.
+    start_method:
+        ``multiprocessing`` start method; see :data:`DEFAULT_START_METHOD`.
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        *,
+        flush_reports: int = 8_192,
+        flush_interval: float = 0.2,
+        start_method: str = DEFAULT_START_METHOD,
+    ) -> None:
+        if num_workers < 1:
+            raise ServiceError(f"need >= 1 cluster worker, got {num_workers}")
+        self.num_workers = num_workers
+        self.flush_reports = flush_reports
+        self.flush_interval = flush_interval
+        self._context = multiprocessing.get_context(start_method)
+        self._workers: list[_WorkerHandle] = []
+        self._cursor = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self.accepted_reports: dict[str, int] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the worker processes and wait until each answers a ping
+        (so an import failure in a worker surfaces here, not on the first
+        report)."""
+        if self._workers:
+            raise ServiceError("worker pool already started")
+        self._loop = asyncio.get_running_loop()
+        for index in range(self.num_workers):
+            parent_end, child_end = self._context.Pipe(duplex=True)
+            process = self._context.Process(
+                target=_worker_main,
+                args=(child_end, index, self.flush_reports, self.flush_interval),
+                name=f"repro-cluster-{index}",
+                daemon=True,
+            )
+            process.start()
+            # The parent must drop its copy of the child's pipe end, or a
+            # dead worker would never read as EOF.
+            child_end.close()
+            worker = _WorkerHandle(
+                index=index,
+                process=process,
+                connection=parent_end,
+                inflight=asyncio.Semaphore(MAX_INFLIGHT_PER_WORKER),
+            )
+            worker.sender = threading.Thread(
+                target=self._sender_loop,
+                args=(worker,),
+                name=f"repro-cluster-send-{index}",
+                daemon=True,
+            )
+            worker.reader = threading.Thread(
+                target=self._reader_loop,
+                args=(worker,),
+                name=f"repro-cluster-read-{index}",
+                daemon=True,
+            )
+            worker.sender.start()
+            worker.reader.start()
+            self._workers.append(worker)
+        try:
+            await asyncio.gather(
+                *(self._call(worker, ("ping",)) for worker in self._workers)
+            )
+        except ServiceError:
+            # One worker failed to come up (import error, broken spawn
+            # environment): don't leak the ones that did.
+            await self.stop(graceful=False)
+            raise
+
+    async def stop(self, *, graceful: bool = True) -> None:
+        """Shut the workers down.
+
+        ``graceful=False`` is the crash path: workers are killed outright
+        (they ignore SIGTERM by design), losing whatever was not yet
+        checkpointed — exactly what a machine failure would lose.
+        """
+        if graceful:
+            for worker in self._workers:
+                if worker.alive:
+                    try:
+                        await self._call(worker, ("stop",))
+                    except ServiceError:
+                        pass  # died mid-shutdown; reaped below
+        for worker in self._workers:
+            if graceful:
+                await asyncio.to_thread(worker.process.join, 10)
+            if worker.process.is_alive():
+                worker.process.kill()
+                await asyncio.to_thread(worker.process.join, 10)
+            worker.alive = False
+            worker.send_queue.put(_CLOSE)
+            worker.connection.close()  # unblocks the reader thread
+        for worker in self._workers:
+            for thread in (worker.sender, worker.reader):
+                if thread is not None:
+                    await asyncio.to_thread(thread.join, 10)
+        self._workers = []
+
+    @property
+    def started(self) -> bool:
+        return bool(self._workers)
+
+    @property
+    def workers_alive(self) -> int:
+        return sum(
+            1
+            for worker in self._workers
+            if worker.alive and worker.process.is_alive()
+        )
+
+    def worker_pids(self) -> list[int]:
+        """The worker process ids (tests aim their SIGKILLs with this)."""
+        return [worker.process.pid for worker in self._workers]
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _sender_loop(self, worker: _WorkerHandle) -> None:
+        while True:
+            message = worker.send_queue.get()
+            if message is _CLOSE:
+                return
+            try:
+                worker.connection.send(message)
+            except (
+                BrokenPipeError,
+                ConnectionResetError,
+                OSError,
+                ValueError,
+            ):
+                # The reader thread sees the same death as an EOF and
+                # fails the pending futures; just stop writing.
+                return
+
+    def _reader_loop(self, worker: _WorkerHandle) -> None:
+        while True:
+            try:
+                reply = worker.connection.recv()
+            except (EOFError, BrokenPipeError, ConnectionResetError, OSError):
+                self._from_thread(self._worker_died, worker)
+                return
+            self._from_thread(self._deliver, worker, reply)
+
+    def _from_thread(self, callback, *args) -> None:
+        try:
+            self._loop.call_soon_threadsafe(callback, *args)
+        except RuntimeError:
+            pass  # loop already closed (shutdown race)
+
+    def _deliver(self, worker: _WorkerHandle, reply) -> None:
+        if worker.pending:
+            future = worker.pending.popleft()
+            if not future.done():
+                future.set_result(reply)
+
+    def _worker_died(self, worker: _WorkerHandle) -> None:
+        if not worker.alive:
+            return
+        worker.alive = False
+        worker.fail_reason = (
+            f"cluster worker {worker.index} (pid {worker.process.pid}) died; "
+            "reports since the last checkpoint are lost — restart the "
+            "service to recover from it"
+        )
+        while worker.pending:
+            future = worker.pending.popleft()
+            if not future.done():
+                future.set_exception(ClusterDegradedError(worker.fail_reason))
+
+    async def _call(self, worker: _WorkerHandle, message):
+        """One pipelined request/reply exchange with a worker.
+
+        Any number of calls may be in flight per worker (up to the
+        semaphore bound); replies resolve in send order.
+        """
+        async with worker.inflight:
+            if not worker.alive:
+                raise ClusterDegradedError(
+                    worker.fail_reason or "worker pool is not running"
+                )
+            future = self._loop.create_future()
+            # Append + enqueue with no await in between: the pending
+            # order must match the pipe's send order.
+            worker.pending.append(future)
+            worker.send_queue.put(message)
+            reply = await future
+        status, value = reply
+        if status == "err":
+            raise ServiceError(value)
+        if status == "fatal":
+            # Not a ReproError, so the HTTP layer's defense-in-depth
+            # handler answers 500, matching the in-process behavior.
+            raise RuntimeError(f"cluster worker internal error: {value}")
+        return value
+
+    def _ensure_healthy(self) -> None:
+        """Refuse to operate degraded: a dead worker means lost reports,
+        and serving queries or accepting ingest over a silent gap would
+        turn a crash into a wrong answer."""
+        if not self._workers:
+            raise ServiceError("worker pool is not running")
+        for worker in self._workers:
+            if worker.alive and not worker.process.is_alive():
+                worker.alive = False
+                worker.fail_reason = (
+                    f"cluster worker {worker.index} (pid {worker.process.pid}) "
+                    "exited unexpectedly; reports since the last checkpoint "
+                    "are lost — restart the service to recover from it"
+                )
+        for worker in self._workers:
+            if not worker.alive:
+                raise ClusterDegradedError(worker.fail_reason)
+
+    def _next_worker(self) -> _WorkerHandle:
+        worker = self._workers[self._cursor % len(self._workers)]
+        self._cursor += 1
+        return worker
+
+    def _count_accepted(self, worker: _WorkerHandle, campaigns: dict[str, int]):
+        worker.dispatched_batches += 1
+        worker.dispatched_reports += sum(campaigns.values())
+        for name, count in campaigns.items():
+            self.accepted_reports[name] = (
+                self.accepted_reports.get(name, 0) + count
+            )
+
+    # -- campaign + data plane ---------------------------------------------
+
+    async def open_campaign(self, name: str, num_outputs: int) -> None:
+        """Open a campaign's shard accumulator on every worker."""
+        self._ensure_healthy()
+        await asyncio.gather(
+            *(
+                self._call(worker, ("open", name, int(num_outputs)))
+                for worker in self._workers
+            )
+        )
+
+    async def submit_json(self, payload: bytes, *, single: bool = False) -> dict:
+        """Dispatch one raw JSON ingest body; the worker parses, validates,
+        and folds it (``single=True`` for the ``/v1/report`` shape).
+        Returns ``{"accepted": total, "campaigns": {name: count}}``."""
+        self._ensure_healthy()
+        worker = self._next_worker()
+        reply = await self._call(worker, ("json", payload, single))
+        self._count_accepted(worker, reply["campaigns"])
+        return reply
+
+    async def submit_frames(self, payload: bytes) -> dict:
+        """Dispatch one raw binary-frame body; the worker decodes,
+        validates, and folds every frame in it."""
+        self._ensure_healthy()
+        worker = self._next_worker()
+        reply = await self._call(worker, ("frames", payload))
+        self._count_accepted(worker, reply["campaigns"])
+        return reply
+
+    async def submit_reports(self, campaign: str, reports: np.ndarray) -> int:
+        """Dispatch one pre-validated ``int64`` report batch to a worker."""
+        self._ensure_healthy()
+        worker = self._next_worker()
+        accepted = await self._call(worker, ("reports", campaign, reports))
+        self._count_accepted(worker, {campaign: accepted})
+        return accepted
+
+    async def submit_reports_packed(
+        self, campaign: str, item_size: int, payload: bytes
+    ) -> int:
+        """Dispatch one packed report payload; the worker unpacks and
+        validates it, keeping the coordinator off the decode path."""
+        self._ensure_healthy()
+        worker = self._next_worker()
+        accepted = await self._call(
+            worker, ("reports_packed", campaign, item_size, payload)
+        )
+        self._count_accepted(worker, {campaign: accepted})
+        return accepted
+
+    async def submit_histogram(self, campaign: str, histogram: np.ndarray) -> int:
+        """Dispatch one validated pre-aggregated histogram to a worker."""
+        self._ensure_healthy()
+        worker = self._next_worker()
+        accepted = await self._call(worker, ("histogram", campaign, histogram))
+        self._count_accepted(worker, {campaign: accepted})
+        return accepted
+
+    async def drain(self) -> None:
+        """Wait until every dispatched batch is folded on its worker."""
+        self._ensure_healthy()
+        await asyncio.gather(
+            *(self._call(worker, ("drain",)) for worker in self._workers)
+        )
+
+    async def snapshots(
+        self, campaign: str | None = None
+    ) -> dict[str, ShardAccumulator]:
+        """Collect and merge every worker's accumulators via the tagged
+        ``to_bytes`` payloads — all campaigns, or just ``campaign`` (the
+        live-query path asks for one and skips serializing the rest).
+
+        Counts are integers (exactly representable in float64) and merge
+        is commutative, so the result is independent of worker count and
+        merge order — the cluster-mode half of the bit-identical contract.
+        """
+        self._ensure_healthy()
+        replies = await asyncio.gather(
+            *(
+                self._call(worker, ("snapshot", campaign))
+                for worker in self._workers
+            )
+        )
+        merged: dict[str, ShardAccumulator] = {}
+        for reply in replies:
+            for name, payload in sorted(reply.items()):
+                accumulator = ShardAccumulator.from_bytes(payload)
+                existing = merged.get(name)
+                merged[name] = (
+                    accumulator if existing is None else existing.merge(accumulator)
+                )
+        return merged
+
+    async def stats(self) -> dict:
+        """Best-effort per-worker observability (never raises on a dead
+        worker — metrics must stay readable while degraded)."""
+        rows = []
+        for worker in self._workers:
+            row = {
+                "index": worker.index,
+                "pid": worker.process.pid,
+                "alive": worker.alive and worker.process.is_alive(),
+                "dispatched_batches": worker.dispatched_batches,
+                "dispatched_reports": worker.dispatched_reports,
+            }
+            if row["alive"]:
+                try:
+                    row.update(await self._call(worker, ("stats",)))
+                except ServiceError:
+                    row["alive"] = False
+            rows.append(row)
+        return {
+            "num_workers": self.num_workers,
+            "workers_alive": sum(1 for row in rows if row["alive"]),
+            "dispatched_reports": sum(r["dispatched_reports"] for r in rows),
+            "workers": rows,
+        }

@@ -19,6 +19,7 @@ cooperative scheduling.
 from __future__ import annotations
 
 import asyncio
+import json
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -26,9 +27,75 @@ import numpy as np
 from repro.exceptions import ProtocolError, ServiceError
 from repro.protocol.engine import ShardAccumulator
 from repro.service.campaigns import CampaignManager
+from repro.service.framing import KIND_REPORTS, decode_frames
 
 #: Hard cap on reports accepted in one submission (memory safety valve).
 MAX_BATCH_REPORTS = 1_000_000
+
+
+def validate_reports(reports, num_outputs: int) -> np.ndarray:
+    """Validate one report batch against an output alphabet of size
+    ``num_outputs``; returns the batch as an ``int64`` array.
+
+    Shared by the in-process pipeline and the cluster tier (where the
+    coordinator validates JSON batches and each worker process validates
+    the packed batches dispatched to it).
+
+    Examples
+    --------
+    >>> validate_reports([0, 2, 2], num_outputs=4)
+    array([0, 2, 2])
+    """
+    try:
+        array = np.asarray(reports)
+    except (ValueError, TypeError) as error:
+        raise ServiceError(f"reports are not a flat numeric list: {error}")
+    if array.ndim != 1:
+        raise ServiceError(f"reports must be a flat list, got {array.ndim}-D")
+    if array.shape[0] == 0:
+        raise ServiceError("empty report batch")
+    if array.shape[0] > MAX_BATCH_REPORTS:
+        raise ServiceError(
+            f"batch of {array.shape[0]} reports exceeds the "
+            f"{MAX_BATCH_REPORTS}-report cap; split it"
+        )
+    if not np.issubdtype(array.dtype, np.integer):
+        try:
+            as_int = array.astype(np.int64, copy=False)
+            exact = np.array_equal(as_int, array)
+        except (ValueError, TypeError, OverflowError):
+            # strings, None, objects — anything that is not a number
+            raise ServiceError("reports must be integer output ids")
+        if not exact:
+            raise ServiceError("reports must be integer output ids")
+        array = as_int
+    if array.min() < 0 or array.max() >= num_outputs:
+        raise ServiceError(
+            f"reports outside the campaign's output range [0, {num_outputs})"
+        )
+    return array.astype(np.int64, copy=False)
+
+
+def validate_histogram(histogram, num_outputs: int) -> np.ndarray:
+    """Validate one pre-aggregated response histogram; returns it as a
+    ``float64`` vector of length ``num_outputs``.
+
+    Examples
+    --------
+    >>> validate_histogram([5.0, 0.0, 2.0], num_outputs=3)
+    array([5., 0., 2.])
+    """
+    try:
+        array = np.asarray(histogram, dtype=float)
+    except (ValueError, TypeError) as error:
+        raise ServiceError(f"histogram is not a numeric vector: {error}")
+    if array.shape != (num_outputs,):
+        raise ServiceError(f"histogram shape {array.shape} != ({num_outputs},)")
+    if not np.all(np.isfinite(array)):
+        raise ServiceError("histogram has NaN or infinite counts")
+    if array.min() < 0:
+        raise ServiceError("histogram has negative counts")
+    return array
 
 
 @dataclass
@@ -197,55 +264,16 @@ class IngestPipeline:
 
     def _validate_reports(self, campaign: str, reports) -> _Batch:
         num_outputs = self.manager.get(campaign).session.num_outputs
-        try:
-            array = np.asarray(reports)
-        except (ValueError, TypeError) as error:
-            raise ServiceError(f"reports are not a flat numeric list: {error}")
-        if array.ndim != 1:
-            raise ServiceError(
-                f"reports must be a flat list, got {array.ndim}-D"
-            )
-        if array.shape[0] == 0:
-            raise ServiceError("empty report batch")
-        if array.shape[0] > MAX_BATCH_REPORTS:
-            raise ServiceError(
-                f"batch of {array.shape[0]} reports exceeds the "
-                f"{MAX_BATCH_REPORTS}-report cap; split it"
-            )
-        if not np.issubdtype(array.dtype, np.integer):
-            try:
-                as_int = array.astype(np.int64, copy=False)
-                exact = np.array_equal(as_int, array)
-            except (ValueError, TypeError, OverflowError):
-                # strings, None, objects — anything that is not a number
-                raise ServiceError("reports must be integer output ids")
-            if not exact:
-                raise ServiceError("reports must be integer output ids")
-            array = as_int
-        if array.min() < 0 or array.max() >= num_outputs:
-            raise ServiceError(
-                f"reports outside the campaign's output range [0, {num_outputs})"
-            )
+        array = validate_reports(reports, num_outputs)
         return _Batch(
             campaign=campaign,
-            reports=array.astype(np.int64, copy=False),
+            reports=array,
             num_reports=int(array.shape[0]),
         )
 
     def _validate_histogram(self, campaign: str, histogram) -> _Batch:
         num_outputs = self.manager.get(campaign).session.num_outputs
-        try:
-            array = np.asarray(histogram, dtype=float)
-        except (ValueError, TypeError) as error:
-            raise ServiceError(f"histogram is not a numeric vector: {error}")
-        if array.shape != (num_outputs,):
-            raise ServiceError(
-                f"histogram shape {array.shape} != ({num_outputs},)"
-            )
-        if not np.all(np.isfinite(array)):
-            raise ServiceError("histogram has NaN or infinite counts")
-        if array.min() < 0:
-            raise ServiceError("histogram has negative counts")
+        array = validate_histogram(histogram, num_outputs)
         return _Batch(
             campaign=campaign,
             histogram=array,
@@ -349,3 +377,67 @@ class IngestPipeline:
             for worker in self._workers
             if campaign in worker.partials
         ]
+
+
+async def fold_json_body(
+    pipeline: IngestPipeline, payload: bytes, single: bool = False
+) -> dict[str, int]:
+    """Parse, validate, and fold one raw JSON ingest body
+    (``single=True`` for the ``/v1/report`` shape); returns per-campaign
+    accepted counts.
+
+    The one implementation of the JSON ingest semantics: the
+    single-process server and every cluster worker call this, so a client
+    sees identical 400s whichever process validated its batch.
+    """
+    try:
+        body = json.loads(payload)
+    except json.JSONDecodeError as error:
+        raise ServiceError(f"request body is not valid JSON: {error}")
+    if not isinstance(body, dict):
+        raise ServiceError("request body must be a JSON object")
+    if single:
+        if "report" not in body:
+            raise ServiceError("body needs a 'report' field")
+        body = dict(body)
+        body["reports"] = [body.pop("report")]
+    campaign = body.get("campaign")
+    if not isinstance(campaign, str):
+        raise ServiceError("body needs a 'campaign' field")
+    if ("reports" in body) == ("histogram" in body):
+        raise ServiceError("body needs exactly one of 'reports' or 'histogram'")
+    if "reports" in body:
+        accepted = await pipeline.submit_reports(campaign, body["reports"])
+    else:
+        accepted = await pipeline.submit_histogram(campaign, body["histogram"])
+    return {campaign: accepted}
+
+
+async def fold_frame_body(
+    pipeline: IngestPipeline, payload: bytes
+) -> dict[str, int]:
+    """Decode, validate, and fold one binary frame body (any number of
+    packed frames); returns per-campaign accepted counts.
+
+    The body is all-or-nothing, like a JSON batch: every frame is decoded
+    and validated *before* the first one is folded, so a 400 means no
+    report from the body was counted (a partially-folded body would leave
+    metrics and accepted-count bookkeeping permanently out of step with
+    the accumulators).
+    """
+    validated: list[tuple[str, int, np.ndarray]] = []
+    for frame in decode_frames(payload):
+        num_outputs = pipeline.manager.get(frame.campaign).session.num_outputs
+        if frame.kind == KIND_REPORTS:
+            array = validate_reports(frame.reports(), num_outputs)
+        else:
+            array = validate_histogram(frame.histogram(), num_outputs)
+        validated.append((frame.campaign, frame.kind, array))
+    per_campaign: dict[str, int] = {}
+    for campaign, kind, array in validated:
+        if kind == KIND_REPORTS:
+            count = await pipeline.submit_reports(campaign, array)
+        else:
+            count = await pipeline.submit_histogram(campaign, array)
+        per_campaign[campaign] = per_campaign.get(campaign, 0) + count
+    return per_campaign

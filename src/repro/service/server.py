@@ -46,10 +46,19 @@ import urllib.parse
 from dataclasses import dataclass
 
 from repro._version import __version__
-from repro.exceptions import ReproError, ServiceError
+from repro.exceptions import ClusterDegradedError, ReproError, ServiceError
 from repro.service.campaigns import CampaignManager
 from repro.service.checkpoint import CheckpointStore
-from repro.service.ingest import IngestPipeline
+from repro.service.cluster import DEFAULT_START_METHOD, WorkerPool
+from repro.service.framing import FRAME_CONTENT_TYPE
+from repro.service.ingest import (
+    IngestPipeline,
+    fold_frame_body,
+    fold_json_body,
+)
+
+#: Ingest wire formats the service can be restricted to.
+TRANSPORTS = ("json", "binary", "both")
 
 #: Largest accepted request body (10 MiB ≈ a 1.3M-report JSON batch).
 MAX_BODY_BYTES = 10 << 20
@@ -65,6 +74,7 @@ _REASONS = {
     409: "Conflict",
     413: "Payload Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -73,7 +83,26 @@ class _Request:
     method: str
     path: str
     params: dict[str, str]
-    body: dict
+    #: The request body, undecoded.  Ingest handlers in cluster mode ship
+    #: it to a worker verbatim; everything else parses it via :meth:`json`.
+    raw: bytes
+    content_type: str
+
+    @property
+    def is_frame(self) -> bool:
+        return self.content_type == FRAME_CONTENT_TYPE
+
+    def json(self) -> dict:
+        """Parse the body as a JSON object (empty body = empty object)."""
+        if not self.raw:
+            return {}
+        try:
+            body = json.loads(self.raw)
+        except json.JSONDecodeError as error:
+            raise _HttpError(400, f"request body is not valid JSON: {error}")
+        if not isinstance(body, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        return body
 
 
 class _HttpError(Exception):
@@ -101,8 +130,23 @@ class CollectionService:
     store:
         Optional :class:`~repro.store.StrategyStore` used when campaigns
         are created with ``mechanism="store"`` or ``"Optimized"``.
+    cluster_workers:
+        ``K > 0`` runs the multi-process scale-out tier: report batches
+        are dispatched to ``K`` worker processes
+        (:class:`~repro.service.cluster.WorkerPool`), each folding into
+        its own shard accumulators; queries and checkpoints merge the
+        worker shards (bit-identical to the in-process fold).  ``0`` (the
+        default) keeps the single-process in-loop pipeline.
+    transport:
+        Which ingest wire formats to accept on ``/v1/report(s)``:
+        ``"json"``, ``"binary"`` (the framed format of
+        :mod:`repro.service.framing`), or ``"both"`` (default).  Control
+        endpoints always speak JSON.
+    cluster_start_method:
+        ``multiprocessing`` start method for the worker processes.
     ingest options:
-        Forwarded to :class:`~repro.service.ingest.IngestPipeline`.
+        Forwarded to :class:`~repro.service.ingest.IngestPipeline` (and,
+        for the flush knobs, to each cluster worker's pipeline).
     """
 
     def __init__(
@@ -116,10 +160,21 @@ class CollectionService:
         max_pending: int = 256,
         flush_reports: int = 8_192,
         flush_interval: float = 0.2,
+        cluster_workers: int = 0,
+        transport: str = "both",
+        cluster_start_method: str = DEFAULT_START_METHOD,
     ) -> None:
         if checkpoint_interval <= 0:
             raise ServiceError(
                 f"checkpoint_interval must be positive, got {checkpoint_interval}"
+            )
+        if transport not in TRANSPORTS:
+            raise ServiceError(
+                f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
+            )
+        if cluster_workers < 0:
+            raise ServiceError(
+                f"cluster_workers must be >= 0, got {cluster_workers}"
             )
         self.checkpoints = (
             CheckpointStore(checkpoint_dir) if checkpoint_dir is not None else None
@@ -134,13 +189,24 @@ class CollectionService:
         self.manager = manager
         self.store = store
         self.checkpoint_interval = checkpoint_interval
-        self.pipeline = IngestPipeline(
-            manager,
-            num_workers=num_workers,
-            max_pending=max_pending,
-            flush_reports=flush_reports,
-            flush_interval=flush_interval,
-        )
+        self.transport = transport
+        if cluster_workers > 0:
+            self.pipeline = None
+            self.pool: WorkerPool | None = WorkerPool(
+                cluster_workers,
+                flush_reports=flush_reports,
+                flush_interval=flush_interval,
+                start_method=cluster_start_method,
+            )
+        else:
+            self.pipeline = IngestPipeline(
+                manager,
+                num_workers=num_workers,
+                max_pending=max_pending,
+                flush_reports=flush_reports,
+                flush_interval=flush_interval,
+            )
+            self.pool = None
         self.started_at: float | None = None
         self.checkpoints_written = 0
         self.checkpoint_failures = 0
@@ -158,7 +224,16 @@ class CollectionService:
         ``(host, port)`` (pass ``port=0`` for an ephemeral port)."""
         if self._server is not None:
             raise ServiceError("service already started")
-        await self.pipeline.start()
+        if self.pool is not None:
+            await self.pool.start()
+            for campaign in self.manager.campaigns():
+                # Recovered (or pre-registered) campaigns must exist on
+                # every worker before the first report is dispatched.
+                await self.pool.open_campaign(
+                    campaign.name, campaign.session.num_outputs
+                )
+        else:
+            await self.pipeline.start()
         self._server = await asyncio.start_server(self._handle_connection, host, port)
         if self.checkpoints is not None:
             self._checkpoint_task = asyncio.create_task(
@@ -197,7 +272,26 @@ class CollectionService:
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
         self._connections.clear()
-        if final_checkpoint:
+        if self.pool is not None:
+            if final_checkpoint:
+                try:
+                    await self.pool.drain()
+                    await self.checkpoint()
+                except ServiceError as error:
+                    # A dead worker makes a complete final checkpoint
+                    # impossible; keep the last good one rather than
+                    # writing a checkpoint with a silent gap.
+                    import sys
+
+                    print(
+                        f"final checkpoint skipped: {error}",
+                        file=sys.stderr,
+                        flush=True,
+                    )
+                await self.pool.stop()
+            else:
+                await self.pool.stop(graceful=False)
+        elif final_checkpoint:
             await self.pipeline.stop()
             await self.checkpoint()
         else:
@@ -218,10 +312,25 @@ class CollectionService:
         # interleaved save_frozen calls could leave the manifest referencing
         # the other save's payload bytes.
         async with self._checkpoint_lock:
-            frozen = [
-                (campaign, campaign.accumulator.snapshot())
-                for campaign in self.manager.campaigns()
-            ]
+            if self.pool is not None and self.pool.started:
+                # Coordinated cluster checkpoint: one manifest atomically
+                # covers every worker's shards, merged (via the tagged
+                # to_bytes payloads) onto the recovery base.  A worker
+                # death surfaces here as ServiceError — no partial
+                # manifest is ever written.
+                worker_states = await self.pool.snapshots()
+                frozen = []
+                for campaign in self.manager.campaigns():
+                    snapshot = campaign.accumulator.snapshot()
+                    extra = worker_states.get(campaign.name)
+                    if extra is not None:
+                        snapshot = snapshot.merge(extra)
+                    frozen.append((campaign, snapshot))
+            else:
+                frozen = [
+                    (campaign, campaign.accumulator.snapshot())
+                    for campaign in self.manager.campaigns()
+                ]
             manifest = await asyncio.to_thread(
                 self.checkpoints.save_frozen, frozen
             )
@@ -275,6 +384,11 @@ class CollectionService:
                         status, payload = await self._dispatch(request)
                     except _HttpError as error:
                         status, payload = error.status, {"error": str(error)}
+                    except ClusterDegradedError as error:
+                        # A dead worker is a server-side failure, not a
+                        # client fault: 503 so retry layers and monitors
+                        # classify it correctly.
+                        status, payload = 503, {"error": str(error)}
                     except ReproError as error:
                         status, payload = 400, {"error": str(error)}
                     except Exception as error:  # pragma: no cover - defense
@@ -334,21 +448,18 @@ class CollectionService:
         if length > MAX_BODY_BYTES:
             raise _HttpError(413, f"request body of {length} bytes too large")
         raw = await reader.readexactly(length) if length else b""
-        body: dict = {}
-        if raw:
-            try:
-                body = json.loads(raw)
-            except json.JSONDecodeError as error:
-                raise _HttpError(400, f"request body is not valid JSON: {error}")
-            if not isinstance(body, dict):
-                raise _HttpError(400, "request body must be a JSON object")
+        content_type = headers.get("content-type", "").split(";")[0].strip().lower()
         parsed = urllib.parse.urlsplit(target)
         params = {
             key: values[-1]
             for key, values in urllib.parse.parse_qs(parsed.query).items()
         }
         return _Request(
-            method=method, path=parsed.path, params=params, body=body
+            method=method,
+            path=parsed.path,
+            params=params,
+            raw=raw,
+            content_type=content_type,
         )
 
     # -- routing -----------------------------------------------------------
@@ -356,16 +467,16 @@ class CollectionService:
     async def _dispatch(self, request: _Request) -> tuple[int, dict]:
         method, path = request.method, request.path.rstrip("/") or "/"
         if path == "/v1/healthz" and method == "GET":
-            return 200, self._healthz()
+            return self._healthz()
         if path == "/v1/metrics" and method == "GET":
-            return 200, self._metrics()
+            return 200, await self._metrics()
         if path == "/v1/campaigns":
             if method == "POST":
-                return await self._create_campaign(request.body)
+                return await self._create_campaign(request.json())
             if method == "GET":
                 return 200, {
                     "campaigns": [
-                        campaign.describe()
+                        self._describe(campaign)
                         for campaign in self.manager.campaigns()
                     ]
                 }
@@ -373,13 +484,13 @@ class CollectionService:
         if path.startswith("/v1/campaigns/"):
             return self._campaign_subresource(method, path)
         if path == "/v1/report" and method == "POST":
-            body = dict(request.body)
-            if "report" not in body:
-                raise _HttpError(400, "body needs a 'report' field")
-            body["reports"] = [body.pop("report")]
-            return await self._ingest(body)
+            if request.is_frame:
+                raise _HttpError(400, "binary ingest frames go to /v1/reports")
+            return await self._ingest_json(request.raw, single=True)
         if path == "/v1/reports" and method == "POST":
-            return await self._ingest(request.body)
+            if request.is_frame:
+                return await self._ingest_frames(request.raw)
+            return await self._ingest_json(request.raw)
         if path == "/v1/query" and method == "GET":
             return await self._query(request.params)
         if path == "/v1/checkpoint" and method == "POST":
@@ -392,6 +503,17 @@ class CollectionService:
             }
         raise _HttpError(404, f"no route for {method} {path}")
 
+    def _describe(self, campaign) -> dict:
+        """A campaign summary with live counts: in cluster mode the
+        campaign object holds only the recovery base, so the reports
+        dispatched to workers are added on top."""
+        summary = campaign.describe()
+        if self.pool is not None:
+            summary["num_reports"] += self.pool.accepted_reports.get(
+                campaign.name, 0
+            )
+        return summary
+
     def _campaign_subresource(self, method: str, path: str) -> tuple[int, dict]:
         parts = path.split("/")[3:]  # ['', 'v1', 'campaigns', name, ...]
         if method != "GET" or len(parts) not in (1, 2):
@@ -401,7 +523,7 @@ class CollectionService:
         except ServiceError as error:
             raise _HttpError(404, str(error))
         if len(parts) == 1:
-            return 200, campaign.describe()
+            return 200, self._describe(campaign)
         if parts[1] == "strategy":
             strategy = campaign.session.strategy
             return 200, {
@@ -452,30 +574,64 @@ class CollectionService:
         except ServiceError:
             # A concurrent create for the same name won the race.
             raise _HttpError(409, f"campaign {name!r} already exists")
+        if self.pool is not None:
+            await self.pool.open_campaign(
+                campaign.name, campaign.session.num_outputs
+            )
         await self.checkpoint()
-        return 200, campaign.describe()
+        return 200, self._describe(campaign)
 
-    async def _ingest(self, body: dict) -> tuple[int, dict]:
-        campaign = body.get("campaign")
-        if not isinstance(campaign, str):
-            raise _HttpError(400, "body needs a 'campaign' field")
-        if ("reports" in body) == ("histogram" in body):
+    def _require_transport(self, wire: str) -> None:
+        if self.transport not in (wire, "both"):
             raise _HttpError(
-                400, "body needs exactly one of 'reports' or 'histogram'"
+                400,
+                f"this service accepts only {self.transport} ingest "
+                f"(got {wire}; see `repro serve --transport`)",
             )
-        if "reports" in body:
-            accepted = await self.pipeline.submit_reports(
-                campaign, body["reports"]
-            )
+
+    async def _ingest_json(
+        self, raw: bytes, single: bool = False
+    ) -> tuple[int, dict]:
+        """JSON ingest: in cluster mode the raw body goes to a worker
+        (which parses, validates, and folds it — the coordinator never
+        touches the report list); single-process folds in-loop.  Both
+        paths share :func:`~repro.service.ingest.fold_json_body`, so
+        validation 400s are identical."""
+        self._require_transport("json")
+        if self.pool is not None:
+            reply = await self.pool.submit_json(raw, single=single)
+            per_campaign = reply["campaigns"]
         else:
-            accepted = await self.pipeline.submit_histogram(
-                campaign, body["histogram"]
-            )
-        return 200, {
-            "campaign": campaign,
-            "accepted": accepted,
-            "queue_depth": self.pipeline.queue_depth,
+            per_campaign = await fold_json_body(self.pipeline, raw, single)
+        return 200, self._ingest_reply(per_campaign)
+
+    async def _ingest_frames(self, raw: bytes) -> tuple[int, dict]:
+        """Binary-transport ingest: one or more packed frames per body,
+        decoded and folded by a cluster worker or the in-loop pipeline
+        (both via :func:`~repro.service.ingest.fold_frame_body`)."""
+        self._require_transport("binary")
+        if self.pool is not None:
+            reply = await self.pool.submit_frames(raw)
+            per_campaign = reply["campaigns"]
+        else:
+            per_campaign = await fold_frame_body(self.pipeline, raw)
+        return 200, self._ingest_reply(per_campaign)
+
+    def _ingest_reply(self, per_campaign: dict[str, int]) -> dict:
+        payload = {
+            "accepted": sum(per_campaign.values()),
+            "campaigns": per_campaign,
+            "queue_depth": self.queue_depth,
         }
+        if len(per_campaign) == 1:
+            payload["campaign"] = next(iter(per_campaign))
+        return payload
+
+    @property
+    def queue_depth(self) -> int:
+        """In-process ingest queue depth (0 in cluster mode, where the
+        backpressure point is the per-worker dispatch round trip)."""
+        return self.pipeline.queue_depth if self.pipeline is not None else 0
 
     async def _query(self, params: dict[str, str]) -> tuple[int, dict]:
         name = params.get("campaign")
@@ -486,7 +642,14 @@ class CollectionService:
         except ValueError:
             raise _HttpError(400, "confidence must be a float in (0, 1)")
         sync = params.get("sync", "0") not in ("0", "", "false")
-        if sync:
+        if self.pool is not None:
+            if sync:
+                await self.pool.drain()
+            worker_states = await self.pool.snapshots(name)
+            pending = (
+                [worker_states[name]] if name in worker_states else []
+            )
+        elif sync:
             await self.pipeline.drain()
             pending = []
         else:
@@ -497,37 +660,87 @@ class CollectionService:
             raise _HttpError(404, str(error))
         return 200, answer.to_json()
 
-    def _healthz(self) -> dict:
-        return {
-            "status": "ok",
+    def _healthz(self) -> tuple[int, dict]:
+        workers = self.pool.num_workers if self.pool is not None else 0
+        alive = self.pool.workers_alive if self.pool is not None else 0
+        # A degraded pool fails every data-plane request, so liveness
+        # probes must see it too: non-200 takes the instance out of
+        # rotation instead of leaving a dead-in-the-water 200.
+        degraded = bool(
+            self.pool is not None and self.started_at and alive < workers
+        )
+        payload = {
+            "status": "degraded" if degraded else "ok",
             "version": __version__,
             "campaigns": len(self.manager),
             "recovered": self.recovered,
+            "transport": self.transport,
+            "cluster_workers": workers,
+            "workers_alive": alive,
             "uptime_seconds": (
                 time.time() - self.started_at if self.started_at else 0.0
             ),
         }
+        if degraded:
+            payload["error"] = (
+                f"cluster degraded: {alive}/{workers} workers alive — "
+                "restart the service to recover from the last checkpoint"
+            )
+        return (503 if degraded else 200), payload
 
-    def _metrics(self) -> dict:
-        return {
+    async def _metrics(self) -> dict:
+        if self.pool is not None:
+            cluster = await self.pool.stats()
+            ingest = {
+                "submitted": 0,
+                "ingested": 0,
+                "rejected_batches": 0,
+                "flushes": 0,
+                "queue_high_water": 0,
+            }
+            queue_depth = 0
+            for row in cluster["workers"]:
+                for key, value in row.get("ingest", {}).items():
+                    ingest[key] = ingest.get(key, 0) + value
+                queue_depth += row.get("queue_depth", 0)
+        else:
+            cluster = None
+            ingest = self.pipeline.stats.to_json()
+            queue_depth = self.pipeline.queue_depth
+        metrics = {
             "uptime_seconds": (
                 time.time() - self.started_at if self.started_at else 0.0
             ),
             "requests_served": self.requests_served,
+            # In cluster mode the campaign objects hold only the recovery
+            # base; live counts are base + reports dispatched to workers.
             "campaigns": {
                 campaign.name: {
-                    "num_reports": campaign.num_reports,
+                    "num_reports": campaign.num_reports
+                    + (
+                        self.pool.accepted_reports.get(campaign.name, 0)
+                        if self.pool is not None
+                        else 0
+                    ),
                     "flushes": campaign.flushes,
                 }
                 for campaign in self.manager.campaigns()
             },
-            "total_reports": self.manager.total_reports(),
-            "ingest": self.pipeline.stats.to_json(),
-            "queue_depth": self.pipeline.queue_depth,
+            "total_reports": self.manager.total_reports()
+            + (
+                sum(self.pool.accepted_reports.values())
+                if self.pool is not None
+                else 0
+            ),
+            "ingest": ingest,
+            "queue_depth": queue_depth,
             "checkpoints_written": self.checkpoints_written,
             "checkpoint_failures": self.checkpoint_failures,
             "last_checkpoint_at": self.last_checkpoint_at,
         }
+        if cluster is not None:
+            metrics["cluster"] = cluster
+        return metrics
 
 
 async def _serve_forever(service: CollectionService, host: str, port: int) -> None:
@@ -541,9 +754,15 @@ async def _serve_forever(service: CollectionService, host: str, port: int) -> No
         except (NotImplementedError, RuntimeError):  # pragma: no cover
             pass
     bound_host, bound_port = await service.start(host, port)
+    cluster = (
+        f", {service.pool.num_workers} worker process(es)"
+        if service.pool is not None
+        else ""
+    )
     print(
         f"repro service listening on http://{bound_host}:{bound_port} "
         f"({len(service.manager)} campaign(s)"
+        f"{cluster}, transport {service.transport}"
         f"{', recovered from checkpoint' if service.recovered else ''})",
         flush=True,
     )

@@ -12,7 +12,6 @@ from repro.analysis import (
     worst_case_variance_lower_bound,
 )
 from repro.mechanisms import (
-    fourier,
     hadamard_response,
     hierarchical,
     randomized_response,

@@ -5,7 +5,7 @@ import pytest
 
 from repro.analysis import strategy_objective, trace_objective
 from repro.mechanisms import hadamard_response, hierarchical, randomized_response
-from repro.workloads import histogram, prefix
+from repro.workloads import prefix
 
 
 class TestStrategyObjective:

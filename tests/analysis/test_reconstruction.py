@@ -1,7 +1,6 @@
 """Tests for Theorem 3.10 (optimal reconstruction) and feasibility checks."""
 
 import numpy as np
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

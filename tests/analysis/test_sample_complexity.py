@@ -13,7 +13,7 @@ from repro.analysis import (
 )
 from repro.exceptions import WorkloadError
 from repro.mechanisms import randomized_response
-from repro.workloads import histogram, prefix
+from repro.workloads import prefix
 
 
 class TestFromVariances:

@@ -3,9 +3,6 @@ Theorem 3.9) — including a statistical check against protocol simulation."""
 
 import numpy as np
 import pytest
-from hypothesis import given
-from hypothesis import strategies as st
-
 from repro.analysis import (
     average_case_variance,
     per_user_variances,
@@ -15,7 +12,7 @@ from repro.analysis import (
 )
 from repro.exceptions import WorkloadError
 from repro.mechanisms import hadamard_response, hierarchical, randomized_response
-from repro.workloads import histogram, prefix
+from repro.workloads import prefix
 
 
 class TestPerUserVariances:

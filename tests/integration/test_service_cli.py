@@ -104,3 +104,36 @@ class TestReportAndQuery:
                     "--campaign", "ghost",
                 ]
             )
+
+    def test_report_binary_transport(self, live_server, capsys):
+        host, port = live_server
+        code = main(
+            [
+                "report",
+                "--host", host,
+                "--port", str(port),
+                "--campaign", "cli-demo",
+                "--values", "0,1,2",
+                "--transport", "binary",
+            ]
+        )
+        assert code == 0
+        assert "sent 3" in capsys.readouterr().out
+
+
+class TestServeFlags:
+    def test_serve_parser_accepts_cluster_flags(self):
+        from repro.cli import build_parser
+
+        arguments = build_parser().parse_args(
+            ["serve", "--workers", "3", "--transport", "binary", "--port", "0"]
+        )
+        assert arguments.workers == 3
+        assert arguments.transport == "binary"
+
+    def test_serve_parser_rejects_unknown_transport(self, capsys):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--transport", "tcp"])
+        assert "invalid choice" in capsys.readouterr().err

@@ -1,7 +1,6 @@
 """Property tests of the paper's theorems on randomly generated instances."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,6 @@
 """Tests for repro.linalg.checks."""
 
 import numpy as np
-import pytest
 
 from repro.linalg import (
     is_column_stochastic,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.mechanisms import paper_baselines, randomized_response
+from repro.mechanisms import paper_baselines
 from repro.optimization import OptimizedMechanism, OptimizerConfig
 from repro.workloads import histogram, parity, prefix
 

@@ -13,7 +13,7 @@ from repro.optimization import (
     optimize_strategy,
     restart_seeds,
 )
-from repro.store import StrategyStore, key_for
+from repro.store import StrategyStore
 from repro.workloads import histogram, prefix
 
 CONFIG = OptimizerConfig(num_iterations=50, seed=0)

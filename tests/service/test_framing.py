@@ -1,0 +1,158 @@
+"""Binary ingest framing: round trips, packing widths, damage handling."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service.framing import (
+    FRAME_MAGIC,
+    KIND_HISTOGRAM,
+    KIND_REPORTS,
+    decode_frame,
+    decode_frames,
+    encode_histogram,
+    encode_reports,
+    unpack_reports,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "reports,item_size",
+        [
+            ([0, 1, 255], 1),
+            ([0, 256, 65535], 2),
+            ([0, 65536, 2**31], 4),
+        ],
+    )
+    def test_reports_pack_in_smallest_width(self, reports, item_size):
+        frame = decode_frame(encode_reports("demo", reports))
+        assert frame.kind == KIND_REPORTS
+        assert frame.campaign == "demo"
+        assert frame.item_size == item_size
+        assert frame.count == len(reports)
+        assert frame.reports().tolist() == reports
+        assert frame.reports().dtype == np.int64
+
+    def test_numpy_input_round_trips(self, rng):
+        reports = rng.integers(0, 500, size=1000)
+        frame = decode_frame(encode_reports("c", reports))
+        assert np.array_equal(frame.reports(), reports)
+
+    def test_histogram_round_trips_exactly(self):
+        histogram = [5.0, 0.0, 2.5, 1e12]
+        frame = decode_frame(encode_histogram("demo", histogram))
+        assert frame.kind == KIND_HISTOGRAM
+        assert frame.histogram().tolist() == histogram
+
+    def test_multiple_frames_pack_back_to_back(self):
+        buffer = (
+            encode_reports("a", [1, 2])
+            + encode_histogram("b", [1.0, 0.0])
+            + encode_reports("a", [3])
+        )
+        frames = decode_frames(buffer)
+        assert [(f.campaign, f.kind, f.count) for f in frames] == [
+            ("a", KIND_REPORTS, 2),
+            ("b", KIND_HISTOGRAM, 2),
+            ("a", KIND_REPORTS, 1),
+        ]
+
+    def test_binary_is_smaller_than_json(self):
+        reports = list(range(256)) * 4
+        as_json = len(str(reports))
+        as_frame = len(encode_reports("demo", reports))
+        assert as_frame < as_json / 2
+
+    def test_wrong_kind_accessors_refuse(self):
+        reports = decode_frame(encode_reports("a", [1]))
+        histogram = decode_frame(encode_histogram("a", [1.0]))
+        with pytest.raises(ServiceError, match="histogram"):
+            histogram.reports()
+        with pytest.raises(ServiceError, match="report batch"):
+            reports.histogram()
+
+
+class TestEncodeValidation:
+    def test_negative_reports_rejected(self):
+        with pytest.raises(ServiceError, match="non-negative"):
+            encode_reports("demo", [0, -1])
+
+    def test_non_integer_reports_rejected(self):
+        with pytest.raises(ServiceError, match="integer"):
+            encode_reports("demo", [0.5])
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ServiceError, match="non-empty"):
+            encode_reports("demo", [])
+
+    def test_oversized_output_id_rejected(self):
+        with pytest.raises(ServiceError, match="32-bit"):
+            encode_reports("demo", [2**40])
+
+    def test_empty_campaign_name_rejected(self):
+        with pytest.raises(ServiceError, match="campaign name"):
+            encode_reports("", [1])
+
+    def test_overlong_campaign_name_rejected(self):
+        with pytest.raises(ServiceError, match="campaign name"):
+            encode_reports("x" * 300, [1])
+
+
+class TestDecodeValidation:
+    def test_bad_magic_fails_loudly(self):
+        payload = bytearray(encode_reports("demo", [1]))
+        payload[:4] = b"NOPE"
+        with pytest.raises(ServiceError, match="magic"):
+            decode_frame(bytes(payload))
+
+    def test_future_version_fails_loudly(self):
+        payload = bytearray(encode_reports("demo", [1]))
+        payload[4] = 99
+        with pytest.raises(ServiceError, match="version 99"):
+            decode_frame(bytes(payload))
+
+    def test_unknown_kind_rejected(self):
+        payload = bytearray(encode_reports("demo", [1]))
+        payload[5] = 7
+        with pytest.raises(ServiceError, match="kind"):
+            decode_frame(bytes(payload))
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(ServiceError, match="truncated"):
+            decode_frame(FRAME_MAGIC + b"\x01")
+
+    def test_truncated_body_rejected(self):
+        payload = encode_reports("demo", list(range(100)))
+        with pytest.raises(ServiceError, match="truncated"):
+            decode_frame(payload[:-10])
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ServiceError, match="trailing"):
+            decode_frame(encode_reports("demo", [1]) + b"junk")
+
+    def test_inconsistent_body_length_rejected(self):
+        payload = bytearray(encode_reports("demo", [1, 2, 3]))
+        # Overwrite the u32 body-length field (offset 12) with a lie.
+        payload[12:16] = struct.pack("<I", 9999)
+        with pytest.raises(ServiceError, match="disagrees"):
+            decode_frame(bytes(payload))
+
+    def test_non_utf8_name_rejected(self):
+        payload = bytearray(encode_reports("demé", [1]))
+        # Corrupt one byte of the UTF-8 name (name starts at offset 24).
+        payload[24] = 0xFF
+        with pytest.raises(ServiceError, match="UTF-8"):
+            decode_frame(bytes(payload))
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ServiceError, match="empty"):
+            decode_frames(b"")
+
+    def test_unpack_reports_validates_item_size(self):
+        with pytest.raises(ServiceError, match="item size"):
+            unpack_reports(b"\x00\x00", 3)
+        with pytest.raises(ServiceError, match="multiple"):
+            unpack_reports(b"\x00\x00\x00", 2)

@@ -163,6 +163,112 @@ class TestEndpoints:
             client.checkpoint()
 
 
+class TestBinaryTransport:
+    def test_binary_and_json_reports_fold_identically(self, live):
+        _, client = live
+        make_campaign(client)
+        binary = ServiceClient(client.host, client.port, transport="binary")
+        reports = list(np.random.default_rng(0).integers(0, 8, size=400))
+        response = binary.send_reports("demo", reports)
+        assert response["accepted"] == 400
+        assert response["campaign"] == "demo"
+        client.send_reports("demo", reports)
+        answer = client.query("demo", sync=True)
+        assert answer["num_reports"] == 800
+        expected = np.bincount(np.asarray(reports), minlength=8) * 2.0
+        histogram = binary.send_histogram("demo", expected)
+        assert histogram["accepted"] == 800
+        binary.close()
+
+    def test_multi_frame_body_accepted_per_campaign(self, live):
+        _, client = live
+        from repro.service import encode_histogram, encode_reports
+
+        make_campaign(client)
+        make_campaign(client, name="other")
+        body = (
+            encode_reports("demo", [0, 1])
+            + encode_reports("other", [2])
+            + encode_histogram("demo", [3.0] + [0.0] * 7)
+        )
+        response = client._request("POST", "/v1/reports", raw=body)
+        assert response["accepted"] == 6
+        assert response["campaigns"] == {"demo": 5, "other": 1}
+        assert "campaign" not in response
+        assert client.query("demo", sync=True)["num_reports"] == 5
+        assert client.query("other", sync=True)["num_reports"] == 1
+
+    def test_binary_validation_errors_are_400s(self, live):
+        _, client = live
+        from repro.service import encode_reports
+
+        make_campaign(client)
+        with pytest.raises(ServiceError, match="unknown campaign"):
+            client._request(
+                "POST", "/v1/reports", raw=encode_reports("ghost", [1])
+            )
+        with pytest.raises(ServiceError, match="output range"):
+            client._request(
+                "POST", "/v1/reports", raw=encode_reports("demo", [99])
+            )
+        with pytest.raises(ServiceError, match="magic"):
+            client._request("POST", "/v1/reports", raw=b"not a frame at all")
+        with pytest.raises(ServiceError, match="/v1/reports"):
+            client._request(
+                "POST", "/v1/report", raw=encode_reports("demo", [1])
+            )
+        assert client.query("demo", sync=True)["num_reports"] == 0
+
+    def test_client_rejects_unknown_transport(self, live):
+        _, client = live
+        with pytest.raises(ServiceError, match="transport"):
+            ServiceClient(client.host, client.port, transport="carrier-pigeon")
+
+
+class TestTransportPolicy:
+    @pytest.fixture
+    def restricted(self, request):
+        service = CollectionService(
+            flush_interval=0.02, transport=request.param
+        )
+        thread = ServiceThread(service)
+        host, port = thread.start()
+        client = ServiceClient(host, port)
+        make_campaign(client)
+        try:
+            yield client
+        finally:
+            client.close()
+            thread.stop()
+
+    @pytest.mark.parametrize("restricted", ["json"], indirect=True)
+    def test_json_only_service_rejects_frames(self, restricted):
+        from repro.service import encode_reports
+
+        with pytest.raises(ServiceError, match="only json"):
+            restricted._request(
+                "POST", "/v1/reports", raw=encode_reports("demo", [1])
+            )
+        assert restricted.send_reports("demo", [1])["accepted"] == 1
+
+    @pytest.mark.parametrize("restricted", ["binary"], indirect=True)
+    def test_binary_only_service_rejects_json_ingest(self, restricted):
+        from repro.service import encode_reports
+
+        with pytest.raises(ServiceError, match="only binary"):
+            restricted.send_reports("demo", [1])
+        # Control plane (campaigns, queries) stays JSON even then.
+        assert restricted.campaign("demo")["name"] == "demo"
+        restricted._request(
+            "POST", "/v1/reports", raw=encode_reports("demo", [1, 2])
+        )
+        assert restricted.query("demo", sync=True)["num_reports"] == 2
+
+    def test_unknown_server_transport_rejected(self):
+        with pytest.raises(ServiceError, match="transport"):
+            CollectionService(transport="smoke-signals")
+
+
 class TestReporter:
     def test_client_side_randomization_only_ships_output_ids(self, live):
         _, client = live
