@@ -26,6 +26,7 @@ from repro.linalg.hadamard import (
 from repro.linalg.pseudo_inverse import (
     psd_pinv,
     psd_solve,
+    spd_factor,
     symmetrize,
 )
 
@@ -39,5 +40,6 @@ __all__ = [
     "next_power_of_two",
     "psd_pinv",
     "psd_solve",
+    "spd_factor",
     "symmetrize",
 ]

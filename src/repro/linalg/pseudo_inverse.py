@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 import scipy.linalg
+from scipy.linalg import lapack
 
 
 def symmetrize(matrix: np.ndarray) -> np.ndarray:
@@ -51,6 +52,40 @@ def psd_solve(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
         return scipy.linalg.cho_solve(factor, rhs, check_finite=False)
     except scipy.linalg.LinAlgError:
         return psd_pinv(matrix) @ rhs
+
+
+def spd_factor(
+    matrix: np.ndarray, lower: bool = False
+) -> tuple[tuple[np.ndarray, bool], float]:
+    """Cholesky-factor a symmetric matrix and estimate its conditioning.
+
+    Returns ``(factor, rcond)`` where ``factor`` is a
+    :func:`scipy.linalg.cho_factor` result ready for
+    :func:`scipy.linalg.cho_solve`, and ``rcond`` is LAPACK's ``?pocon``
+    reciprocal-condition estimate (1-norm) — an ``O(n^2)`` add-on to the
+    ``O(n^3 / 3)`` factorization.  Callers use ``rcond`` to decide whether
+    the factorization is trustworthy or the matrix is close enough to
+    singular that an eigenvalue pseudo-inverse is required.
+
+    Raises
+    ------
+    numpy.linalg.LinAlgError
+        (or the scipy subclass) when the matrix is not positive definite.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> factor, rcond = spd_factor(np.diag([4.0, 1.0]))
+    >>> bool(np.isclose(rcond, 0.25))
+    True
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    anorm = float(np.abs(matrix).sum(axis=0).max(initial=0.0))
+    factor = scipy.linalg.cho_factor(matrix, lower=lower, check_finite=False)
+    rcond, info = lapack.dpocon(factor[0], anorm, uplo=b"L" if lower else b"U")
+    if info != 0:
+        raise np.linalg.LinAlgError(f"dpocon failed with info={info}")
+    return factor, float(rcond)
 
 
 def psd_pinv(matrix: np.ndarray, rcond: float = 1e-12) -> np.ndarray:

@@ -4,6 +4,8 @@
   projection) and its backprop rule.
 * :mod:`repro.optimization.objective` — ``L(Q)`` of Theorem 3.11 with a
   manual analytic gradient.
+* :mod:`repro.optimization.kernels` — the factorization-cached objective
+  engine (workspace, Cholesky solves, batched candidate evaluation).
 * :mod:`repro.optimization.pgd` — Algorithm 2 (projected gradient descent).
 * :mod:`repro.optimization.optimized` — the "Optimized" mechanism wrapper.
 * :mod:`repro.optimization.search` — hyper-parameter sweeps (m, restarts).
@@ -11,7 +13,17 @@
   with strategy-store read-through and warm starts.
 """
 
-from repro.optimization.objective import objective_and_gradient, objective_value
+from repro.optimization.kernels import (
+    OBJECTIVE_ENGINES,
+    ObjectiveWorkspace,
+    make_engine,
+)
+from repro.optimization.objective import (
+    objective_and_gradient,
+    objective_value,
+    reference_objective_and_gradient,
+    reference_objective_value,
+)
 from repro.optimization.optimized import OptimizedMechanism
 from repro.optimization.pgd import (
     DEFAULT_OUTPUT_FACTOR,
@@ -29,10 +41,12 @@ from repro.optimization.restarts import (
     restart_seeds,
 )
 from repro.optimization.projection import (
+    PROJECTION_METHODS,
     ProjectionState,
     feasible_bounds,
     project_column_bisection,
     project_columns,
+    project_columns_batch,
     projection_vjp,
 )
 from repro.optimization.search import (
@@ -46,9 +60,12 @@ from repro.optimization.search import (
 __all__ = [
     "DEFAULT_OUTPUT_FACTOR",
     "DEFAULT_WARM_START_LOG_RATIO",
+    "OBJECTIVE_ENGINES",
+    "ObjectiveWorkspace",
     "OptimizationResult",
     "OptimizedMechanism",
     "OptimizerConfig",
+    "PROJECTION_METHODS",
     "ProjectionState",
     "RESTART_BACKENDS",
     "RestartReport",
@@ -58,12 +75,16 @@ __all__ = [
     "feasible_bounds",
     "initial_bounds",
     "initialize",
+    "make_engine",
     "objective_and_gradient",
     "objective_value",
     "optimize_strategy",
     "project_column_bisection",
     "project_columns",
+    "project_columns_batch",
     "projection_vjp",
+    "reference_objective_and_gradient",
+    "reference_objective_value",
     "restart_seeds",
     "sample_complexity_of_result",
     "search_num_outputs",

@@ -182,7 +182,7 @@ class OptimizedMechanism(StrategyMechanism):
     def _floor_with_randomized_response(
         self, workload: Workload, epsilon: float, result: OptimizationResult
     ) -> OptimizationResult:
-        from repro.analysis.objective import strategy_objective
+        from repro.optimization.objective import objective_value
         from repro.optimization.pgd import optimize_strategy
 
         gram = workload.gram()
@@ -206,7 +206,7 @@ class OptimizedMechanism(StrategyMechanism):
                     baseline.probabilities, epsilon, name="Optimized"
                 ),
                 bounds=baseline.probabilities.min(axis=1),
-                objective=strategy_objective(baseline.probabilities, gram),
+                objective=objective_value(baseline.probabilities, gram),
                 step_size=0.0,
                 iterations_run=0,
             )

@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.exceptions import OptimizationError
 from repro.mechanisms.base import StrategyMatrix
-from repro.optimization.objective import objective_and_gradient, objective_value
+from repro.optimization.kernels import OBJECTIVE_ENGINES, make_engine
 from repro.optimization.projection import (
     ProjectionState,
     project_columns,
@@ -39,6 +39,14 @@ from repro.workloads.base import Workload
 
 #: Default ratio of strategy outputs to domain size (the paper's m = 4n).
 DEFAULT_OUTPUT_FACTOR = 4
+
+#: Candidate counts per backtracking round: the first probe runs alone (it
+#: is usually accepted outright, so speculation would only waste a full
+#: evaluation), later rounds batch geometrically through the engine's
+#: shared buffers.  The total is the 40-attempt cap of the original
+#: sequential loop, and the candidate sequence — each step half the
+#: previous — is identical to it.
+_LINE_SEARCH_BATCHES = (1, 2, 4, 8, 8, 8, 9)
 
 
 @dataclass
@@ -62,12 +70,20 @@ class OptimizerConfig:
         ``tolerance`` for ``patience`` consecutive iterations.
     track_history:
         Record the objective value at every iteration.
+    engine:
+        Objective evaluation engine: ``"fast"`` (the factorization-cached
+        workspace of :mod:`repro.optimization.kernels`, the default) or
+        ``"reference"`` (the original straight-line path, kept for pinning
+        and benchmarking).  Both produce the same optimization up to
+        floating-point round-off.
 
     Examples
     --------
     >>> config = OptimizerConfig(num_iterations=100, seed=0)
     >>> config.num_outputs is None  # defaults to 4n at optimization time
     True
+    >>> config.engine
+    'fast'
     """
 
     num_iterations: int = 500
@@ -83,6 +99,7 @@ class OptimizerConfig:
     step_growth: float = 1.25
     initial_strategy: np.ndarray | None = None
     prior: np.ndarray | None = None
+    engine: str = "fast"
 
 
 @dataclass
@@ -221,6 +238,7 @@ def _descend(
     line_search: bool = True,
     step_growth: float = 1.25,
     weights: np.ndarray | None = None,
+    evaluator=None,  # required; keyword-style for call-site clarity
 ) -> tuple[ProjectionState, np.ndarray, float, int]:
     """Run PGD from a starting point; returns the best iterate found.
 
@@ -233,14 +251,24 @@ def _descend(
     an automatic step size instead of a fixed hyper-parameter.  With
     ``line_search=False`` this is the paper's fixed-step loop verbatim
     (plus a divergence guard).
+
+    All objective evaluations and projections go through ``evaluator`` (a
+    :class:`~repro.optimization.kernels.FastEngine` or
+    :class:`~repro.optimization.kernels.ReferenceEngine`); backtracking
+    candidates and the corridor sweep are evaluated in batches through the
+    engine's shared buffers.  The candidate sequence and acceptance rule
+    are identical to the original sequential loop, so both engines walk the
+    same iterates up to floating-point round-off.
     """
+    if evaluator is None:
+        raise OptimizationError("_descend requires an evaluation engine")
     best_value = np.inf
     best_state, best_bounds = state, bounds
     stall = 0
     iterations_run = 0
     for iteration in range(num_iterations):
         iterations_run = iteration + 1
-        value, gradient = objective_and_gradient(state.matrix, gram, weights)
+        value, gradient = evaluator.value_and_gradient(state.matrix)
         if history is not None:
             history.append(value)
         if not np.isfinite(value):
@@ -267,27 +295,57 @@ def _descend(
             bounds = _repair_bounds(
                 bounds - step_size / z_scale * bound_gradient, epsilon
             )
-            state = project_columns(
-                state.matrix - step_size * gradient, bounds, epsilon
+            state = evaluator.project(
+                state.matrix - step_size * gradient,
+                bounds,
+                epsilon,
+                initial_multipliers=state.multipliers,
             )
             continue
 
-        # --- Q step: backtracking line search with z held fixed. ---
+        # --- Q step: backtracking line search with z held fixed, batched
+        # per round through the engine's shared buffers. ---
         accepted = None
         raw = state.matrix
-        for attempt in range(40):
-            raw = state.matrix - step_size * gradient
-            candidate = project_columns(raw, bounds, epsilon)
-            movement = float(np.sum((candidate.matrix - state.matrix) ** 2))
-            if movement <= 1e-30:
+        attempt = 0
+        for batch_size in _LINE_SEARCH_BATCHES:
+            steps = [step_size * 0.5**probe for probe in range(batch_size)]
+            raws = [state.matrix - step * gradient for step in steps]
+            candidates = evaluator.project_batch(
+                raws, bounds, epsilon, initial_multipliers=state.multipliers
+            )
+            movements = [
+                float(np.sum((candidate.matrix - state.matrix) ** 2))
+                for candidate in candidates
+            ]
+            # A vanishing projected movement means Q is stationary at that
+            # step size; candidates beyond it are never evaluated (the
+            # sequential loop stopped there too).
+            cut = batch_size
+            for probe, movement in enumerate(movements):
+                if movement <= 1e-30:
+                    cut = probe
+                    break
+            values = evaluator.value_batch(
+                [candidate.matrix for candidate in candidates[:cut]]
+            )
+            for probe in range(cut):
+                sufficient = (
+                    values[probe]
+                    <= value - 1e-4 / steps[probe] * movements[probe]
+                )
+                if sufficient or (attempt + probe == 39 and values[probe] < value):
+                    accepted = (candidates[probe], float(values[probe]))
+                    step_size = steps[probe]
+                    raw = raws[probe]
+                    break
+            if accepted is not None:
                 break
-            candidate_value = objective_value(candidate.matrix, gram, weights)
-            if candidate_value <= value - 1e-4 / step_size * movement or (
-                attempt == 39 and candidate_value < value
-            ):
-                accepted = (candidate, candidate_value)
+            if cut < batch_size:
+                step_size = steps[cut]
                 break
-            step_size *= 0.5
+            step_size = steps[-1] * 0.5
+            attempt += batch_size
 
         if accepted is not None:
             candidate, candidate_value = accepted
@@ -301,18 +359,29 @@ def _descend(
             accepted_step = step_size
 
         # --- z step, re-projecting the same pre-projection point so the
-        # backprop linearization is valid (strict clip margins there). ---
+        # backprop linearization is valid (strict clip margins there).
+        # Both corridor proposals are evaluated as one batch. ---
+        proposals = _bound_proposals(
+            candidate, bounds, gradient, accepted_step / z_scale, epsilon
+        )
+        reprojected = [
+            evaluator.project(
+                raw, proposal, epsilon, initial_multipliers=state.multipliers
+            )
+            for proposal in proposals
+        ]
+        reprojected_values = evaluator.value_batch(
+            [projection.matrix for projection in reprojected]
+        )
         best_candidate, best_bounds_candidate = candidate, bounds
         best_candidate_value = candidate_value
-        for proposal in _bound_proposals(
-            candidate, bounds, gradient, accepted_step / z_scale, epsilon
+        for proposal, projection, proposal_value in zip(
+            proposals, reprojected, reprojected_values
         ):
-            reprojected = project_columns(raw, proposal, epsilon)
-            reprojected_value = objective_value(reprojected.matrix, gram, weights)
-            if reprojected_value < best_candidate_value:
-                best_candidate = reprojected
+            if proposal_value < best_candidate_value:
+                best_candidate = projection
                 best_bounds_candidate = proposal
-                best_candidate_value = reprojected_value
+                best_candidate_value = float(proposal_value)
         if accepted is None and best_candidate_value >= value:
             # Neither the Q direction nor any corridor move helps: stop.
             break
@@ -359,9 +428,12 @@ def _search_step_size(
     epsilon: float,
     config: OptimizerConfig,
     weights: np.ndarray | None = None,
+    evaluator=None,
 ) -> float:
     """Short trial runs over a geometric grid of step sizes (Section 4)."""
-    base = _base_step(gram, state, weights)
+    if evaluator is None:
+        evaluator = make_engine(config.engine, gram, state.matrix.shape[0], weights)
+    base = _base_step(state, evaluator)
     exponents = np.linspace(-2.0, 1.0, config.search_points)
     best_step, best_value = base, np.inf
     for exponent in exponents:
@@ -380,6 +452,7 @@ def _search_step_size(
                 line_search=config.line_search,
                 step_growth=config.step_growth,
                 weights=weights,
+                evaluator=evaluator,
             )
         except OptimizationError:
             continue
@@ -388,12 +461,12 @@ def _search_step_size(
     return best_step
 
 
-def _base_step(
-    gram: np.ndarray, state: ProjectionState, weights: np.ndarray | None = None
-) -> float:
+def _base_step(state: ProjectionState, evaluator) -> float:
     """Heuristic step scale: move the steepest entry by one typical entry
     magnitude (columns sum to 1 over m rows, so a typical entry is 1/m)."""
-    _, gradient = objective_and_gradient(state.matrix, gram, weights)
+    _, gradient = evaluator.value_and_gradient(state.matrix)
+    if gradient is None:
+        return 1e-3
     scale = np.abs(gradient).max()
     if not np.isfinite(scale) or scale <= 0:
         return 1e-3
@@ -442,6 +515,11 @@ def optimize_strategy(
     config = config or OptimizerConfig()
     if epsilon <= 0:
         raise OptimizationError(f"epsilon must be positive, got {epsilon}")
+    if config.engine not in OBJECTIVE_ENGINES:
+        raise OptimizationError(
+            f"unknown objective engine {config.engine!r}; expected one of "
+            f"{OBJECTIVE_ENGINES}"
+        )
     gram, domain_size = _resolve_gram(workload)
     num_outputs = config.num_outputs or DEFAULT_OUTPUT_FACTOR * domain_size
     if num_outputs < domain_size:
@@ -459,14 +537,19 @@ def optimize_strategy(
     else:
         state, bounds = initialize(domain_size, num_outputs, epsilon, rng)
 
+    # One evaluation engine per run: the workspace (Gram eigenfactor plus
+    # scratch buffers) is built once and shared by the step-size search,
+    # every descent iteration, and every line-search probe.
+    evaluator = make_engine(config.engine, gram, state.matrix.shape[0], weights)
+
     step_size = config.step_size
     if step_size is None:
         if config.line_search:
             # Backtracking adapts on the fly; a scale heuristic suffices.
-            step_size = _base_step(gram, state, weights)
+            step_size = _base_step(state, evaluator)
         else:
             step_size = _search_step_size(
-                gram, state, bounds, epsilon, config, weights
+                gram, state, bounds, epsilon, config, weights, evaluator
             )
 
     history: list[float] | None = [] if config.track_history else None
@@ -483,6 +566,7 @@ def optimize_strategy(
         line_search=config.line_search,
         step_growth=config.step_growth,
         weights=weights,
+        evaluator=evaluator,
     )
     strategy = StrategyMatrix(
         state.matrix, epsilon, name="Optimized"

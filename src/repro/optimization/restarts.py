@@ -12,7 +12,11 @@ production driver for that loop:
   :class:`~concurrent.futures.ProcessPoolExecutor` (the same executor
   pattern as the protocol engine's shard backend).  Results are
   backend-independent: each restart is a pure function of
-  ``(gram, epsilon, config)``.
+  ``(gram, epsilon, config)``.  The process backend publishes the Gram
+  matrix once through :mod:`multiprocessing.shared_memory` and workers
+  attach to it by name, so a K-restart run ships the ``n^2`` floats once
+  instead of pickling them into every job (falling back to pickling when
+  shared memory is unavailable).
 * **Store integration** — with a :class:`~repro.store.StrategyStore`
   attached, an exact key hit skips optimization entirely; otherwise any
   stored strategy for the same workload at a nearby epsilon seeds one extra
@@ -126,6 +130,84 @@ def _run_restart(
         return optimize_strategy(gram, epsilon, config)
     except OptimizationError:
         return None
+
+
+#: Worker-process view of the shared Gram: ``(SharedMemory, ndarray)``.
+#: The handle is kept alive for the worker's lifetime so the buffer backing
+#: the array is never released underneath an optimization.
+_SHARED_GRAM: tuple | None = None
+
+
+def _attach_shared_gram(name: str, shape: tuple, dtype_str: str) -> None:
+    """Pool initializer: map the parent's Gram segment into this worker."""
+    global _SHARED_GRAM
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        # Attaching registers the segment with the resource tracker as if
+        # this process owned it; the parent alone unlinks, so deregister to
+        # avoid spurious "leaked shared_memory" warnings at shutdown.
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+    gram = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=segment.buf)
+    _SHARED_GRAM = (segment, gram)
+
+
+def _run_restart_shared(
+    epsilon: float, config: OptimizerConfig
+) -> OptimizationResult | None:
+    """One restart against the worker's attached shared-memory Gram."""
+    _, gram = _SHARED_GRAM
+    return _run_restart(gram, epsilon, config)
+
+
+def _run_process_backend(
+    gram: np.ndarray,
+    epsilon: float,
+    configs: list[OptimizerConfig],
+    max_workers: int,
+) -> list[OptimizationResult | None]:
+    """Fan restarts out to a process pool, sharing the Gram read-only.
+
+    The optimizer never mutates its Gram (the workspace copies what it
+    scales), so every worker can run directly against the one shared
+    segment.  If shared memory cannot be created (exotic platforms,
+    exhausted /dev/shm) the old pickle-the-Gram path still works.
+    """
+    gram = np.ascontiguousarray(gram, dtype=float)
+    try:
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(create=True, size=max(gram.nbytes, 1))
+    except (ImportError, OSError):
+        segment = None
+    if segment is None:
+        jobs = [(gram, epsilon, run_config) for run_config in configs]
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(_run_restart, *zip(*jobs)))
+    try:
+        view = np.ndarray(gram.shape, dtype=gram.dtype, buffer=segment.buf)
+        view[:] = gram
+        del view  # release the exported buffer so close() cannot fail
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_attach_shared_gram,
+            initargs=(segment.name, gram.shape, gram.dtype.str),
+        ) as pool:
+            return list(
+                pool.map(
+                    _run_restart_shared,
+                    [epsilon] * len(configs),
+                    configs,
+                )
+            )
+    finally:
+        segment.close()
+        segment.unlink()
 
 
 def _warm_start_config(
@@ -251,9 +333,7 @@ def multi_restart_optimize(
         max_workers = len(configs) if num_workers is None else num_workers
         if max_workers < 1:
             raise OptimizationError(f"need >= 1 worker, got {max_workers}")
-        jobs = [(gram, epsilon, run_config) for run_config in configs]
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            results = list(pool.map(_run_restart, *zip(*jobs)))
+        results = _run_process_backend(gram, epsilon, configs, max_workers)
     else:
         results = [
             _run_restart(gram, epsilon, run_config) for run_config in configs

@@ -1,5 +1,7 @@
 """Tests for Algorithm 2 (projected gradient descent)."""
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
@@ -151,6 +153,12 @@ class TestOptimizeStrategy:
         )
         assert np.isfinite(result.objective)
 
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(OptimizationError):
+            optimize_strategy(
+                histogram(4), 1.0, OptimizerConfig(engine="autograd")
+            )
+
     def test_warm_start_from_baseline(self):
         baseline = randomized_response(5, 1.0)
         result = optimize_strategy(
@@ -161,3 +169,57 @@ class TestOptimizeStrategy:
         base_value = strategy_objective(baseline.probabilities, np.eye(5))
         # Never meaningfully worse than the seeding mechanism.
         assert result.objective <= base_value * 1.01
+
+
+class TestEngineEquivalence:
+    """Both engines walk the same Algorithm 2; results must coincide."""
+
+    @pytest.mark.parametrize("workload_factory", [histogram, prefix])
+    def test_line_search_converges_to_same_objective(self, workload_factory):
+        workload = workload_factory(6)
+        config = OptimizerConfig(num_iterations=120, seed=0)
+        fast = optimize_strategy(workload, 1.0, config)
+        reference = optimize_strategy(
+            workload, 1.0, replace(config, engine="reference")
+        )
+        assert np.isclose(fast.objective, reference.objective, rtol=1e-8)
+
+    def test_fixed_step_mode_matches(self):
+        config = OptimizerConfig(
+            num_iterations=50, seed=1, line_search=False, step_size=1e-4
+        )
+        fast = optimize_strategy(prefix(5), 1.0, config)
+        reference = optimize_strategy(
+            prefix(5), 1.0, replace(config, engine="reference")
+        )
+        assert np.isclose(fast.objective, reference.objective, rtol=1e-8)
+
+    def test_weighted_prior_matches(self):
+        prior = np.array([0.4, 0.3, 0.2, 0.1])
+        config = OptimizerConfig(num_iterations=60, seed=2, prior=prior)
+        fast = optimize_strategy(histogram(4), 1.0, config)
+        reference = optimize_strategy(
+            histogram(4), 1.0, replace(config, engine="reference")
+        )
+        assert np.isclose(fast.objective, reference.objective, rtol=1e-6)
+
+    def test_fast_engine_deterministic(self):
+        config = OptimizerConfig(num_iterations=40, seed=3)
+        first = optimize_strategy(prefix(4), 1.0, config)
+        second = optimize_strategy(prefix(4), 1.0, config)
+        assert np.array_equal(
+            first.strategy.probabilities, second.strategy.probabilities
+        )
+
+    def test_tracked_histories_agree_early(self):
+        # The iterate sequences are identical up to round-off, so the first
+        # recorded objectives must match tightly before chaos accumulates.
+        config = OptimizerConfig(num_iterations=12, seed=4, track_history=True)
+        fast = optimize_strategy(histogram(5), 1.0, config)
+        reference = optimize_strategy(
+            histogram(5), 1.0, replace(config, engine="reference")
+        )
+        shared = min(len(fast.history), len(reference.history), 5)
+        assert np.allclose(
+            fast.history[:shared], reference.history[:shared], rtol=1e-9
+        )

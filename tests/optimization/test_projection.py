@@ -11,6 +11,7 @@ from repro.optimization import (
     initial_bounds,
     project_column_bisection,
     project_columns,
+    project_columns_batch,
     projection_vjp,
 )
 
@@ -141,6 +142,117 @@ class TestProjectColumns:
         assert_feasible(state.matrix, z, epsilon)
         again = project_columns(state.matrix, z, epsilon)
         assert np.allclose(state.matrix, again.matrix, atol=1e-8)
+
+
+class TestNewtonVsSort:
+    """The fast Newton multiplier solver must match the sort sweep exactly."""
+
+    @settings(max_examples=30)
+    @given(
+        st.integers(min_value=2, max_value=40),
+        st.integers(min_value=1, max_value=8),
+        st.floats(min_value=0.1, max_value=4.0),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_property_methods_agree(self, rows, cols, epsilon, seed):
+        z = initial_bounds(rows, epsilon)
+        generator = np.random.default_rng(seed)
+        raw = generator.normal(size=(rows, cols)) * generator.gamma(1.0)
+        newton = project_columns(raw, z, epsilon, method="newton")
+        sort = project_columns(raw, z, epsilon, method="sort")
+        assert np.allclose(newton.matrix, sort.matrix, atol=1e-10)
+        assert np.array_equal(newton.lower, sort.lower)
+        assert np.array_equal(newton.upper, sort.upper)
+
+    def test_heterogeneous_bounds_agree(self):
+        generator = np.random.default_rng(6)
+        z = generator.random(15) * 0.05
+        z *= 0.7 / z.sum()
+        raw = generator.normal(size=(15, 4)) * 3.0
+        newton = project_columns(raw, z, 1.0, method="newton")
+        sort = project_columns(raw, z, 1.0, method="sort")
+        assert np.allclose(newton.matrix, sort.matrix, atol=1e-10)
+
+    def test_fully_lower_clipped_column(self):
+        # sum(z) == 1 forces every entry to its lower bound.
+        z = np.full(5, 0.2)
+        raw = np.random.default_rng(7).normal(size=(5, 3))
+        newton = project_columns(raw, z, 1.0, method="newton")
+        sort = project_columns(raw, z, 1.0, method="sort")
+        assert np.allclose(newton.matrix, sort.matrix, atol=1e-12)
+        assert np.allclose(newton.matrix, 0.2, atol=1e-9)
+
+    def test_warm_start_changes_nothing(self):
+        generator = np.random.default_rng(8)
+        z = initial_bounds(20, 1.0)
+        raw = generator.normal(size=(20, 6))
+        cold = project_columns(raw, z, 1.0, method="newton")
+        warm = project_columns(
+            raw,
+            z,
+            1.0,
+            method="newton",
+            initial_multipliers=cold.multipliers + generator.normal(size=6),
+        )
+        assert np.allclose(cold.matrix, warm.matrix, atol=1e-10)
+
+    def test_warm_start_length_checked(self):
+        z = initial_bounds(6, 1.0)
+        raw = np.random.default_rng(9).random((6, 3))
+        with pytest.raises(OptimizationError):
+            project_columns(raw, z, 1.0, initial_multipliers=np.zeros(4))
+
+    def test_unknown_method_rejected(self):
+        z = initial_bounds(6, 1.0)
+        raw = np.random.default_rng(10).random((6, 3))
+        with pytest.raises(OptimizationError):
+            project_columns(raw, z, 1.0, method="bisect")
+
+
+class TestProjectColumnsBatch:
+    def test_batch_matches_single_calls(self):
+        generator = np.random.default_rng(11)
+        z = initial_bounds(16, 1.0)
+        raws = [generator.normal(size=(16, 5)) for _ in range(3)]
+        batch = project_columns_batch(raws, z, 1.0)
+        for raw, state in zip(raws, batch):
+            single = project_columns(raw, z, 1.0)
+            # Reduction blocking differs with array width, so agreement is
+            # to the ulp, not bit-exact.
+            assert np.allclose(state.matrix, single.matrix, atol=1e-12)
+            assert np.allclose(
+                state.multipliers, single.multipliers, atol=1e-12
+            )
+            assert np.array_equal(state.lower, single.lower)
+            assert np.array_equal(state.upper, single.upper)
+
+    def test_empty_and_singleton_batches(self):
+        z = initial_bounds(8, 1.0)
+        assert project_columns_batch([], z, 1.0) == []
+        raw = np.random.default_rng(12).random((8, 2))
+        (state,) = project_columns_batch([raw], z, 1.0)
+        assert np.array_equal(state.matrix, project_columns(raw, z, 1.0).matrix)
+
+    def test_mismatched_shapes_rejected(self):
+        z = initial_bounds(8, 1.0)
+        generator = np.random.default_rng(13)
+        with pytest.raises(OptimizationError):
+            project_columns_batch(
+                [generator.random((8, 2)), generator.random((8, 3))], z, 1.0
+            )
+
+    def test_batch_with_warm_start(self):
+        generator = np.random.default_rng(14)
+        z = initial_bounds(10, 1.0)
+        raws = [generator.normal(size=(10, 4)) for _ in range(2)]
+        seed_state = project_columns(raws[0], z, 1.0)
+        batch = project_columns_batch(
+            raws, z, 1.0, initial_multipliers=seed_state.multipliers
+        )
+        for raw, state in zip(raws, batch):
+            assert np.allclose(
+                state.matrix, project_columns(raw, z, 1.0).matrix, atol=1e-10
+            )
 
 
 class TestProjectionVjp:

@@ -69,6 +69,45 @@ class TestDeterminism:
         with pytest.raises(OptimizationError, match="backend"):
             multi_restart_optimize(prefix(8), 1.0, CONFIG, backend="fleet")
 
+    def test_shared_memory_gram_round_trip(self):
+        # The process backend publishes the Gram through shared memory;
+        # workers must see exactly the parent's matrix (dtype, layout,
+        # values), so the restart results cannot depend on the transport.
+        from repro.optimization.restarts import _run_process_backend
+
+        gram = prefix(6).gram()
+        config = OptimizerConfig(num_iterations=15, seed=5)
+        results = _run_process_backend(gram, 1.0, [config], max_workers=1)
+        direct = optimize_strategy(gram, 1.0, config)
+        assert len(results) == 1
+        assert results[0] is not None
+        assert results[0].objective == pytest.approx(direct.objective)
+        assert np.array_equal(
+            results[0].strategy.probabilities, direct.strategy.probabilities
+        )
+
+    def test_pickle_fallback_matches_shared_memory(self, monkeypatch):
+        # Platforms without shared memory fall back to pickling the Gram;
+        # both transports must produce the same restarts.
+        import multiprocessing.shared_memory as shm_module
+
+        def broken_shared_memory(*args, **kwargs):
+            raise OSError("no shared memory on this platform")
+
+        config = OptimizerConfig(num_iterations=15, seed=6)
+        shared = multi_restart_optimize(
+            prefix(6), 1.0, config, restarts=2, backend="process"
+        )
+        monkeypatch.setattr(shm_module, "SharedMemory", broken_shared_memory)
+        pickled = multi_restart_optimize(
+            prefix(6), 1.0, config, restarts=2, backend="process"
+        )
+        assert shared.objectives == pickled.objectives
+        assert np.array_equal(
+            shared.result.strategy.probabilities,
+            pickled.result.strategy.probabilities,
+        )
+
 
 class TestDominance:
     @pytest.mark.parametrize("workload", [histogram(8), prefix(8)])
