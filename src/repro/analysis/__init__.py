@@ -25,6 +25,7 @@ from repro.analysis.bounds import (
 from repro.analysis.budget import achievable_alpha, epsilon_for_population
 from repro.analysis.objective import strategy_objective
 from repro.analysis.reconstruction import (
+    factored_reconstruction_operators,
     factorization_residual,
     is_factorizable,
     optimal_reconstruction,
@@ -55,6 +56,7 @@ __all__ = [
     "epsilon_for_population",
     "factorization_residual",
     "is_factorizable",
+    "factored_reconstruction_operators",
     "optimal_reconstruction",
     "per_user_variances",
     "randomized_response_sample_complexity",

@@ -171,7 +171,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--num-outputs",
         type=int,
         default=None,
-        help="strategy rows m (default 4n)",
+        help="strategy rows m (default 4n; dense mode only)",
+    )
+    build.add_argument(
+        "--factored",
+        action="store_true",
+        help="Kronecker-factorized build over a product domain "
+        "(per-attribute PGD; see docs/optimizer.md)",
+    )
+    build.add_argument(
+        "--sizes",
+        default=None,
+        help="comma-separated attribute sizes of the product domain, e.g. "
+        "64,64,16,16 (required with --factored; replaces --domain)",
+    )
+    build.add_argument(
+        "--way",
+        type=int,
+        default=2,
+        help="marginal order for the factored 'Marginals' workload",
+    )
+    build.add_argument(
+        "--rounds",
+        type=int,
+        default=2,
+        help="alternating-minimization passes (factored mode)",
     )
     build.add_argument("--store", default=None, help="store directory")
 
@@ -471,10 +495,113 @@ def _format_age(seconds: float) -> str:
     return f"{seconds / 86_400:.0f}d"
 
 
+def _factored_workload(name: str, sizes: tuple[int, ...], way: int):
+    """Resolve a factored workload over a product domain by paper name."""
+    import numpy as np
+
+    from repro.workloads import all_product_marginals, k_way_product_marginals
+    from repro.workloads.kron import KronWorkload
+
+    lowered = name.lower()
+    if lowered == "marginals":
+        return k_way_product_marginals(sizes, way)
+    if lowered == "allmarginals":
+        return all_product_marginals(sizes)
+    if lowered == "histogram":
+        return KronWorkload(
+            [np.eye(size) for size in sizes], name="KronHistogram"
+        )
+    if lowered == "prefix":
+        return KronWorkload(
+            [np.tril(np.ones((size, size))) for size in sizes],
+            name="KronPrefix",
+        )
+    raise SystemExit(
+        f"unknown factored workload {name!r}; expected Marginals, "
+        "AllMarginals, Histogram, or Prefix"
+    )
+
+
+def _run_strategy_build_factored(arguments) -> int:
+    from repro.optimization import (
+        FactoredOptimizerConfig,
+        OptimizerConfig,
+        multi_restart_optimize_factored,
+    )
+    from repro.store import key_for_factored
+
+    if not arguments.sizes:
+        raise SystemExit(
+            "--factored needs --sizes (comma-separated attribute sizes, "
+            "e.g. --sizes 64,64,16,16)"
+        )
+    if arguments.num_outputs is not None:
+        raise SystemExit(
+            "--num-outputs is ambiguous across factors; factored builds "
+            "size each factor as m_i = 4 d_i"
+        )
+    try:
+        sizes = tuple(int(part) for part in arguments.sizes.split(","))
+    except ValueError:
+        raise SystemExit(f"unparseable --sizes {arguments.sizes!r}")
+    store = _open_store(arguments.store)
+    workload = _factored_workload(arguments.workload, sizes, arguments.way)
+    config = FactoredOptimizerConfig(
+        base=OptimizerConfig(
+            num_iterations=arguments.iterations, seed=arguments.seed
+        ),
+        rounds=arguments.rounds,
+    )
+    start = time.perf_counter()
+    report = multi_restart_optimize_factored(
+        workload,
+        arguments.epsilon,
+        config,
+        restarts=arguments.restarts,
+        backend=arguments.backend,
+        num_workers=arguments.workers,
+        store=store,
+    )
+    elapsed = time.perf_counter() - start
+    key = key_for_factored(
+        workload, arguments.epsilon, config, restarts=arguments.restarts
+    )
+    strategy = report.result.strategy
+    print(
+        f"workload {workload.name!r}, n = {workload.domain_size} "
+        f"({' x '.join(str(size) for size in sizes)}), "
+        f"eps = {arguments.epsilon:g}, K = {arguments.restarts} restart(s) "
+        f"[{arguments.backend}, factored]"
+    )
+    if report.store_hit:
+        print(
+            f"store HIT  entry {key.entry_id} in {elapsed:.3f} s "
+            "(no PGD iterations run)"
+        )
+    else:
+        objectives = ", ".join(f"{value:.6g}" for value in report.objectives)
+        print(
+            f"store MISS — built entry {key.entry_id} in {elapsed:.3f} s "
+            f"({report.result.rounds_run} round(s)); "
+            f"restart objectives: [{objectives}]"
+        )
+    shapes = " x ".join(
+        f"{m}x{d}" for m, d in zip(strategy.output_sizes, strategy.domain_sizes)
+    )
+    print(
+        f"objective L(Q) = {report.objective:.6g}, factors {shapes}, "
+        f"store {store.root} now holds {len(store)} entr"
+        f"{'y' if len(store) == 1 else 'ies'}"
+    )
+    return 0
+
+
 def _run_strategy_build(arguments) -> int:
     from repro.optimization import OptimizerConfig, multi_restart_optimize
     from repro.workloads import by_name as workload_by_name
 
+    if arguments.factored:
+        return _run_strategy_build_factored(arguments)
     store = _open_store(arguments.store)
     workload = workload_by_name(arguments.workload, arguments.domain)
     config = OptimizerConfig(

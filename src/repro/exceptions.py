@@ -20,6 +20,13 @@ class WorkloadError(ReproError):
     """An invalid workload (shape mismatch, missing representation)."""
 
 
+class AllocationCapError(WorkloadError, ValueError):
+    """Materializing a structured (Kronecker) object would allocate more
+    cells than the configured cap.  Subclasses :class:`ValueError` as well so
+    callers outside the library can catch it without importing the
+    hierarchy; the message states the would-be allocation size."""
+
+
 class PrivacyViolationError(ReproError):
     """A strategy matrix does not satisfy the claimed epsilon-LDP guarantee."""
 

@@ -10,6 +10,8 @@ library is written against:
   Fourier mechanisms.
 * :mod:`repro.linalg.checks` — validation predicates for stochastic matrices
   and epsilon-LDP ratio constraints.
+* :mod:`repro.linalg.kron` — implicit Kronecker-product operators applied
+  factor-wise, with an allocation-capped dense fallback.
 """
 
 from repro.linalg.checks import (
@@ -23,6 +25,15 @@ from repro.linalg.hadamard import (
     hadamard_matrix,
     next_power_of_two,
 )
+from repro.linalg.kron import (
+    DEFAULT_DENSE_CELL_CAP,
+    KronOperator,
+    apply_factor_along_axis,
+    apply_kron_factors,
+    check_dense_allocation,
+    dense_kron,
+    kron_shape,
+)
 from repro.linalg.pseudo_inverse import (
     psd_pinv,
     psd_solve,
@@ -31,8 +42,15 @@ from repro.linalg.pseudo_inverse import (
 )
 
 __all__ = [
+    "DEFAULT_DENSE_CELL_CAP",
+    "KronOperator",
+    "apply_factor_along_axis",
+    "apply_kron_factors",
+    "check_dense_allocation",
+    "dense_kron",
     "fwht",
     "hadamard_matrix",
+    "kron_shape",
     "is_column_stochastic",
     "is_ldp_matrix",
     "ldp_ratio",

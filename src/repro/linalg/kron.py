@@ -1,0 +1,203 @@
+"""Implicit Kronecker-product linear operators.
+
+A product-domain object ``M = M_{k-1} (x) ... (x) M_0`` (factors listed
+attribute-0 first, matching :class:`repro.domains.ProductDomain`'s
+mixed-radix convention: attribute 0 is the fastest-varying flat index) can
+be applied to vectors factor-wise in ``O(sum_i r_i c_i * (N / c_i))`` time
+and ``O(sum_i r_i c_i)`` memory, without ever forming the
+``prod r_i x prod c_i`` dense matrix.  This module is the shared substrate
+for the factored workloads, strategies, and reconstruction operators:
+
+* :func:`apply_kron_factors` — factor-wise mat-vec via reshape/contract.
+* :func:`dense_kron` — explicit materialization, guarded by a cell cap that
+  raises :class:`~repro.exceptions.AllocationCapError` (a ``ValueError``)
+  stating the would-be allocation instead of attempting a multi-GB kron.
+* :class:`KronOperator` — the implicit operator object with ``matvec`` /
+  ``rmatvec`` / ``T`` / ``to_dense``.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from math import prod
+
+import numpy as np
+
+from repro.exceptions import AllocationCapError, WorkloadError
+
+#: Default cap on explicitly materialized cells (~400 MB of float64).  The
+#: same value as :data:`repro.workloads.base.MAX_EXPLICIT_ENTRIES`, kept
+#: here so the linalg layer does not depend on the workloads layer.
+DEFAULT_DENSE_CELL_CAP = 50_000_000
+
+
+def check_dense_allocation(
+    shape: tuple[int, int],
+    max_entries: int | None = DEFAULT_DENSE_CELL_CAP,
+    what: str = "dense matrix",
+) -> None:
+    """Raise :class:`AllocationCapError` when ``shape`` exceeds the cap.
+
+    The error message states the would-be allocation (cells and bytes as
+    float64) so the caller knows exactly what was refused.
+
+    Examples
+    --------
+    >>> check_dense_allocation((100, 100))
+    >>> try:
+    ...     check_dense_allocation((1 << 20, 1 << 20), what="Gram matrix")
+    ... except ValueError as error:
+    ...     print(str(error).split(" cells")[0])
+    materializing this Gram matrix would allocate 1048576 x 1048576 = 1099511627776
+    """
+    if max_entries is None:
+        return
+    rows, cols = shape
+    cells = rows * cols
+    if cells > max_entries:
+        raise AllocationCapError(
+            f"materializing this {what} would allocate {rows} x {cols} = "
+            f"{cells} cells ({cells * 8} bytes as float64), above the cap "
+            f"of {max_entries} cells; use the factored representation "
+            "(gram factors / matvec) or raise the cap"
+        )
+
+
+def kron_shape(factors) -> tuple[int, int]:
+    """The flat ``(rows, cols)`` of ``kron(F_{k-1}, ..., F_0)``."""
+    return (
+        prod(factor.shape[0] for factor in factors),
+        prod(factor.shape[1] for factor in factors),
+    )
+
+
+def dense_kron(
+    factors,
+    max_entries: int | None = DEFAULT_DENSE_CELL_CAP,
+    what: str = "Kronecker product",
+) -> np.ndarray:
+    """``kron(F_{k-1}, ..., F_0)`` for factors listed attribute-0 first.
+
+    Refuses (with :class:`AllocationCapError`) to build products above
+    ``max_entries`` cells; pass ``max_entries=None`` to disable the cap.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> a, b = np.eye(2), np.ones((1, 3))
+    >>> dense_kron([a, b]).shape  # kron(b's rows slow, a fast)
+    (2, 6)
+    """
+    factors = [np.asarray(factor, dtype=float) for factor in factors]
+    check_dense_allocation(kron_shape(factors), max_entries, what)
+    return reduce(np.kron, reversed(factors))
+
+
+def apply_kron_factors(factors, x: np.ndarray) -> np.ndarray:
+    """Apply ``kron(F_{k-1}, ..., F_0)`` to a flat vector factor-wise.
+
+    Reshapes ``x`` into a tensor with attribute ``k-1`` as the leading axis
+    (C order matches the mixed-radix convention) and contracts each factor
+    along its own axis — far cheaper than forming the full product.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> factors = [np.tril(np.ones((2, 2))), np.eye(3)]
+    >>> x = np.arange(6.0)
+    >>> bool(np.allclose(apply_kron_factors(factors, x),
+    ...                  dense_kron(factors) @ x))
+    True
+    """
+    shape = [factor.shape[1] for factor in reversed(factors)]
+    tensor = np.asarray(x, dtype=float).reshape(shape)
+    for axis, factor in enumerate(reversed(factors)):
+        tensor = apply_factor_along_axis(tensor, factor, axis)
+    return tensor.reshape(-1)
+
+
+def apply_factor_along_axis(
+    tensor: np.ndarray, factor: np.ndarray, axis: int
+) -> np.ndarray:
+    """Contract ``factor`` (r x c) with axis ``axis`` (length c) of a tensor.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> t = np.arange(6.0).reshape(2, 3)
+    >>> bool(np.allclose(apply_factor_along_axis(t, np.ones((1, 3)), 1),
+    ...                  t.sum(axis=1, keepdims=True)))
+    True
+    """
+    moved = np.moveaxis(tensor, axis, 0)
+    tail_shape = moved.shape[1:]
+    applied = factor @ moved.reshape(factor.shape[1], -1)
+    return np.moveaxis(applied.reshape((factor.shape[0],) + tail_shape), 0, axis)
+
+
+class KronOperator:
+    """An implicit linear operator ``kron(F_{k-1}, ..., F_0)``.
+
+    Parameters
+    ----------
+    factors:
+        One matrix per attribute, attribute 0 first (the fastest-varying
+        flat index), factor ``i`` of shape ``(r_i, c_i)``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> operator = KronOperator([np.eye(2), np.ones((1, 3))])
+    >>> operator.shape
+    (2, 6)
+    >>> bool(np.allclose(operator.matvec(np.arange(6.0)),
+    ...                  operator.to_dense() @ np.arange(6.0)))
+    True
+    """
+
+    __slots__ = ("factors", "shape")
+
+    def __init__(self, factors) -> None:
+        if not factors:
+            raise WorkloadError("KronOperator needs at least one factor")
+        self.factors = [np.asarray(factor, dtype=float) for factor in factors]
+        for factor in self.factors:
+            if factor.ndim != 2:
+                raise WorkloadError("Kron factors must be 2-D matrices")
+        self.shape = kron_shape(self.factors)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``M @ x`` for a flat vector of length ``shape[1]``."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.shape[1],):
+            raise WorkloadError(
+                f"expected a vector of length {self.shape[1]}, got {x.shape}"
+            )
+        return apply_kron_factors(self.factors, x)
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        """``M.T @ y`` for a flat vector of length ``shape[0]``."""
+        y = np.asarray(y, dtype=float)
+        if y.shape != (self.shape[0],):
+            raise WorkloadError(
+                f"expected a vector of length {self.shape[0]}, got {y.shape}"
+            )
+        return apply_kron_factors([factor.T for factor in self.factors], y)
+
+    @property
+    def T(self) -> "KronOperator":
+        """The transposed operator (transposes factor-wise)."""
+        return KronOperator([factor.T for factor in self.factors])
+
+    def to_dense(
+        self, max_entries: int | None = DEFAULT_DENSE_CELL_CAP
+    ) -> np.ndarray:
+        """Materialize the full matrix, guarded by the cell cap."""
+        return dense_kron(self.factors, max_entries, what="Kron operator")
+
+    def __matmul__(self, x):
+        return self.matvec(x)
+
+    def __repr__(self) -> str:
+        sizes = " x ".join(f"{f.shape[0]}x{f.shape[1]}" for f in self.factors)
+        return f"KronOperator({sizes} -> {self.shape[0]}x{self.shape[1]})"

@@ -13,6 +13,7 @@ from repro.mechanisms.base import (
     StrategyMatrix,
     stack_strategies,
 )
+from repro.mechanisms.factored import FACTORED_STRATEGY_MAGIC, FactoredStrategy
 from repro.mechanisms.fourier import fourier
 from repro.mechanisms.gaussian import DEFAULT_DELTA, GaussianMechanism, gaussian_sigma
 from repro.mechanisms.hadamard_response import hadamard_response
@@ -39,6 +40,8 @@ __all__ = [
     "DEFAULT_BRANCHING",
     "DEFAULT_DELTA",
     "DistributedMatrixMechanism",
+    "FACTORED_STRATEGY_MAGIC",
+    "FactoredStrategy",
     "FactorizationMechanism",
     "GaussianMechanism",
     "MAX_RAPPOR_DOMAIN",

@@ -1,0 +1,291 @@
+"""Kronecker-factorized strategies for product domains.
+
+A joint strategy over a product domain ``d_0 x ... x d_{k-1}`` that
+randomizes each attribute independently is the Kronecker product of its
+per-attribute strategies, ``Q = Q_{k-1} (x) ... (x) Q_0`` (attribute 0
+fastest-varying, matching :class:`repro.domains.ProductDomain`).  Its
+privacy ratio multiplies across factors — basic LDP composition — so the
+joint budget is the *sum* of the per-factor budgets, and every object the
+protocol needs factorizes too: row sums, the objective core
+``A = Q^T D^-1 Q``, and the reconstruction operator of Theorem 3.10
+(``B = B_{k-1} (x) ... (x) B_0``; see
+:func:`repro.analysis.reconstruction.factored_reconstruction_operators`).
+
+:class:`FactoredStrategy` keeps only the per-factor matrices —
+``O(sum_i m_i d_i)`` memory — so domains with millions of cells, whose
+``m x n`` joint matrix could never be allocated, are handled with the same
+validated-strategy semantics as :class:`~repro.mechanisms.base.StrategyMatrix`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import prod
+
+import numpy as np
+
+from repro.exceptions import StochasticityError
+from repro.linalg import DEFAULT_DENSE_CELL_CAP, KronOperator, dense_kron
+from repro.mechanisms.base import DEFAULT_SAMPLE_CHUNK, StrategyMatrix
+
+#: Magic string identifying a serialized :class:`FactoredStrategy` payload.
+FACTORED_STRATEGY_MAGIC = "repro/factored-strategy"
+
+
+@dataclass(frozen=True)
+class FactoredStrategy:
+    """A product-domain strategy stored as validated per-attribute factors.
+
+    Parameters
+    ----------
+    factors:
+        One :class:`~repro.mechanisms.base.StrategyMatrix` per attribute,
+        attribute 0 first; factor ``i`` has shape ``(m_i, d_i)`` and its own
+        budget ``eps_i``.  The joint strategy satisfies
+        ``(sum_i eps_i)``-LDP by composition.
+    name:
+        Display name.
+
+    Examples
+    --------
+    >>> from repro.mechanisms import randomized_response
+    >>> joint = FactoredStrategy(
+    ...     (randomized_response(3, 0.5), randomized_response(4, 0.5))
+    ... )
+    >>> joint.domain_size, joint.num_outputs, joint.epsilon
+    (12, 12, 1.0)
+    """
+
+    factors: tuple[StrategyMatrix, ...]
+    name: str = "FactoredStrategy"
+    validate: bool = field(default=True, compare=False)
+
+    def __post_init__(self) -> None:
+        factors = tuple(self.factors)
+        if not factors:
+            raise StochasticityError("FactoredStrategy needs at least one factor")
+        for factor in factors:
+            if not isinstance(factor, StrategyMatrix):
+                raise StochasticityError(
+                    "FactoredStrategy factors must be StrategyMatrix instances, "
+                    f"got {type(factor).__name__}"
+                )
+        object.__setattr__(self, "factors", factors)
+
+    # -- shape & structure -------------------------------------------------
+
+    @property
+    def num_attributes(self) -> int:
+        return len(self.factors)
+
+    @property
+    def domain_sizes(self) -> tuple[int, ...]:
+        """Per-attribute domain sizes ``(d_0, ..., d_{k-1})``."""
+        return tuple(factor.domain_size for factor in self.factors)
+
+    @property
+    def output_sizes(self) -> tuple[int, ...]:
+        """Per-attribute output alphabet sizes ``(m_0, ..., m_{k-1})``."""
+        return tuple(factor.num_outputs for factor in self.factors)
+
+    @property
+    def domain_size(self) -> int:
+        """Flat domain size ``n = prod_i d_i`` (may be in the millions)."""
+        return prod(self.domain_sizes)
+
+    @property
+    def num_outputs(self) -> int:
+        """Flat output alphabet size ``m = prod_i m_i``."""
+        return prod(self.output_sizes)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.num_outputs, self.domain_size)
+
+    @property
+    def epsilon(self) -> float:
+        """The composed budget ``sum_i eps_i`` (LDP composition)."""
+        return float(sum(factor.epsilon for factor in self.factors))
+
+    def realized_ratio(self) -> float:
+        """The joint privacy ratio — the product of factor ratios."""
+        return prod(factor.realized_ratio() for factor in self.factors)
+
+    # -- implicit operators --------------------------------------------------
+
+    def as_operator(self) -> KronOperator:
+        """The joint probability table as an implicit linear operator."""
+        return KronOperator([factor.probabilities for factor in self.factors])
+
+    def reconstruction_factors(self) -> tuple[np.ndarray, ...]:
+        """Per-factor reconstruction operators ``B(Q_i)`` (cached).
+
+        The joint Theorem 3.10 operator is their Kronecker product; see
+        :meth:`reconstruction_operator`.
+        """
+        cached = self.__dict__.get("_reconstruction_factors")
+        if cached is None:
+            from repro.analysis.reconstruction import (
+                factored_reconstruction_operators,
+            )
+
+            cached = tuple(
+                factored_reconstruction_operators(
+                    [factor.probabilities for factor in self.factors]
+                )
+            )
+            for operator in cached:
+                operator.setflags(write=False)
+            object.__setattr__(self, "_reconstruction_factors", cached)
+        return cached
+
+    def reconstruction_operator(self) -> KronOperator:
+        """``B = B_{k-1} (x) ... (x) B_0`` as an implicit operator."""
+        return KronOperator(list(self.reconstruction_factors()))
+
+    def materialize(
+        self, max_entries: int | None = DEFAULT_DENSE_CELL_CAP
+    ) -> StrategyMatrix:
+        """The explicit joint :class:`StrategyMatrix` (small domains only).
+
+        Guarded by the allocation cap; the result is re-validated, which
+        also double-checks the composition argument numerically.
+
+        Examples
+        --------
+        >>> from repro.mechanisms import randomized_response
+        >>> joint = FactoredStrategy(
+        ...     (randomized_response(2, 0.5), randomized_response(3, 0.5))
+        ... )
+        >>> joint.materialize().shape
+        (6, 6)
+        """
+        joint = dense_kron(
+            [factor.probabilities for factor in self.factors],
+            max_entries,
+            what="factored strategy matrix",
+        )
+        return StrategyMatrix(joint, self.epsilon, name=self.name)
+
+    # -- execution -----------------------------------------------------------
+
+    def sample_attribute_responses(
+        self,
+        attribute_rows: np.ndarray,
+        rng: np.random.Generator,
+        chunk_size: int = DEFAULT_SAMPLE_CHUNK,
+    ) -> np.ndarray:
+        """Randomize a batch of users, one attribute column at a time.
+
+        Parameters
+        ----------
+        attribute_rows:
+            Integer array of shape ``(N, k)``; row ``u`` holds user ``u``'s
+            per-attribute types.
+        rng:
+            Source of randomness (factors draw sequentially from it, so a
+            seeded generator gives reproducible joint reports).
+        chunk_size:
+            Sampler block size per factor.
+
+        Returns
+        -------
+        np.ndarray
+            Responses of shape ``(N, k)``; column ``i`` is factor ``i``'s
+            output id in ``[0, m_i)``.
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> from repro.mechanisms import randomized_response
+        >>> joint = FactoredStrategy(
+        ...     (randomized_response(3, 1.0), randomized_response(4, 1.0))
+        ... )
+        >>> rows = np.array([[0, 1], [2, 3]])
+        >>> joint.sample_attribute_responses(
+        ...     rows, np.random.default_rng(0)
+        ... ).shape
+        (2, 2)
+        """
+        attribute_rows = np.asarray(attribute_rows)
+        if attribute_rows.ndim != 2 or attribute_rows.shape[1] != len(self.factors):
+            raise StochasticityError(
+                f"attribute rows must have shape (N, {len(self.factors)}), "
+                f"got {attribute_rows.shape}"
+            )
+        responses = np.empty(attribute_rows.shape, dtype=np.int64)
+        for index, factor in enumerate(self.factors):
+            responses[:, index] = factor.sample_responses(
+                attribute_rows[:, index], rng, chunk_size=chunk_size
+            )
+        return responses
+
+    def flatten_responses(self, responses: np.ndarray) -> np.ndarray:
+        """Mixed-radix flat output ids (attribute 0 fastest-varying).
+
+        Maps per-attribute responses to the row index the materialized
+        joint strategy would have produced — the bridge for equivalence
+        tests against the dense protocol path.
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> from repro.mechanisms import randomized_response
+        >>> joint = FactoredStrategy(
+        ...     (randomized_response(3, 1.0), randomized_response(4, 1.0))
+        ... )
+        >>> joint.flatten_responses(np.array([[2, 3]]))
+        array([11])
+        """
+        responses = np.asarray(responses, dtype=np.int64)
+        flat = np.zeros(responses.shape[0], dtype=np.int64)
+        stride = 1
+        for index, size in enumerate(self.output_sizes):
+            flat += responses[:, index] * stride
+            stride *= size
+        return flat
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Serialize all factors to one ``.npz`` file."""
+        arrays = {
+            "format_magic": np.asarray(FACTORED_STRATEGY_MAGIC),
+            "name": np.asarray(self.name),
+            "num_factors": np.asarray(len(self.factors), dtype=np.int64),
+        }
+        for index, factor in enumerate(self.factors):
+            arrays[f"factor_{index}_probabilities"] = factor.probabilities
+            arrays[f"factor_{index}_epsilon"] = np.asarray(factor.epsilon)
+            arrays[f"factor_{index}_name"] = np.asarray(factor.name)
+        np.savez_compressed(path, **arrays)
+
+    @staticmethod
+    def load(path) -> "FactoredStrategy":
+        """Load a strategy saved with :meth:`save` (factors re-validated)."""
+        with np.load(path, allow_pickle=False) as archive:
+            if (
+                "format_magic" not in archive.files
+                or str(archive["format_magic"]) != FACTORED_STRATEGY_MAGIC
+            ):
+                raise StochasticityError(
+                    f"{path!r} is not a serialized FactoredStrategy"
+                )
+            factors = tuple(
+                StrategyMatrix(
+                    archive[f"factor_{index}_probabilities"],
+                    float(archive[f"factor_{index}_epsilon"]),
+                    str(archive[f"factor_{index}_name"]),
+                )
+                for index in range(int(archive["num_factors"]))
+            )
+            return FactoredStrategy(factors, name=str(archive["name"]))
+
+    def __repr__(self) -> str:
+        shapes = " x ".join(
+            f"{m}x{d}" for m, d in zip(self.output_sizes, self.domain_sizes)
+        )
+        return (
+            f"FactoredStrategy({shapes}, epsilon={self.epsilon:g}, "
+            f"name={self.name!r})"
+        )

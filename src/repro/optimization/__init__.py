@@ -11,7 +11,19 @@
 * :mod:`repro.optimization.search` — hyper-parameter sweeps (m, restarts).
 * :mod:`repro.optimization.restarts` — the parallel multi-restart driver
   with strategy-store read-through and warm starts.
+* :mod:`repro.optimization.factored` — Kronecker-factorized optimization
+  for product domains (per-factor PGD, alternating minimization).
 """
+
+from repro.optimization.factored import (
+    FACTORED_WORKLOADS,
+    FactoredOptimizationResult,
+    FactoredOptimizerConfig,
+    FactoredRestartReport,
+    factored_objective_value,
+    multi_restart_optimize_factored,
+    optimize_factored_strategy,
+)
 
 from repro.optimization.kernels import (
     OBJECTIVE_ENGINES,
@@ -60,6 +72,10 @@ from repro.optimization.search import (
 __all__ = [
     "DEFAULT_OUTPUT_FACTOR",
     "DEFAULT_WARM_START_LOG_RATIO",
+    "FACTORED_WORKLOADS",
+    "FactoredOptimizationResult",
+    "FactoredOptimizerConfig",
+    "FactoredRestartReport",
     "OBJECTIVE_ENGINES",
     "ObjectiveWorkspace",
     "OptimizationResult",
@@ -71,7 +87,10 @@ __all__ = [
     "RestartReport",
     "SweepPoint",
     "best_of_restarts",
+    "factored_objective_value",
     "multi_restart_optimize",
+    "multi_restart_optimize_factored",
+    "optimize_factored_strategy",
     "feasible_bounds",
     "initial_bounds",
     "initialize",

@@ -34,6 +34,11 @@ from repro.protocol.engine import (
     ACCUMULATOR_FORMAT_VERSION,
     ACCUMULATOR_MAGIC,
     BACKENDS,
+    FACTORED_ACCUMULATOR_FORMAT_VERSION,
+    FACTORED_ACCUMULATOR_MAGIC,
+    FactoredAccumulator,
+    FactoredProtocolResult,
+    FactoredProtocolSession,
     ProtocolResult,
     ProtocolSession,
     ShardAccumulator,
@@ -49,6 +54,11 @@ __all__ = [
     "AuditReport",
     "BACKENDS",
     "CostReport",
+    "FACTORED_ACCUMULATOR_FORMAT_VERSION",
+    "FACTORED_ACCUMULATOR_MAGIC",
+    "FactoredAccumulator",
+    "FactoredProtocolResult",
+    "FactoredProtocolSession",
     "LocalRandomizer",
     "ProtocolResult",
     "ProtocolSession",

@@ -678,3 +678,543 @@ class ProtocolSession:
             merged.histogram += histogram
             merged.num_reports += num_reports
         return self.finalize(merged)
+
+
+#: Magic string identifying a serialized :class:`FactoredAccumulator` payload.
+FACTORED_ACCUMULATOR_MAGIC = "repro/factored-accumulator"
+
+#: Serialization format version for factored accumulator payloads.
+FACTORED_ACCUMULATOR_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FactoredProtocolResult:
+    """Outcome of one factored protocol execution.
+
+    ``workload_estimates`` concatenates the per-subset marginal estimates in
+    the workload's block order — the same vector the dense
+    :class:`ProtocolSession` would produce for the same responses — while
+    ``marginal_estimates`` keys each flat marginal table by its attribute
+    subset.  There is deliberately no ``data_vector_estimate``: on domains
+    with millions of cells the length-``n`` vector ``x_hat`` is never
+    formed; every marginal is reconstructed factor-wise.
+    """
+
+    workload_estimates: np.ndarray
+    marginal_estimates: dict
+    num_users: int
+
+
+def _marginal_table_shape(
+    subset: tuple[int, ...], output_sizes: tuple[int, ...]
+) -> tuple[int, ...]:
+    """Axes of subset ``S``'s count tensor: attributes of ``S`` descending,
+    so the C-order flat layout has the smallest attribute fastest-varying —
+    the same order as the workload's marginal block rows."""
+    if not subset:
+        return (1,)
+    return tuple(output_sizes[a] for a in sorted(subset, reverse=True))
+
+
+def _fold_subset_counts(
+    responses: np.ndarray,
+    subset: tuple[int, ...],
+    output_sizes: tuple[int, ...],
+) -> np.ndarray:
+    """Count table of one subset from per-attribute responses ``(N, k)``."""
+    shape = _marginal_table_shape(subset, output_sizes)
+    if not subset:
+        return np.array([responses.shape[0]], dtype=np.int64)
+    flat = np.zeros(responses.shape[0], dtype=np.int64)
+    for attribute in sorted(subset, reverse=True):
+        flat = flat * output_sizes[attribute] + responses[:, attribute]
+    counts = np.bincount(flat, minlength=int(np.prod(shape)))
+    return counts.reshape(shape)
+
+
+class FactoredAccumulator:
+    """Mergeable aggregation state for a factored (per-attribute) protocol.
+
+    Instead of one length-``prod_i m_i`` histogram — unrepresentable on
+    product domains with millions of cells — this keeps one small integer
+    count tensor per workload marginal: table ``T_S[o_S]`` counts reports
+    whose responses on the attributes of ``S`` equal ``o_S``.  Because each
+    factor's reconstruction operator satisfies ``1^T B_i = 1^T`` (the core
+    ``A_i`` of a column-stochastic factor fixes the all-ones vector),
+    marginalizing the joint histogram over the attributes outside ``S``
+    *commutes with reconstruction*, so these tables are sufficient
+    statistics for every marginal estimate.  Counts are integers, so merges
+    are exact and order-independent, like :class:`ShardAccumulator`.
+
+    Parameters
+    ----------
+    output_sizes:
+        Per-attribute output alphabet sizes ``(m_0, ..., m_{k-1})``.
+    subsets:
+        The workload's attribute subsets (one count table each).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> left = FactoredAccumulator((2, 2), [(0,), (0, 1)])
+    >>> _ = left.add_responses(np.array([[0, 1], [1, 1]]))
+    >>> right = FactoredAccumulator((2, 2), [(0,), (0, 1)])
+    >>> _ = right.add_responses(np.array([[1, 0]]))
+    >>> merged = left.merge(right)
+    >>> merged.num_reports
+    3
+    >>> merged.tables[0]
+    array([1, 2])
+    """
+
+    __slots__ = ("output_sizes", "subsets", "tables", "num_reports")
+
+    def __init__(self, output_sizes, subsets) -> None:
+        output_sizes = tuple(int(size) for size in output_sizes)
+        if not output_sizes or min(output_sizes) < 1:
+            raise ProtocolError(
+                f"output sizes must be positive, got {output_sizes}"
+            )
+        canonical = [tuple(sorted(subset)) for subset in subsets]
+        if not canonical:
+            raise ProtocolError("needs at least one attribute subset")
+        for subset in canonical:
+            if any(not 0 <= a < len(output_sizes) for a in subset):
+                raise ProtocolError(f"subset {subset} outside the attributes")
+        self.output_sizes = output_sizes
+        self.subsets = canonical
+        self.tables = [
+            np.zeros(_marginal_table_shape(subset, output_sizes), dtype=np.int64)
+            for subset in canonical
+        ]
+        self.num_reports = 0
+
+    @property
+    def num_attributes(self) -> int:
+        return len(self.output_sizes)
+
+    def _check_compatible(self, other: "FactoredAccumulator") -> None:
+        if (
+            other.output_sizes != self.output_sizes
+            or other.subsets != self.subsets
+        ):
+            raise ProtocolError(
+                "cannot merge factored accumulators with different output "
+                "sizes or marginal subsets"
+            )
+
+    # -- folding in data ---------------------------------------------------
+
+    def add_responses(self, responses: np.ndarray) -> "FactoredAccumulator":
+        """Fold in per-attribute client responses of shape ``(N, k)``.
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> state = FactoredAccumulator((2, 3), [(1,)])
+        >>> state.add_responses(np.array([[0, 2], [1, 2]])).tables[0]
+        array([0, 0, 2])
+        """
+        responses = np.asarray(responses)
+        if responses.ndim != 2 or responses.shape[1] != self.num_attributes:
+            raise ProtocolError(
+                f"responses must have shape (N, {self.num_attributes}), "
+                f"got {responses.shape}"
+            )
+        if responses.size == 0:
+            return self
+        responses = responses.astype(np.int64, copy=False)
+        for index, size in enumerate(self.output_sizes):
+            column = responses[:, index]
+            if column.min() < 0 or column.max() >= size:
+                raise ProtocolError(
+                    f"attribute {index} response outside [0, {size})"
+                )
+        for table, subset in zip(self.tables, self.subsets):
+            table += _fold_subset_counts(responses, subset, self.output_sizes)
+        self.num_reports += int(responses.shape[0])
+        return self
+
+    # -- monoid structure --------------------------------------------------
+
+    def merge(self, other: "FactoredAccumulator") -> "FactoredAccumulator":
+        """Combine two shard states (commutative, associative, exact)."""
+        self._check_compatible(other)
+        merged = FactoredAccumulator(self.output_sizes, self.subsets)
+        merged.tables = [
+            mine + theirs for mine, theirs in zip(self.tables, other.tables)
+        ]
+        merged.num_reports = self.num_reports + other.num_reports
+        return merged
+
+    @staticmethod
+    def merge_all(accumulators) -> "FactoredAccumulator":
+        """Fold any number of shard states into one."""
+        accumulators = list(accumulators)
+        if not accumulators:
+            raise ProtocolError("cannot merge zero accumulators")
+        merged = accumulators[0].snapshot()
+        for accumulator in accumulators[1:]:
+            merged._check_compatible(accumulator)
+            for mine, theirs in zip(merged.tables, accumulator.tables):
+                mine += theirs
+            merged.num_reports += accumulator.num_reports
+        return merged
+
+    def snapshot(self) -> "FactoredAccumulator":
+        """An independent copy of the current state."""
+        copy = FactoredAccumulator(self.output_sizes, self.subsets)
+        copy.tables = [table.copy() for table in self.tables]
+        copy.num_reports = self.num_reports
+        return copy
+
+    # -- serialization -----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize to a compact ``.npz`` byte string.
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> original = FactoredAccumulator((2, 2), [(0, 1)])
+        >>> _ = original.add_responses(np.array([[1, 0]]))
+        >>> FactoredAccumulator.from_bytes(original.to_bytes()) == original
+        True
+        """
+        arrays = {
+            "format_magic": np.asarray(FACTORED_ACCUMULATOR_MAGIC),
+            "format_version": np.asarray(
+                FACTORED_ACCUMULATOR_FORMAT_VERSION, dtype=np.int64
+            ),
+            "output_sizes": np.asarray(self.output_sizes, dtype=np.int64),
+            "num_reports": np.asarray(self.num_reports, dtype=np.int64),
+            "num_subsets": np.asarray(len(self.subsets), dtype=np.int64),
+        }
+        for index, (subset, table) in enumerate(zip(self.subsets, self.tables)):
+            arrays[f"subset_{index}"] = np.asarray(subset, dtype=np.int64)
+            arrays[f"table_{index}"] = table
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **arrays)
+        return buffer.getvalue()
+
+    @staticmethod
+    def from_bytes(payload: bytes) -> "FactoredAccumulator":
+        """Inverse of :meth:`to_bytes` (magic/version checked first)."""
+        try:
+            with np.load(io.BytesIO(payload), allow_pickle=False) as archive:
+                magic = str(archive["format_magic"])
+                if magic != FACTORED_ACCUMULATOR_MAGIC:
+                    raise ProtocolError(
+                        f"payload magic {magic!r} is not a serialized "
+                        "FactoredAccumulator (expected "
+                        f"{FACTORED_ACCUMULATOR_MAGIC!r})"
+                    )
+                version = int(archive["format_version"])
+                if version != FACTORED_ACCUMULATOR_FORMAT_VERSION:
+                    raise ProtocolError(
+                        f"FactoredAccumulator payload has format version "
+                        f"{version}; this library reads version "
+                        f"{FACTORED_ACCUMULATOR_FORMAT_VERSION}"
+                    )
+                output_sizes = tuple(
+                    int(size) for size in archive["output_sizes"]
+                )
+                subsets = [
+                    tuple(int(a) for a in archive[f"subset_{index}"])
+                    for index in range(int(archive["num_subsets"]))
+                ]
+                tables = [
+                    np.asarray(archive[f"table_{index}"], dtype=np.int64)
+                    for index in range(len(subsets))
+                ]
+                num_reports = int(archive["num_reports"])
+        except ProtocolError:
+            raise
+        except Exception as error:  # zip damage, missing fields, bad dtypes
+            raise ProtocolError(
+                f"payload is not a serialized FactoredAccumulator: {error}"
+            )
+        accumulator = FactoredAccumulator(output_sizes, subsets)
+        for mine, loaded in zip(accumulator.tables, tables):
+            if loaded.shape != mine.shape or loaded.min() < 0:
+                raise ProtocolError(
+                    "serialized factored accumulator has a corrupt count table"
+                )
+            mine += loaded
+        if num_reports < 0:
+            raise ProtocolError("serialized accumulator has negative counts")
+        accumulator.num_reports = num_reports
+        return accumulator
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, FactoredAccumulator):
+            return NotImplemented
+        return (
+            self.output_sizes == other.output_sizes
+            and self.subsets == other.subsets
+            and self.num_reports == other.num_reports
+            and all(
+                np.array_equal(mine, theirs)
+                for mine, theirs in zip(self.tables, other.tables)
+            )
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FactoredAccumulator(output_sizes={self.output_sizes}, "
+            f"subsets={len(self.subsets)}, num_reports={self.num_reports})"
+        )
+
+
+def _run_factored_shard(
+    strategy,
+    attribute_rows: np.ndarray,
+    subsets,
+    seed_sequence: np.random.SeedSequence | None,
+    rng: np.random.Generator | None,
+    chunk_size: int,
+) -> "FactoredAccumulator":
+    """Randomize one shard of users; module-level so pools can pickle it."""
+    if rng is None:
+        rng = np.random.default_rng(seed_sequence)
+    accumulator = FactoredAccumulator(strategy.output_sizes, subsets)
+    for start in range(0, attribute_rows.shape[0], chunk_size):
+        chunk = attribute_rows[start : start + chunk_size]
+        accumulator.add_responses(
+            strategy.sample_attribute_responses(chunk, rng, chunk_size=chunk_size)
+        )
+    return accumulator
+
+
+@dataclass(frozen=True)
+class FactoredProtocolSession:
+    """Marginal collection over a product domain, entirely factor-wise.
+
+    The factored counterpart of :class:`ProtocolSession`: binds a
+    :class:`~repro.mechanisms.factored.FactoredStrategy` to a
+    :class:`~repro.workloads.kron.ProductMarginalsWorkload` and answers
+    every requested marginal without materializing any joint object — no
+    ``m x n`` strategy, no length-``m`` histogram, no length-``n``
+    ``x_hat``.  Memory is ``O(sum_i m_i d_i)`` for the per-factor
+    reconstruction operators plus one small count table per marginal, so
+    domains with millions of cells run comfortably.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.mechanisms import FactoredStrategy, randomized_response
+    >>> from repro.workloads import k_way_product_marginals
+    >>> strategy = FactoredStrategy(
+    ...     (randomized_response(3, 0.5), randomized_response(4, 0.5))
+    ... )
+    >>> session = FactoredProtocolSession(
+    ...     strategy, k_way_product_marginals((3, 4), 1)
+    ... )
+    >>> rows = np.array([[0, 1], [2, 3], [2, 3]])
+    >>> result = session.run(rows, seed=0)
+    >>> result.num_users
+    3
+    >>> result.workload_estimates.shape
+    (7,)
+    """
+
+    strategy: object
+    workload: object
+
+    def __post_init__(self) -> None:
+        from repro.mechanisms.factored import FactoredStrategy
+        from repro.workloads.kron import ProductMarginalsWorkload
+
+        if not isinstance(self.strategy, FactoredStrategy):
+            raise ProtocolError(
+                "FactoredProtocolSession needs a FactoredStrategy, got "
+                f"{type(self.strategy).__name__}"
+            )
+        if not isinstance(self.workload, ProductMarginalsWorkload):
+            raise ProtocolError(
+                "FactoredProtocolSession needs a ProductMarginalsWorkload, "
+                f"got {type(self.workload).__name__}"
+            )
+        domain_sizes = tuple(self.workload.product_domain.sizes)
+        if domain_sizes != self.strategy.domain_sizes:
+            raise ProtocolError(
+                f"workload attribute sizes {domain_sizes} != strategy "
+                f"attribute sizes {self.strategy.domain_sizes}"
+            )
+        # Computes and caches the per-factor Theorem 3.10 operators now, so
+        # a malformed factor fails here rather than inside a worker.
+        self.strategy.reconstruction_factors()
+
+    @property
+    def epsilon(self) -> float:
+        """The composed privacy budget of the factored strategy."""
+        return self.strategy.epsilon
+
+    @property
+    def domain_size(self) -> int:
+        return self.strategy.domain_size
+
+    # -- shard-level API ---------------------------------------------------
+
+    def new_accumulator(self) -> FactoredAccumulator:
+        """A fresh, empty shard state for this session."""
+        return FactoredAccumulator(
+            self.strategy.output_sizes, self.workload.subsets
+        )
+
+    def randomize_shard(
+        self,
+        attribute_rows: np.ndarray,
+        rng: np.random.Generator | None = None,
+        chunk_size: int = DEFAULT_SAMPLE_CHUNK,
+    ) -> FactoredAccumulator:
+        """Randomize one batch of users (rows of per-attribute types)."""
+        rng = rng or np.random.default_rng()
+        if chunk_size < 1:
+            raise ProtocolError(f"chunk size must be >= 1, got {chunk_size}")
+        attribute_rows = np.asarray(attribute_rows)
+        return _run_factored_shard(
+            self.strategy,
+            attribute_rows,
+            self.workload.subsets,
+            None,
+            rng,
+            chunk_size,
+        )
+
+    def finalize(self, accumulator: FactoredAccumulator) -> FactoredProtocolResult:
+        """Reconstruct every marginal from a (possibly merged) shard state.
+
+        Subset ``S``'s estimate is ``(B_{i_r} (x) ... (x) B_{i_1})``
+        applied to its count table (attributes sorted ascending; the
+        all-ones rows of the attributes outside ``S`` drop out exactly
+        because ``1^T B_i = 1^T``).
+        """
+        from repro.linalg import KronOperator
+
+        expected = self.new_accumulator()
+        if (
+            accumulator.output_sizes != expected.output_sizes
+            or accumulator.subsets != expected.subsets
+        ):
+            raise ProtocolError(
+                "accumulator does not match this session's strategy outputs "
+                "and workload subsets"
+            )
+        operators = self.strategy.reconstruction_factors()
+        estimates: dict = {}
+        pieces = []
+        for subset, table in zip(accumulator.subsets, accumulator.tables):
+            if not subset:
+                estimate = table.astype(float)
+            else:
+                joint = KronOperator([operators[a] for a in subset])
+                estimate = joint.matvec(table.ravel().astype(float))
+            estimates[subset] = estimate
+            pieces.append(estimate)
+        return FactoredProtocolResult(
+            workload_estimates=np.concatenate(pieces),
+            marginal_estimates=estimates,
+            num_users=accumulator.num_reports,
+        )
+
+    # -- one-call execution ------------------------------------------------
+
+    def run(
+        self,
+        attribute_rows: np.ndarray,
+        *,
+        num_shards: int = 1,
+        num_workers: int | None = None,
+        backend: str = "serial",
+        seed: int | np.random.SeedSequence | None = None,
+        rng: np.random.Generator | None = None,
+        chunk_size: int = DEFAULT_SAMPLE_CHUNK,
+    ) -> FactoredProtocolResult:
+        """Execute the full factored protocol over a user table.
+
+        Parameters
+        ----------
+        attribute_rows:
+            Integer array of shape ``(N, k)``; row ``u`` holds user ``u``'s
+            per-attribute types (users are *rows*, never a flat histogram —
+            the flat domain may be too large to index).
+        num_shards / num_workers / backend:
+            Sharding knobs, as in :meth:`ProtocolSession.run`; shards are
+            contiguous row ranges, so the merged tables are bit-identical
+            across backends and merge orders for a fixed ``seed``.
+        seed / rng:
+            Root seed (each shard's generator spawned from it), or a legacy
+            single generator (serial, one shard only).
+        chunk_size:
+            Sampler block size.
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> from repro.mechanisms import FactoredStrategy, randomized_response
+        >>> from repro.workloads import k_way_product_marginals
+        >>> strategy = FactoredStrategy(
+        ...     (randomized_response(2, 1.0), randomized_response(2, 1.0))
+        ... )
+        >>> session = FactoredProtocolSession(
+        ...     strategy, k_way_product_marginals((2, 2), 2)
+        ... )
+        >>> rows = np.tile([[0, 1]], (30, 1))
+        >>> a = session.run(rows, num_shards=3, backend="serial", seed=7)
+        >>> b = session.run(rows, num_shards=3, backend="thread", seed=7)
+        >>> bool(np.array_equal(a.workload_estimates, b.workload_estimates))
+        True
+        """
+        if backend not in BACKENDS:
+            raise ProtocolError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        if chunk_size < 1:
+            raise ProtocolError(f"chunk size must be >= 1, got {chunk_size}")
+        if num_shards < 1:
+            raise ProtocolError(f"need >= 1 shard, got {num_shards}")
+        if rng is not None:
+            if seed is not None:
+                raise ProtocolError("pass either rng or seed, not both")
+            if num_shards != 1 or backend != "serial":
+                raise ProtocolError(
+                    "an explicit rng only supports num_shards=1 on the "
+                    "serial backend; use seed= for sharded runs"
+                )
+        attribute_rows = np.asarray(attribute_rows)
+        if (
+            attribute_rows.ndim != 2
+            or attribute_rows.shape[1] != self.strategy.num_attributes
+        ):
+            raise ProtocolError(
+                f"attribute rows must have shape "
+                f"(N, {self.strategy.num_attributes}), got "
+                f"{attribute_rows.shape}"
+            )
+        shards = np.array_split(attribute_rows, num_shards)
+        if rng is not None:
+            generators: list[np.random.SeedSequence | None] = [None]
+        else:
+            root = (
+                seed
+                if isinstance(seed, np.random.SeedSequence)
+                else np.random.SeedSequence(seed)
+            )
+            generators = list(root.spawn(num_shards))
+        jobs = [
+            (self.strategy, shard, self.workload.subsets, sequence, rng, chunk_size)
+            for shard, sequence in zip(shards, generators)
+        ]
+        if backend == "serial" or num_shards == 1:
+            partials = [_run_factored_shard(*job) for job in jobs]
+        else:
+            max_workers = num_shards if num_workers is None else num_workers
+            if max_workers < 1:
+                raise ProtocolError(f"need >= 1 worker, got {max_workers}")
+            pool_type = (
+                ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
+            )
+            with pool_type(max_workers=max_workers) as pool:
+                partials = list(pool.map(_run_factored_shard, *zip(*jobs)))
+        return self.finalize(FactoredAccumulator.merge_all(partials))

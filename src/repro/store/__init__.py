@@ -20,8 +20,10 @@ from repro.store.keys import (
     StrategyKey,
     canonical_epsilon,
     config_fingerprint,
+    factored_fingerprint,
     gram_fingerprint,
     key_for,
+    key_for_factored,
 )
 from repro.store.store import (
     STORE_ENV_VAR,
@@ -41,6 +43,8 @@ __all__ = [
     "canonical_epsilon",
     "config_fingerprint",
     "default_store_path",
+    "factored_fingerprint",
     "gram_fingerprint",
     "key_for",
+    "key_for_factored",
 ]

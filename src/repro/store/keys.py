@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, fields, is_dataclass
 
 import numpy as np
 
@@ -87,6 +87,17 @@ def _canonical_value(value):
         return {"ndarray": _sha256(array.tobytes()), "shape": list(array.shape)}
     if isinstance(value, (list, tuple)):
         return [_canonical_value(item) for item in value]
+    if is_dataclass(value) and not isinstance(value, type):
+        # Nested configs (e.g. FactoredOptimizerConfig.base) canonicalize
+        # field-wise, tagged with the class name so two config types whose
+        # fields happen to coincide never share a fingerprint.
+        return {
+            "dataclass": type(value).__name__,
+            "fields": {
+                field.name: _canonical_value(getattr(value, field.name))
+                for field in fields(value)
+            },
+        }
     raise StoreError(
         f"cannot canonicalize config value of type {type(value).__name__}"
     )
@@ -210,4 +221,85 @@ def key_for(
         domain_size=gram.shape[0],
         epsilon=canonical_epsilon(epsilon),
         config_hash=config_fingerprint(config, **extras),
+    )
+
+
+def factored_fingerprint(workload) -> str:
+    """Structural SHA-256 of a factored workload — no flat Gram involved.
+
+    The dense :func:`gram_fingerprint` hashes the raw ``n x n`` Gram bytes,
+    which does not exist for product domains with millions of cells.  This
+    fingerprint instead hashes the workload's *factored structure*: for a
+    :class:`~repro.workloads.kron.KronWorkload`, the per-factor Gram hashes
+    (which determine the flat Gram exactly); for a
+    :class:`~repro.workloads.kron.ProductMarginalsWorkload`, the attribute
+    sizes and subsets (which determine every block).  The hashed payload is
+    a tagged JSON document, never raw matrix bytes, so a factored
+    fingerprint cannot collide with any dense Gram fingerprint — and store
+    records additionally carry an explicit ``kind`` column.
+
+    Examples
+    --------
+    >>> from repro.workloads import k_way_product_marginals
+    >>> a = factored_fingerprint(k_way_product_marginals((3, 4, 2), 2))
+    >>> a == factored_fingerprint(k_way_product_marginals((3, 4, 2), 2))
+    True
+    >>> a == factored_fingerprint(k_way_product_marginals((3, 4, 2), 1))
+    False
+    """
+    from repro.workloads.kron import KronWorkload, ProductMarginalsWorkload
+
+    if isinstance(workload, ProductMarginalsWorkload):
+        payload = {
+            "kind": "product-marginals",
+            "sizes": list(workload.product_domain.sizes),
+            "subsets": [list(subset) for subset in workload.subsets],
+        }
+    elif isinstance(workload, KronWorkload):
+        payload = {
+            "kind": "kron",
+            "factor_grams": [
+                _sha256(np.ascontiguousarray(gram, dtype=float).tobytes())
+                for gram in workload.factor_grams()
+            ],
+        }
+    else:
+        raise StoreError(
+            "factored fingerprints need a KronWorkload or "
+            f"ProductMarginalsWorkload, got {type(workload).__name__}"
+        )
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return _sha256(b"factored:" + encoded.encode("utf-8"))
+
+
+def key_for_factored(workload, epsilon: float, config, **extras) -> StrategyKey:
+    """The :class:`StrategyKey` of one *factored* optimization problem.
+
+    Addressed by the structural :func:`factored_fingerprint` plus the
+    canonicalized :class:`~repro.optimization.factored.FactoredOptimizerConfig`
+    (nested dataclasses hash field-wise), with ``factored=True`` folded into
+    the config hash so a factored build can never answer a dense lookup or
+    vice versa.
+
+    Examples
+    --------
+    >>> from repro.optimization import (
+    ...     FactoredOptimizerConfig, OptimizerConfig
+    ... )
+    >>> from repro.workloads import k_way_product_marginals
+    >>> workload = k_way_product_marginals((3, 4, 2), 2)
+    >>> config = FactoredOptimizerConfig(
+    ...     base=OptimizerConfig(num_iterations=50, seed=0)
+    ... )
+    >>> key = key_for_factored(workload, 1.0, config)
+    >>> key.domain_size
+    24
+    >>> key == key_for_factored(workload, 1.0, config)
+    True
+    """
+    return StrategyKey(
+        gram_hash=factored_fingerprint(workload),
+        domain_size=workload.domain_size,
+        epsilon=canonical_epsilon(epsilon),
+        config_hash=config_fingerprint(config, factored=True, **extras),
     )

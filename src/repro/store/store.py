@@ -35,7 +35,7 @@ import os
 import tempfile
 import time
 from contextlib import contextmanager
-from dataclasses import asdict, dataclass, fields
+from dataclasses import MISSING, asdict, dataclass, fields
 from pathlib import Path
 
 import numpy as np
@@ -120,6 +120,10 @@ class StoreRecord:
     created_at: float
     last_used_at: float
     library_version: str
+    #: ``"dense"`` for ordinary strategy matrices, ``"factored"`` for
+    #: Kronecker-factorized builds; defaulted so indexes written before the
+    #: column existed still parse.
+    kind: str = "dense"
 
     @property
     def key(self) -> StrategyKey:
@@ -252,11 +256,15 @@ class StrategyStore:
 
     @staticmethod
     def _record_from_row(row: dict) -> StoreRecord:
-        known = {field.name for field in fields(StoreRecord)}
-        try:
-            return StoreRecord(**{name: row[name] for name in known})
-        except KeyError as error:
-            raise StoreError(f"index row missing field {error}")
+        values = {}
+        for field in fields(StoreRecord):
+            if field.name in row:
+                values[field.name] = row[field.name]
+            elif field.default is not MISSING:
+                values[field.name] = field.default
+            else:
+                raise StoreError(f"index row missing field {field.name!r}")
+        return StoreRecord(**values)
 
     # -- write path --------------------------------------------------------
 
@@ -359,6 +367,11 @@ class StrategyStore:
         row = self._read_index().get(key.entry_id)
         if row is None:
             return None
+        if row.get("kind", "dense") != "dense":
+            # A factored build can share an id only through a hash-level
+            # accident; never decode it on the dense path (and never evict a
+            # healthy entry over a type mismatch).
+            return None
         try:
             result = self._load_validated(self._record_from_row(row))
         except StoreError:
@@ -389,6 +402,11 @@ class StrategyStore:
 
     def _load_validated(self, record: StoreRecord) -> OptimizationResult:
         entry_id = record.entry_id
+        if record.kind != "dense":
+            raise StoreError(
+                f"store entry {entry_id!r} holds a {record.kind} strategy; "
+                "use load_factored()/get_factored() for factored entries"
+            )
         path = self.entry_path(entry_id)
         if not path.exists():
             raise StoreError(f"store entry {entry_id!r} payload is missing")
@@ -423,6 +441,188 @@ class StrategyStore:
             raise StoreError(f"store entry {entry_id!r} is corrupt: {error}")
         return result
 
+    # -- factored write/read paths ------------------------------------------
+
+    def put_factored(
+        self,
+        key: StrategyKey,
+        result,
+        workload: str | Workload | None = None,
+        config=None,
+        notes: dict | None = None,
+    ) -> StoreRecord:
+        """Persist a factored optimization result under ``key`` (overwrites).
+
+        The payload stores only the per-factor matrices — ``O(sum_i m_i
+        d_i)`` bytes however large the flat domain — plus the joint
+        objective, the budget split, and the same provenance block as
+        :meth:`put`.  The index row carries ``kind="factored"`` so dense
+        lookups can never decode it.
+        """
+        strategy = result.strategy
+        if canonical_epsilon(strategy.epsilon) != key.epsilon:
+            raise StoreError(
+                f"result epsilon {strategy.epsilon!r} does not match "
+                f"key epsilon {key.epsilon!r}"
+            )
+        if strategy.domain_size != key.domain_size:
+            raise StoreError(
+                f"result domain {strategy.domain_size} does not match "
+                f"key domain {key.domain_size}"
+            )
+        if isinstance(workload, Workload):
+            workload = workload.name
+        config_provenance = None
+        if config is not None:
+            config_provenance = {
+                field.name: _canonical_value(getattr(config, field.name))
+                for field in fields(config)
+            }
+        import io
+
+        arrays = {
+            "store_version": np.asarray(STORE_VERSION),
+            "kind": np.asarray("factored"),
+            "num_factors": np.asarray(strategy.num_attributes, dtype=np.int64),
+            "objective": np.asarray(result.objective),
+            "factor_objectives": np.asarray(result.factor_objectives, dtype=float),
+            "epsilon_split": np.asarray(result.epsilon_split, dtype=float),
+            "rounds_run": np.asarray(result.rounds_run, dtype=np.int64),
+            "iterations_run": np.asarray(result.iterations_run, dtype=np.int64),
+            "epsilon": np.asarray(key.epsilon),
+            "gram_hash": np.asarray(key.gram_hash),
+            "config_hash": np.asarray(key.config_hash),
+            "strategy_name": np.asarray(strategy.name),
+            "config_json": np.asarray(json.dumps(config_provenance, sort_keys=True)),
+            "notes_json": np.asarray(json.dumps(notes or {}, sort_keys=True)),
+            "library_version": np.asarray(_library_version()),
+        }
+        for index, factor in enumerate(strategy.factors):
+            arrays[f"factor_{index}_probabilities"] = factor.probabilities
+            arrays[f"factor_{index}_epsilon"] = np.asarray(factor.epsilon)
+            arrays[f"factor_{index}_name"] = np.asarray(factor.name)
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **arrays)
+        payload = buffer.getvalue()
+        path = self.entry_path(key.entry_id)
+        _atomic_write_bytes(path, payload)
+
+        now = time.time()
+        record = StoreRecord(
+            entry_id=key.entry_id,
+            gram_hash=key.gram_hash,
+            domain_size=key.domain_size,
+            epsilon=key.epsilon,
+            config_hash=key.config_hash,
+            workload=workload,
+            num_outputs=strategy.num_outputs,
+            objective=float(result.objective),
+            iterations_run=int(result.iterations_run),
+            step_size=0.0,
+            payload_sha256=_sha256_bytes(payload),
+            size_bytes=len(payload),
+            created_at=now,
+            last_used_at=now,
+            library_version=_library_version(),
+            kind="factored",
+        )
+        with self._index_lock():
+            entries = self._read_index()
+            entries[key.entry_id] = asdict(record)
+            self._write_index(entries)
+        return record
+
+    def get_factored(self, key: StrategyKey):
+        """Look up a factored result by exact key; ``None`` on miss.
+
+        Same degradation contract as :meth:`get`: corrupt entries are
+        evicted and reported as misses, dense entries under the id are
+        misses (never evicted), LRU touch is best-effort.
+        """
+        row = self._read_index().get(key.entry_id)
+        if row is None or row.get("kind", "dense") != "factored":
+            return None
+        try:
+            result = self._load_factored_validated(self._record_from_row(row))
+        except StoreError:
+            self.discard(key.entry_id)
+            return None
+        try:
+            with self._index_lock():
+                entries = self._read_index()
+                touched = entries.get(key.entry_id)
+                if touched is not None:
+                    touched["last_used_at"] = time.time()
+                    self._write_index(entries)
+        except (OSError, StoreError):
+            pass
+        return result
+
+    def load_factored(self, entry_id: str):
+        """Load one factored entry by id, verifying integrity; raises on
+        damage or when the entry holds a dense strategy."""
+        record = self.record(entry_id)
+        if record.kind != "factored":
+            raise StoreError(
+                f"store entry {entry_id!r} holds a {record.kind} strategy; "
+                "use load() for dense entries"
+            )
+        return self._load_factored_validated(record)
+
+    def _load_factored_validated(self, record: StoreRecord):
+        from repro.mechanisms.factored import FactoredStrategy
+        from repro.optimization.factored import FactoredOptimizationResult
+
+        entry_id = record.entry_id
+        path = self.entry_path(entry_id)
+        if not path.exists():
+            raise StoreError(f"store entry {entry_id!r} payload is missing")
+        if _sha256_file(path) != record.payload_sha256:
+            raise StoreError(
+                f"store entry {entry_id!r} failed its checksum "
+                "(truncated or tampered payload)"
+            )
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                if int(archive["store_version"]) != STORE_VERSION:
+                    raise StoreError(
+                        f"entry {entry_id!r} has store version "
+                        f"{int(archive['store_version'])}, expected {STORE_VERSION}"
+                    )
+                if str(archive["kind"]) != "factored":
+                    raise StoreError(
+                        f"entry {entry_id!r} payload kind "
+                        f"{str(archive['kind'])!r} != 'factored'"
+                    )
+                factors = tuple(
+                    StrategyMatrix(
+                        archive[f"factor_{index}_probabilities"],
+                        float(archive[f"factor_{index}_epsilon"]),
+                        name=str(archive[f"factor_{index}_name"]),
+                    )
+                    for index in range(int(archive["num_factors"]))
+                )
+                strategy = FactoredStrategy(
+                    factors, name=str(archive["strategy_name"])
+                )
+                result = FactoredOptimizationResult(
+                    strategy=strategy,
+                    objective=float(archive["objective"]),
+                    factor_objectives=[
+                        float(value) for value in archive["factor_objectives"]
+                    ],
+                    epsilon_split=tuple(
+                        float(value) for value in archive["epsilon_split"]
+                    ),
+                    rounds_run=int(archive["rounds_run"]),
+                    iterations_run=int(archive["iterations_run"]),
+                )
+        except StoreError:
+            raise
+        except Exception as error:  # zip damage, missing fields, bad matrix
+            raise StoreError(f"store entry {entry_id!r} is corrupt: {error}")
+        return result
+
     def provenance(self, entry_id: str) -> dict:
         """The provenance block of one entry (config, versions, hashes)."""
         record = self.record(entry_id)
@@ -436,7 +636,11 @@ class StrategyStore:
                     else "{}"
                 )
                 library_version = str(archive["library_version"])
-                history = np.asarray(archive["history"], dtype=float)
+                history = (
+                    np.asarray(archive["history"], dtype=float)
+                    if "history" in archive.files
+                    else np.zeros(0)
+                )
         except Exception as error:
             raise StoreError(f"store entry {entry_id!r} is corrupt: {error}")
         return {
@@ -484,6 +688,25 @@ class StrategyStore:
             for record in self.records()
             if record.gram_hash == target_hash
             and record.epsilon == target_epsilon
+            and record.kind == "dense"
+        ]
+        if not matches:
+            return None
+        return min(matches, key=lambda record: record.objective)
+
+    def best_factored_for(self, workload, epsilon: float) -> StoreRecord | None:
+        """The lowest-objective *factored* entry for a factored workload and
+        budget, any configuration (the deployment-side factored query)."""
+        from repro.store.keys import factored_fingerprint
+
+        target_hash = factored_fingerprint(workload)
+        target_epsilon = canonical_epsilon(epsilon)
+        matches = [
+            record
+            for record in self.records()
+            if record.gram_hash == target_hash
+            and record.epsilon == target_epsilon
+            and record.kind == "factored"
         ]
         if not matches:
             return None
@@ -507,7 +730,7 @@ class StrategyStore:
         best: StoreRecord | None = None
         best_distance = max_log_ratio
         for record in self.records():
-            if record.gram_hash != target_hash:
+            if record.gram_hash != target_hash or record.kind != "dense":
                 continue
             distance = abs(float(np.log(record.epsilon / target_epsilon)))
             if distance <= best_distance:

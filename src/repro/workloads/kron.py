@@ -20,38 +20,18 @@ Conventions: attribute 0 is the fastest-varying index of the flat domain
 
 from __future__ import annotations
 
-from functools import reduce
 from itertools import combinations
 
 import numpy as np
 
 from repro.domains import ProductDomain
 from repro.exceptions import WorkloadError
+from repro.linalg.kron import (
+    apply_kron_factors as _apply_factors,
+    check_dense_allocation,
+    dense_kron as _kron_all,
+)
 from repro.workloads.base import MAX_EXPLICIT_ENTRIES, Workload
-
-
-def _kron_all(factors: list[np.ndarray]) -> np.ndarray:
-    """``kron(F_{k-1}, ..., F_0)`` for factors listed attribute-0 first."""
-    return reduce(np.kron, reversed(factors))
-
-
-def _apply_factors(factors: list[np.ndarray], x: np.ndarray) -> np.ndarray:
-    """Apply ``kron(F_{k-1}, ..., F_0)`` to a flat vector factor-wise.
-
-    Reshapes ``x`` into a tensor with attribute ``k-1`` as the leading axis
-    (C order matches the mixed-radix convention) and contracts each factor
-    along its own axis — far cheaper than forming the full product.
-    """
-    shape = [factor.shape[1] for factor in reversed(factors)]
-    tensor = np.asarray(x, dtype=float).reshape(shape)
-    for axis, factor in enumerate(reversed(factors)):
-        moved = np.moveaxis(tensor, axis, 0)
-        tail_shape = moved.shape[1:]
-        applied = factor @ moved.reshape(factor.shape[1], -1)
-        tensor = np.moveaxis(
-            applied.reshape((factor.shape[0],) + tail_shape), 0, axis
-        )
-    return tensor.reshape(-1)
 
 
 class KronWorkload(Workload):
@@ -62,6 +42,11 @@ class KronWorkload(Workload):
     factors:
         One query matrix per attribute, attribute 0 first; factor ``i`` has
         shape ``(p_i, d_i)``.
+    max_explicit_entries:
+        Cell cap for ``matrix`` and the dense ``gram()``; exceeding it
+        raises :class:`~repro.exceptions.AllocationCapError` (a
+        ``ValueError`` naming the would-be allocation) instead of
+        attempting a multi-GB ``np.kron``.
 
     Examples
     --------
@@ -71,13 +56,19 @@ class KronWorkload(Workload):
     (6, 6)
     """
 
-    def __init__(self, factors: list[np.ndarray], name: str = "Kron") -> None:
+    def __init__(
+        self,
+        factors: list[np.ndarray],
+        name: str = "Kron",
+        max_explicit_entries: int = MAX_EXPLICIT_ENTRIES,
+    ) -> None:
         if not factors:
             raise WorkloadError("KronWorkload needs at least one factor")
         self.factors = [np.asarray(factor, dtype=float) for factor in factors]
         for factor in self.factors:
             if factor.ndim != 2:
                 raise WorkloadError("Kron factors must be 2-D matrices")
+        self.max_explicit_entries = max_explicit_entries
         num_queries = 1
         domain_size = 1
         for factor in self.factors:
@@ -87,15 +78,33 @@ class KronWorkload(Workload):
 
     @property
     def matrix(self) -> np.ndarray:
-        if self.num_queries * self.domain_size > MAX_EXPLICIT_ENTRIES:
-            raise WorkloadError(
-                f"Kron workload with {self.num_queries}x{self.domain_size} "
-                "entries exceeds the explicit limit; use gram()/matvec()"
-            )
-        return _kron_all(self.factors)
+        return _kron_all(
+            self.factors, self.max_explicit_entries, what="Kron workload matrix"
+        )
+
+    def factor_grams(self) -> list[np.ndarray]:
+        """Per-factor Gram matrices ``C_i = F_i^T F_i`` (attribute 0 first).
+
+        The flat Gram factorizes as ``C = C_{k-1} (x) ... (x) C_0``; the
+        factored optimizer and huge-domain paths consume this list and
+        never form the flat product.
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> workload = KronWorkload([np.eye(2), np.ones((1, 3))])
+        >>> [gram.shape for gram in workload.factor_grams()]
+        [(2, 2), (3, 3)]
+        """
+        return [factor.T @ factor for factor in self.factors]
 
     def _compute_gram(self) -> np.ndarray:
-        return _kron_all([factor.T @ factor for factor in self.factors])
+        check_dense_allocation(
+            (self.domain_size, self.domain_size),
+            self.max_explicit_entries,
+            what="Kron workload Gram matrix",
+        )
+        return _kron_all(self.factor_grams(), max_entries=None)
 
     def frobenius_norm_squared(self) -> float:
         product = 1.0
@@ -129,6 +138,7 @@ class ProductMarginalsWorkload(Workload):
         domain: ProductDomain,
         subsets: list[tuple[int, ...]],
         name: str = "ProductMarginals",
+        max_explicit_entries: int = MAX_EXPLICIT_ENTRIES,
     ) -> None:
         if not subsets:
             raise WorkloadError("needs at least one attribute subset")
@@ -139,8 +149,13 @@ class ProductMarginalsWorkload(Workload):
                 raise WorkloadError(f"subset {subset} repeats an attribute")
         self.product_domain = domain
         self.subsets = [tuple(sorted(subset)) for subset in subsets]
+        self.max_explicit_entries = max_explicit_entries
         self._blocks = [
-            KronWorkload(self._factors(subset), name=f"marginal{subset}")
+            KronWorkload(
+                self._factors(subset),
+                name=f"marginal{subset}",
+                max_explicit_entries=max_explicit_entries,
+            )
             for subset in self.subsets
         ]
         super().__init__(
@@ -156,19 +171,46 @@ class ProductMarginalsWorkload(Workload):
 
     @property
     def matrix(self) -> np.ndarray:
-        if self.num_queries * self.domain_size > MAX_EXPLICIT_ENTRIES:
-            raise WorkloadError(
-                "product marginals too large to materialize; use gram()/matvec()"
-            )
+        check_dense_allocation(
+            (self.num_queries, self.domain_size),
+            self.max_explicit_entries,
+            what="product-marginals workload matrix",
+        )
         return np.vstack([block.matrix for block in self._blocks])
 
+    def gram_factor_blocks(self) -> list[list[np.ndarray]]:
+        """Per-subset, per-attribute Gram factors of the flat Gram.
+
+        The flat Gram is ``C = sum_S C_S`` with each marginal's
+        ``C_S = C_{S,k-1} (x) ... (x) C_{S,0}`` where ``C_{S,i}`` is
+        ``I_{d_i}`` for attributes in ``S`` and the all-ones ``d_i x d_i``
+        matrix otherwise.  This is the representation the factored
+        optimizer consumes; memory is ``O(len(subsets) * sum_i d_i^2)``.
+
+        Examples
+        --------
+        >>> workload = product_marginals((2, 3), [(0,), (0, 1)])
+        >>> [[gram.shape for gram in block]
+        ...  for block in workload.gram_factor_blocks()]
+        [[(2, 2), (3, 3)], [(2, 2), (3, 3)]]
+        """
+        return [block.factor_grams() for block in self._blocks]
+
     def _compute_gram(self) -> np.ndarray:
+        check_dense_allocation(
+            (self.domain_size, self.domain_size),
+            self.max_explicit_entries,
+            what="product-marginals Gram matrix",
+        )
         gram = np.zeros((self.domain_size, self.domain_size))
         for block in self._blocks:
             gram += block.gram()
         return gram
 
     def frobenius_norm_squared(self) -> float:
+        # Product identity per marginal: ||I||_F^2 = d_i for kept
+        # attributes, ||1^T||_F^2 = d_i for summed-out ones, so every
+        # subset contributes prod_i d_i = n without touching any matrix.
         return sum(block.frobenius_norm_squared() for block in self._blocks)
 
     def matvec(self, x: np.ndarray) -> np.ndarray:

@@ -1,0 +1,136 @@
+"""Tests for the FactoredStrategy abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AllocationCapError, StochasticityError
+from repro.mechanisms import FactoredStrategy, StrategyMatrix, randomized_response
+
+
+def make_strategy(epsilons=(0.5, 0.7)) -> FactoredStrategy:
+    return FactoredStrategy(
+        tuple(
+            randomized_response(size, epsilon)
+            for size, epsilon in zip((3, 4), epsilons)
+        )
+    )
+
+
+class TestStructure:
+    def test_shapes_and_budget_compose(self):
+        strategy = make_strategy()
+        assert strategy.domain_sizes == (3, 4)
+        assert strategy.output_sizes == (3, 4)
+        assert strategy.domain_size == 12
+        assert strategy.num_outputs == 12
+        assert strategy.shape == (12, 12)
+        assert strategy.epsilon == pytest.approx(1.2)
+
+    def test_realized_ratio_multiplies(self):
+        strategy = make_strategy()
+        expected = np.prod(
+            [factor.realized_ratio() for factor in strategy.factors]
+        )
+        assert strategy.realized_ratio() == pytest.approx(float(expected))
+
+    def test_rejects_empty_and_non_strategy_factors(self):
+        with pytest.raises(StochasticityError):
+            FactoredStrategy(())
+        with pytest.raises(StochasticityError):
+            FactoredStrategy((np.eye(3),))
+
+
+class TestMaterialization:
+    def test_materialize_matches_kron(self):
+        strategy = make_strategy()
+        joint = strategy.materialize()
+        expected = np.kron(
+            strategy.factors[1].probabilities, strategy.factors[0].probabilities
+        )
+        assert np.allclose(joint.probabilities, expected)
+        assert joint.epsilon == pytest.approx(strategy.epsilon)
+
+    def test_materialize_revalidates_ldp(self):
+        # The materialized joint passes StrategyMatrix's full validation —
+        # a numeric double-check of the composition argument.
+        joint = make_strategy().materialize()
+        assert isinstance(joint, StrategyMatrix)
+        assert joint.realized_ratio() <= np.exp(joint.epsilon) * (1 + 1e-9)
+
+    def test_materialize_respects_cap(self):
+        strategy = FactoredStrategy(
+            (randomized_response(64, 0.5), randomized_response(64, 0.5))
+        )
+        with pytest.raises(AllocationCapError):
+            strategy.materialize(max_entries=1000)
+
+    def test_operator_matches_dense(self):
+        strategy = make_strategy()
+        dense = strategy.materialize().probabilities
+        x = np.arange(12, dtype=float)
+        assert np.allclose(strategy.as_operator().matvec(x), dense @ x)
+        y = np.arange(12, dtype=float)[::-1].copy()
+        assert np.allclose(strategy.as_operator().rmatvec(y), dense.T @ y)
+
+
+class TestSampling:
+    def test_attribute_responses_shape_and_range(self):
+        strategy = make_strategy()
+        rows = np.array([[0, 1], [2, 3], [1, 0]])
+        responses = strategy.sample_attribute_responses(
+            rows, np.random.default_rng(0)
+        )
+        assert responses.shape == (3, 2)
+        assert responses[:, 0].max() < 3 and responses[:, 1].max() < 4
+
+    def test_flatten_matches_mixed_radix(self):
+        strategy = make_strategy()
+        responses = np.array([[0, 0], [2, 0], [0, 1], [2, 3]])
+        assert np.array_equal(
+            strategy.flatten_responses(responses), np.array([0, 2, 3, 11])
+        )
+
+    def test_flattened_distribution_matches_joint(self):
+        # Chi-square-free check: empirical flat histogram tracks the joint
+        # strategy's column for a fixed input.
+        strategy = make_strategy()
+        rows = np.tile([[1, 2]], (20000, 1))
+        responses = strategy.sample_attribute_responses(
+            rows, np.random.default_rng(3)
+        )
+        flat = strategy.flatten_responses(responses)
+        empirical = np.bincount(flat, minlength=12) / 20000.0
+        joint_column = strategy.materialize().probabilities[:, 1 + 2 * 3]
+        assert np.max(np.abs(empirical - joint_column)) < 0.02
+
+    def test_rejects_bad_row_shape(self):
+        with pytest.raises(StochasticityError):
+            make_strategy().sample_attribute_responses(
+                np.array([0, 1]), np.random.default_rng(0)
+            )
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        strategy = make_strategy()
+        path = tmp_path / "factored.npz"
+        strategy.save(path)
+        restored = FactoredStrategy.load(path)
+        assert restored.domain_sizes == strategy.domain_sizes
+        assert restored.epsilon == pytest.approx(strategy.epsilon)
+        for left, right in zip(restored.factors, strategy.factors):
+            assert np.array_equal(left.probabilities, right.probabilities)
+
+    def test_load_rejects_foreign_payloads(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez_compressed(path, histogram=np.zeros(4))
+        with pytest.raises(StochasticityError):
+            FactoredStrategy.load(path)
+
+    def test_reconstruction_factors_cached_and_read_only(self):
+        strategy = make_strategy()
+        first = strategy.reconstruction_factors()
+        second = strategy.reconstruction_factors()
+        assert all(a is b for a, b in zip(first, second))
+        with pytest.raises(ValueError):
+            first[0][0, 0] = 1.0

@@ -175,3 +175,109 @@ class TestOptimizationOverProductDomain:
         ours = mechanism.sample_complexity(workload, 1.0)
         rr = paper_baselines()[0]
         assert ours < rr.sample_complexity(workload, 1.0)
+
+
+class TestAllocationCaps:
+    """The cell caps that keep huge product domains from materializing."""
+
+    def test_matrix_cap_raises_value_error_with_size(self):
+        workload = KronWorkload(
+            [np.eye(1024), np.eye(1024)], max_explicit_entries=10_000
+        )
+        with pytest.raises(ValueError) as caught:
+            workload.matrix
+        message = str(caught.value)
+        assert "1048576 x 1048576" in message
+        assert "1099511627776" in message  # the would-be cell count
+        assert "cap" in message
+
+    def test_gram_cap_raises_value_error(self):
+        from repro.exceptions import AllocationCapError
+
+        workload = KronWorkload(
+            [np.eye(1024), np.eye(1024)], max_explicit_entries=10_000
+        )
+        with pytest.raises(AllocationCapError):
+            workload.gram()
+        # AllocationCapError is catchable as a plain ValueError too.
+        assert issubclass(AllocationCapError, ValueError)
+
+    def test_product_marginals_caps(self):
+        workload = product_marginals((64, 64, 64, 64), [(0, 1), (2, 3)])
+        workload.max_explicit_entries = 10_000
+        for block in workload._blocks:
+            block.max_explicit_entries = 10_000
+        with pytest.raises(ValueError):
+            workload.matrix
+        with pytest.raises(ValueError):
+            workload.gram()
+
+    def test_factored_accessors_ignore_cap(self):
+        workload = KronWorkload(
+            [np.eye(1024), np.eye(1024)], max_explicit_entries=10_000
+        )
+        grams = workload.factor_grams()
+        assert [gram.shape for gram in grams] == [(1024, 1024), (1024, 1024)]
+        assert workload.frobenius_norm_squared() == 1024.0 * 1024.0
+
+    def test_small_domains_unaffected(self):
+        workload = KronWorkload([np.eye(3), np.eye(2)])
+        assert workload.matrix.shape == (6, 6)
+        assert workload.gram().shape == (6, 6)
+
+
+class TestFactoredGramProperties:
+    """Product identities of the factored Gram representation."""
+
+    from hypothesis import given
+    from hypothesis import strategies as st
+
+    @given(
+        st.lists(st.integers(min_value=2, max_value=4), min_size=2, max_size=3),
+        st.integers(min_value=0, max_value=50),
+    )
+    def test_frobenius_matches_dense(self, sizes, seed):
+        generator = np.random.default_rng(seed)
+        num_attributes = len(sizes)
+        subsets = [(index,) for index in range(num_attributes)]
+        if num_attributes >= 2:
+            subsets.append((0, 1))
+        workload = product_marginals(tuple(sizes), subsets)
+        dense = workload.matrix
+        assert np.isclose(
+            workload.frobenius_norm_squared(), float(np.sum(dense**2))
+        )
+        assert generator is not None
+
+    @given(
+        st.lists(st.integers(min_value=2, max_value=4), min_size=2, max_size=3)
+    )
+    def test_gram_factor_blocks_compose_to_dense_gram(self, sizes):
+        workload = all_product_marginals(tuple(sizes))
+        composed = np.zeros((workload.domain_size, workload.domain_size))
+        for block in workload.gram_factor_blocks():
+            term = np.array([[1.0]])
+            for factor_gram in block:
+                term = np.kron(factor_gram, term)
+            composed += term
+        assert np.allclose(composed, workload.gram())
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=3),
+                st.integers(min_value=2, max_value=3),
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+        st.integers(min_value=0, max_value=50),
+    )
+    def test_kron_factor_grams_compose(self, shapes, seed):
+        generator = np.random.default_rng(seed)
+        factors = [generator.normal(size=shape) for shape in shapes]
+        workload = KronWorkload(factors)
+        composed = np.array([[1.0]])
+        for factor_gram in workload.factor_grams():
+            composed = np.kron(factor_gram, composed)
+        assert np.allclose(composed, workload.gram())
