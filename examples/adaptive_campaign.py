@@ -1,0 +1,148 @@
+"""Adaptive two-round campaign vs. a frozen-strategy baseline.
+
+The paper's mechanism is *workload-adaptive*: the strategy is optimized
+for the queries you ask.  An adaptive campaign goes one step further —
+after the first cohort reports, it looks at which sub-workload its own
+confidence intervals approximate worst, privately selects it with the
+exponential mechanism (paying a small selection budget), re-optimizes the
+strategy with that block's rows boosted, and rotates a fresh cohort onto
+the new strategy.  Disjoint cohorts mean the rounds' estimates are
+independent and simply add.
+
+This walkthrough runs both designs on the same budget and the same
+skewed population, end to end and fully seeded:
+
+* **frozen**: one strategy optimized for the base workload; both cohorts
+  report through it at the per-round budget.
+* **adaptive**: round 1 identical, then the round transition spends a
+  5% selector share and re-optimizes against the boosted workload for
+  cohort 2.
+
+The score is the worst sub-workload's RMS error against ground truth —
+exactly the quantity the selector targets.  The adaptive campaign wins
+despite paying the selector tax.
+
+Run:  PYTHONPATH=src python examples/adaptive_campaign.py
+"""
+
+import numpy as np
+
+from repro.data import zipf_data
+from repro.protocol import partition_workload
+from repro.protocol.simulation import expand_users
+from repro.service import AdaptivePlan, CampaignManager
+from repro.workloads import prefix
+
+DOMAIN_SIZE = 32
+TOTAL_EPSILON = 2.0
+NUM_ROUNDS = 2
+NUM_GROUPS = 4
+COHORT_SIZE = 30_000
+
+
+def cohort_values(seed: int) -> tuple[np.ndarray, np.ndarray]:
+    """One cohort's raw values (shuffled) and its true histogram."""
+    truth = zipf_data(DOMAIN_SIZE, COHORT_SIZE, seed=seed)
+    values = expand_users(truth)
+    np.random.default_rng(seed).shuffle(values)
+    return values, truth
+
+
+def randomize_into(campaign, values: np.ndarray, seed: int) -> None:
+    """Client-side randomization: only output ids reach the accumulator."""
+    responses = campaign.session.strategy.sample_responses(
+        values, np.random.default_rng(seed)
+    )
+    campaign.accumulator.add_reports(responses)
+
+
+def worst_group_rms(estimates, true_answers) -> float:
+    """Max over sub-workloads of the RMS estimation error."""
+    error = np.asarray(estimates, dtype=float) - np.asarray(true_answers)
+    groups = partition_workload(prefix(DOMAIN_SIZE), NUM_GROUPS)
+    return max(
+        float(np.sqrt(np.mean(error[g.start : g.stop] ** 2))) for g in groups
+    )
+
+
+def main() -> None:
+    cohort_a, truth_a = cohort_values(seed=1)
+    cohort_b, truth_b = cohort_values(seed=2)
+    true_answers = prefix(DOMAIN_SIZE).matvec(truth_a + truth_b)
+
+    # -- frozen baseline: one strategy, both cohorts ----------------------
+    # Each cohort reports at the same per-round budget the adaptive
+    # campaign uses (total / rounds) — same per-user privacy, no selector
+    # tax, so the baseline is if anything slightly advantaged.
+    frozen = CampaignManager()
+    frozen.create(
+        "frozen",
+        workload="Prefix",
+        domain_size=DOMAIN_SIZE,
+        epsilon=TOTAL_EPSILON / NUM_ROUNDS,
+        mechanism="Optimized",
+        iterations=150,
+    )
+    campaign = frozen.get("frozen")
+    randomize_into(campaign, cohort_a, seed=11)
+    randomize_into(campaign, cohort_b, seed=12)
+    frozen_answer = frozen.query("frozen")
+    frozen_error = worst_group_rms(frozen_answer.intervals.estimates, true_answers)
+    print(
+        f"frozen   : {frozen_answer.num_reports:,} reports through one "
+        f"strategy, worst sub-workload RMS error = {frozen_error:,.1f} users"
+    )
+
+    # -- adaptive campaign: select, boost, re-optimize, rotate ------------
+    adaptive = CampaignManager()
+    adaptive.create(
+        "adaptive",
+        workload="Prefix",
+        domain_size=DOMAIN_SIZE,
+        epsilon=TOTAL_EPSILON,
+        mechanism="Optimized",
+        iterations=150,
+        adaptive=AdaptivePlan(
+            num_rounds=NUM_ROUNDS,
+            num_groups=NUM_GROUPS,
+            selector_share=0.05,
+            boost=4.0,
+            iterations=150,
+            seed=0,
+        ),
+    )
+    campaign = adaptive.get("adaptive")
+    randomize_into(campaign, cohort_a, seed=11)
+
+    report = adaptive.advance_round("adaptive")
+    print(
+        f"adaptive : round 1 -> 2, selector picked sub-workload "
+        f"{report.selected_group} (scores "
+        f"{[round(s, 1) for s in report.scores]}), re-optimized at "
+        f"eps = {report.round_epsilon:g} (+ {report.select_epsilon:g} "
+        "spent selecting)"
+    )
+
+    randomize_into(campaign, cohort_b, seed=12)
+    adaptive_answer = adaptive.query("adaptive")
+    adaptive_error = worst_group_rms(
+        adaptive_answer.intervals.estimates, true_answers
+    )
+    ledger = campaign.ledger
+    print(
+        f"adaptive : {adaptive_answer.num_reports:,} reports across "
+        f"{campaign.current_round} rounds, worst sub-workload RMS error = "
+        f"{adaptive_error:,.1f} users (budget spent exactly: "
+        f"{ledger.spent == ledger.total})"
+    )
+
+    improvement = 100.0 * (1.0 - adaptive_error / frozen_error)
+    assert adaptive_error < frozen_error, (adaptive_error, frozen_error)
+    print(
+        f"adaptive beats the frozen baseline on the worst sub-workload by "
+        f"{improvement:.0f}% at the same total budget ✓"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -300,6 +300,47 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--iterations", type=int, default=300, help="optimizer iterations"
     )
+    serve.add_argument(
+        "--adaptive",
+        type=int,
+        default=None,
+        metavar="ROUNDS",
+        help="make the bootstrap campaign adaptive with this many rounds "
+        "(--epsilon becomes the campaign total, split across rounds; "
+        "advance rounds with `repro campaign advance`)",
+    )
+    serve.add_argument(
+        "--adaptive-groups",
+        type=int,
+        default=4,
+        help="sub-workload groups the round selector chooses between",
+    )
+    serve.add_argument(
+        "--adaptive-seed",
+        type=int,
+        default=0,
+        help="root seed for the per-round private selection",
+    )
+
+    campaign = subcommands.add_parser(
+        "campaign", help="operate on campaigns of a running service"
+    )
+    campaign_commands = campaign.add_subparsers(dest="campaign_command")
+    advance = campaign_commands.add_parser(
+        "advance",
+        help="close an adaptive campaign's live round: drain + checkpoint, "
+        "privately select the worst-approximated sub-workload, re-optimize, "
+        "open the next round",
+    )
+    advance.add_argument("--host", default="127.0.0.1", help="service address")
+    advance.add_argument("--port", type=int, default=8320, help="service port")
+    advance.add_argument("--campaign", required=True, help="campaign name")
+    advance.add_argument(
+        "--no-checkpoint",
+        action="store_true",
+        help="skip the checkpoint after the round swap (fault-injection "
+        "hook; the pre-advance round checkpoint is always written)",
+    )
 
     report = subcommands.add_parser(
         "report", help="randomize values locally and send them to a service"
@@ -732,6 +773,13 @@ def _run_strategy_prune(arguments) -> int:
 def _run_serve(arguments) -> int:
     from repro.service import CollectionService, run_service
 
+    if arguments.adaptive is not None and arguments.workers > 0:
+        # checked before the service spins up so no worker processes leak
+        print(
+            "adaptive campaigns are not supported in cluster mode",
+            file=sys.stderr,
+        )
+        return 2
     store = None
     if arguments.store is not None:
         from repro.store import StrategyStore
@@ -749,6 +797,16 @@ def _run_serve(arguments) -> int:
         transport=arguments.transport,
     )
     if arguments.campaign is not None and arguments.campaign not in service.manager:
+        adaptive = None
+        if arguments.adaptive is not None:
+            from repro.service.campaigns import AdaptivePlan
+
+            adaptive = AdaptivePlan(
+                num_rounds=arguments.adaptive,
+                num_groups=arguments.adaptive_groups,
+                iterations=arguments.iterations,
+                seed=arguments.adaptive_seed,
+            )
         service.manager.create(
             arguments.campaign,
             workload=arguments.workload,
@@ -757,11 +815,17 @@ def _run_serve(arguments) -> int:
             mechanism=arguments.mechanism,
             iterations=arguments.iterations,
             store=store,
+            adaptive=adaptive,
+        )
+        rounds = (
+            f", adaptive x{arguments.adaptive} rounds"
+            if arguments.adaptive is not None
+            else ""
         )
         print(
             f"bootstrapped campaign {arguments.campaign!r} "
             f"({arguments.workload}, n = {arguments.domain}, "
-            f"eps = {arguments.epsilon:g}, {arguments.mechanism})"
+            f"eps = {arguments.epsilon:g}, {arguments.mechanism}{rounds})"
         )
     run_service(service, host=arguments.host, port=arguments.port)
     return 0
@@ -803,6 +867,24 @@ def _run_report(arguments) -> int:
         f"({reporter.reports_sent / max(elapsed, 1e-9):,.0f} reports/sec)"
     )
     client.close()
+    return 0
+
+
+def _run_campaign_advance(arguments) -> int:
+    from repro.service import ServiceClient
+
+    with ServiceClient(arguments.host, arguments.port) as client:
+        report = client.advance_campaign(
+            arguments.campaign, checkpoint=not arguments.no_checkpoint
+        )
+    scores = ", ".join(f"{s:.3g}" for s in report["scores"])
+    print(
+        f"campaign {report['campaign']!r} advanced to round {report['round']}: "
+        f"selected sub-workload {report['selected_group']} "
+        f"(scores [{scores}]), new strategy {report['strategy']!r} at "
+        f"eps = {report['round_epsilon']:g} "
+        f"(+ {report['select_epsilon']:g} selection)"
+    )
     return 0
 
 
@@ -859,6 +941,11 @@ def main(argv: list[str] | None = None) -> int:
         return _run_report(arguments)
     if arguments.command == "query":
         return _run_query(arguments)
+    if arguments.command == "campaign":
+        if arguments.campaign_command == "advance":
+            return _run_campaign_advance(arguments)
+        print("usage: repro campaign advance [options] (see `repro campaign -h`)")
+        return 2
     if arguments.command == "strategy":
         handlers = {
             "build": _run_strategy_build,

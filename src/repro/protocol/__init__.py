@@ -11,16 +11,32 @@
 * :func:`repro.protocol.simulation.run_protocol` — one-shot end-to-end
   execution (thin wrapper over the engine).
 * :mod:`repro.protocol.audit` — exact and empirical privacy audits.
-* :mod:`repro.protocol.accounting` — client/server/shard resource accounting.
+* :mod:`repro.protocol.accounting` — client/server/shard resource accounting
+  and the exact multi-round :class:`~repro.protocol.accounting.BudgetLedger`.
+* :mod:`repro.protocol.adaptive` — private worst-approximated sub-workload
+  selection for adaptive campaigns.
 """
 
 from repro.protocol.accounting import (
+    BudgetLedger,
     CostReport,
+    LedgerEntry,
+    RoundBudget,
     SessionCostReport,
     communication_bits,
     compare_costs,
     cost_report,
     session_cost_report,
+    split_budget,
+)
+from repro.protocol.adaptive import (
+    DEFAULT_SELECTOR_SENSITIVITY,
+    SubWorkload,
+    boosted_workload,
+    group_scores,
+    partition_workload,
+    selection_probabilities,
+    worst_approximated,
 )
 from repro.protocol.audit import (
     AuditReport,
@@ -53,26 +69,37 @@ __all__ = [
     "Aggregator",
     "AuditReport",
     "BACKENDS",
+    "BudgetLedger",
     "CostReport",
+    "DEFAULT_SELECTOR_SENSITIVITY",
     "FACTORED_ACCUMULATOR_FORMAT_VERSION",
     "FACTORED_ACCUMULATOR_MAGIC",
     "FactoredAccumulator",
     "FactoredProtocolResult",
     "FactoredProtocolSession",
+    "LedgerEntry",
     "LocalRandomizer",
     "ProtocolResult",
     "ProtocolSession",
+    "RoundBudget",
     "SessionCostReport",
     "ShardAccumulator",
+    "SubWorkload",
     "audit_session",
     "audit_strategy",
+    "boosted_workload",
     "communication_bits",
     "compare_costs",
     "cost_report",
     "empirical_ratio_audit",
     "empirical_sampler_audit",
     "expand_users",
+    "group_scores",
+    "partition_workload",
     "run_protocol",
+    "selection_probabilities",
     "session_cost_report",
+    "split_budget",
     "split_data_vector",
+    "worst_approximated",
 ]

@@ -1,0 +1,223 @@
+"""Private sub-workload selection for adaptive multi-round campaigns.
+
+MWEM-style adaptivity needs one primitive: given per-sub-workload scores
+(how badly each block of the analyst's workload is currently approximated),
+privately pick the block to focus the next round's budget on.  This module
+implements that primitive as the exponential mechanism over the scores —
+``P[select g] ∝ exp(0.5 · ε · score_g / sensitivity)`` — plus the helpers
+around it: partitioning a workload's query rows into contiguous
+sub-workloads, scoring each one from plug-in standard errors, and building
+the re-weighted workload the next round's strategy is optimized against.
+
+Under pure LDP the server only ever touches already-privatized responses,
+so selecting from them is post-processing and costs nothing extra; the
+campaign ledger still debits a ``select`` entry so the accounting matches
+the central-DP adaptive mechanism (Li & Miklau) round for round, and so the
+split is honest if the selector is ever moved before aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ProtocolError
+from repro.workloads.base import ExplicitWorkload, Workload
+
+#: Default exponential-mechanism sensitivity for standard-error scores.
+DEFAULT_SELECTOR_SENSITIVITY = 2.0
+
+
+@dataclass(frozen=True)
+class SubWorkload:
+    """One contiguous block of a workload's query rows.
+
+    Attributes
+    ----------
+    index:
+        Position of the block in the partition (0-based).
+    start, stop:
+        Half-open row range ``[start, stop)`` into the parent workload.
+    workload:
+        The block itself as a standalone workload (same domain).
+    """
+
+    index: int
+    start: int
+    stop: int
+    workload: ExplicitWorkload
+
+    @property
+    def num_queries(self) -> int:
+        return self.stop - self.start
+
+
+def partition_workload(workload: Workload, num_groups: int) -> list[SubWorkload]:
+    """Split a workload's query rows into contiguous sub-workloads.
+
+    Blocks differ in size by at most one row; asking for more groups than
+    there are queries clamps to one query per group.
+
+    Examples
+    --------
+    >>> from repro.workloads import prefix
+    >>> groups = partition_workload(prefix(8), 3)
+    >>> [(g.start, g.stop) for g in groups]
+    [(0, 3), (3, 5), (5, 8)]
+    """
+    if num_groups < 1:
+        raise ProtocolError(f"need >= 1 sub-workload, got {num_groups}")
+    matrix = np.asarray(workload.matrix, dtype=float)
+    num_groups = min(num_groups, matrix.shape[0])
+    boundaries = np.linspace(0, matrix.shape[0], num_groups + 1).round().astype(int)
+    groups = []
+    for index in range(num_groups):
+        start, stop = int(boundaries[index]), int(boundaries[index + 1])
+        groups.append(
+            SubWorkload(
+                index=index,
+                start=start,
+                stop=stop,
+                workload=ExplicitWorkload(
+                    matrix[start:stop],
+                    name=f"{workload.name}[{start}:{stop}]",
+                ),
+            )
+        )
+    return groups
+
+
+def group_scores(
+    groups: list[SubWorkload], standard_errors: np.ndarray
+) -> np.ndarray:
+    """Per-group approximation-error scores from per-query standard errors.
+
+    Each group scores the root-mean-square of its queries' standard errors
+    — the quantity the next round's re-optimization can actually reduce.
+
+    Examples
+    --------
+    >>> from repro.workloads import histogram
+    >>> groups = partition_workload(histogram(4), 2)
+    >>> group_scores(groups, [1.0, 1.0, 3.0, 5.0])
+    array([1.        , 4.12310563])
+    """
+    standard_errors = np.asarray(standard_errors, dtype=float)
+    expected = groups[-1].stop if groups else 0
+    if standard_errors.shape != (expected,):
+        raise ProtocolError(
+            f"{standard_errors.shape} standard errors for a partition of "
+            f"{expected} queries"
+        )
+    return np.array(
+        [
+            float(np.sqrt(np.mean(standard_errors[g.start : g.stop] ** 2)))
+            for g in groups
+        ]
+    )
+
+
+def selection_probabilities(
+    scores,
+    epsilon: float,
+    *,
+    sensitivity: float = DEFAULT_SELECTOR_SENSITIVITY,
+) -> np.ndarray:
+    """Exponential-mechanism selection distribution over candidate scores.
+
+    ``P[g] ∝ exp(0.5 · ε · score_g / sensitivity)``, computed with the
+    max-shift softmax so large scores cannot overflow.  Equal scores (the
+    degenerate all-zero case included) give the uniform distribution.
+
+    Examples
+    --------
+    >>> selection_probabilities([0.0, 0.0], epsilon=1.0)
+    array([0.5, 0.5])
+    >>> probabilities = selection_probabilities([1.0, 3.0], epsilon=2.0)
+    >>> bool(probabilities[1] > probabilities[0])
+    True
+    """
+    scores = np.asarray(scores, dtype=float)
+    if scores.ndim != 1 or scores.shape[0] == 0:
+        raise ProtocolError("scores must be a non-empty flat vector")
+    if not np.all(np.isfinite(scores)):
+        raise ProtocolError("scores must be finite")
+    if epsilon <= 0:
+        raise ProtocolError(f"selection epsilon must be positive, got {epsilon}")
+    if sensitivity <= 0:
+        raise ProtocolError(f"sensitivity must be positive, got {sensitivity}")
+    logits = 0.5 * epsilon / sensitivity * (scores - scores.max())
+    weights = np.exp(logits)
+    return weights / weights.sum()
+
+
+def worst_approximated(
+    scores,
+    epsilon: float,
+    *,
+    sensitivity: float = DEFAULT_SELECTOR_SENSITIVITY,
+    rng: np.random.Generator | None = None,
+) -> int:
+    """Privately select the worst-approximated candidate.
+
+    Draws one index from :func:`selection_probabilities` — higher-scoring
+    (worse-approximated) candidates are exponentially more likely.  A
+    single candidate is returned deterministically.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> worst_approximated([7.0], epsilon=1.0)
+    0
+    >>> worst_approximated(
+    ...     [0.0, 40.0, 0.0], epsilon=4.0, rng=np.random.default_rng(0)
+    ... )
+    1
+    """
+    probabilities = selection_probabilities(
+        scores, epsilon, sensitivity=sensitivity
+    )
+    if probabilities.shape[0] == 1:
+        return 0
+    rng = rng or np.random.default_rng()
+    return int(rng.choice(probabilities.shape[0], p=probabilities))
+
+
+def boosted_workload(
+    workload: Workload,
+    groups: list[SubWorkload],
+    selected: int,
+    boost: float,
+) -> ExplicitWorkload:
+    """The next round's optimization target: the base workload with the
+    selected sub-workload's rows up-weighted by ``boost``.
+
+    Scaling rows by ``boost`` multiplies their contribution to the expected
+    total-squared-error objective by ``boost²``, so the re-optimized
+    strategy shifts precision toward the block the selector flagged while
+    still answering everything else.
+
+    Examples
+    --------
+    >>> from repro.workloads import histogram
+    >>> base = histogram(4)
+    >>> groups = partition_workload(base, 2)
+    >>> boosted = boosted_workload(base, groups, selected=1, boost=3.0)
+    >>> float(boosted.matrix[3, 3])
+    3.0
+    """
+    if not groups:
+        raise ProtocolError("cannot boost an empty partition")
+    if not 0 <= selected < len(groups):
+        raise ProtocolError(
+            f"selected group {selected} outside [0, {len(groups)})"
+        )
+    if boost <= 0:
+        raise ProtocolError(f"boost must be positive, got {boost}")
+    matrix = np.array(workload.matrix, dtype=float)
+    block = groups[selected]
+    matrix[block.start : block.stop] *= float(boost)
+    return ExplicitWorkload(
+        matrix, name=f"{workload.name} (boost {block.start}:{block.stop})"
+    )

@@ -84,6 +84,11 @@ class ShardAccumulator:
     ----------
     num_outputs:
         Output alphabet size ``m`` of the strategy being aggregated.
+    round_id:
+        Which campaign round these reports belong to (``0`` for
+        non-adaptive campaigns).  Rounds use *different strategies*, so
+        their histograms are not interchangeable: merging accumulators from
+        different rounds raises instead of silently mixing cohorts.
 
     Examples
     --------
@@ -96,13 +101,16 @@ class ShardAccumulator:
     array([1., 2., 0., 1.])
     """
 
-    __slots__ = ("histogram", "num_reports")
+    __slots__ = ("histogram", "num_reports", "round_id")
 
-    def __init__(self, num_outputs: int) -> None:
+    def __init__(self, num_outputs: int, round_id: int = 0) -> None:
         if num_outputs < 1:
             raise ProtocolError(f"need >= 1 output, got {num_outputs}")
+        if round_id < 0:
+            raise ProtocolError(f"round id must be >= 0, got {round_id}")
         self.histogram = np.zeros(num_outputs)
         self.num_reports = 0
+        self.round_id = int(round_id)
 
     @property
     def num_outputs(self) -> int:
@@ -163,7 +171,12 @@ class ShardAccumulator:
                 f"cannot merge accumulators over {self.num_outputs} and "
                 f"{other.num_outputs} outputs"
             )
-        merged = ShardAccumulator(self.num_outputs)
+        if other.round_id != self.round_id:
+            raise ProtocolError(
+                f"cannot merge accumulators from rounds {self.round_id} and "
+                f"{other.round_id}; rounds use different strategies"
+            )
+        merged = ShardAccumulator(self.num_outputs, self.round_id)
         merged.histogram = self.histogram + other.histogram
         merged.num_reports = self.num_reports + other.num_reports
         return merged
@@ -188,6 +201,12 @@ class ShardAccumulator:
                     f"cannot merge accumulators over {merged.num_outputs} "
                     f"and {accumulator.num_outputs} outputs"
                 )
+            if accumulator.round_id != merged.round_id:
+                raise ProtocolError(
+                    f"cannot merge accumulators from rounds {merged.round_id} "
+                    f"and {accumulator.round_id}; rounds use different "
+                    "strategies"
+                )
             merged.histogram += accumulator.histogram
             merged.num_reports += accumulator.num_reports
         return merged
@@ -204,7 +223,7 @@ class ShardAccumulator:
         >>> frozen.num_reports
         1
         """
-        copy = ShardAccumulator(self.num_outputs)
+        copy = ShardAccumulator(self.num_outputs, self.round_id)
         copy.histogram = self.histogram.copy()
         copy.num_reports = self.num_reports
         return copy
@@ -228,6 +247,7 @@ class ShardAccumulator:
             format_version=np.asarray(ACCUMULATOR_FORMAT_VERSION, dtype=np.int64),
             histogram=self.histogram,
             num_reports=np.asarray(self.num_reports, dtype=np.int64),
+            round_id=np.asarray(self.round_id, dtype=np.int64),
         )
         return buffer.getvalue()
 
@@ -259,6 +279,13 @@ class ShardAccumulator:
                         )
                 histogram = np.asarray(archive["histogram"], dtype=float)
                 num_reports = int(archive["num_reports"])
+                # Payloads written before rounds existed carry no tag and
+                # load as round 0 (the non-adaptive round).
+                round_id = (
+                    int(archive["round_id"])
+                    if "round_id" in archive.files
+                    else 0
+                )
         except ProtocolError:
             raise
         except Exception as error:  # zip damage, missing fields, bad dtypes
@@ -271,7 +298,9 @@ class ShardAccumulator:
             )
         if histogram.min() < 0 or num_reports < 0:
             raise ProtocolError("serialized accumulator has negative counts")
-        accumulator = ShardAccumulator(histogram.shape[0])
+        if round_id < 0:
+            raise ProtocolError("serialized accumulator has a negative round")
+        accumulator = ShardAccumulator(histogram.shape[0], round_id)
         accumulator.histogram = histogram
         accumulator.num_reports = num_reports
         return accumulator
@@ -279,14 +308,17 @@ class ShardAccumulator:
     def __eq__(self, other) -> bool:
         if not isinstance(other, ShardAccumulator):
             return NotImplemented
-        return self.num_reports == other.num_reports and np.array_equal(
-            self.histogram, other.histogram
+        return (
+            self.num_reports == other.num_reports
+            and self.round_id == other.round_id
+            and np.array_equal(self.histogram, other.histogram)
         )
 
     def __repr__(self) -> str:
+        rounds = f", round_id={self.round_id}" if self.round_id else ""
         return (
             f"ShardAccumulator(num_outputs={self.num_outputs}, "
-            f"num_reports={self.num_reports})"
+            f"num_reports={self.num_reports}{rounds})"
         )
 
 
@@ -471,8 +503,11 @@ class ProtocolSession:
 
     # -- shard-level API ---------------------------------------------------
 
-    def new_accumulator(self) -> ShardAccumulator:
+    def new_accumulator(self, round_id: int = 0) -> ShardAccumulator:
         """A fresh, empty shard state for this session's strategy.
+
+        ``round_id`` tags the accumulator with the adaptive-campaign round
+        it collects for (0 = non-adaptive).
 
         Examples
         --------
@@ -482,7 +517,7 @@ class ProtocolSession:
         >>> session.new_accumulator().num_outputs
         4
         """
-        return ShardAccumulator(self.strategy.num_outputs)
+        return ShardAccumulator(self.strategy.num_outputs, round_id)
 
     def randomize_shard(
         self,

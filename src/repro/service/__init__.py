@@ -26,14 +26,25 @@ a crash.  Clients randomize locally — the server never sees a raw value.
 * :class:`~repro.service.client.ServiceClient` /
   :class:`~repro.service.client.CampaignReporter` — the client SDK with
   client-side randomization and fire-and-forget batching.
+* :class:`~repro.service.campaigns.AdaptivePlan` — multi-round adaptive
+  campaigns (``repro serve --adaptive R``): a per-campaign
+  :class:`~repro.protocol.accounting.BudgetLedger` splits epsilon across
+  rounds, each round transition privately selects the worst-approximated
+  sub-workload and re-optimizes the strategy for a fresh cohort.
 
-See ``docs/serving.md`` for the architecture and endpoint reference.
+See ``docs/serving.md`` for the architecture and endpoint reference,
+``docs/adaptive-campaigns.md`` for the round lifecycle.
 """
 
 from repro.service.campaigns import (
+    AdaptivePlan,
+    AdaptiveSnapshot,
+    AdvancePlan,
+    AdvanceReport,
     Campaign,
     CampaignManager,
     QueryAnswer,
+    RoundRecord,
     validate_campaign_name,
 )
 from repro.service.checkpoint import MANIFEST_VERSION, CheckpointStore
@@ -41,6 +52,7 @@ from repro.service.client import CampaignReporter, ServiceClient
 from repro.service.cluster import ShardManager, WorkerPool
 from repro.service.framing import (
     FRAME_CONTENT_TYPE,
+    MAX_FRAME_ROUND,
     Frame,
     decode_frame,
     decode_frames,
@@ -51,6 +63,7 @@ from repro.service.ingest import (
     MAX_BATCH_REPORTS,
     IngestPipeline,
     IngestStats,
+    resolve_round,
     validate_histogram,
     validate_reports,
 )
@@ -62,6 +75,10 @@ from repro.service.server import (
 )
 
 __all__ = [
+    "AdaptivePlan",
+    "AdaptiveSnapshot",
+    "AdvancePlan",
+    "AdvanceReport",
     "Campaign",
     "CampaignManager",
     "CampaignReporter",
@@ -73,7 +90,9 @@ __all__ = [
     "IngestStats",
     "MANIFEST_VERSION",
     "MAX_BATCH_REPORTS",
+    "MAX_FRAME_ROUND",
     "QueryAnswer",
+    "RoundRecord",
     "ServiceClient",
     "ServiceThread",
     "ShardManager",
@@ -83,6 +102,7 @@ __all__ = [
     "decode_frames",
     "encode_histogram",
     "encode_reports",
+    "resolve_round",
     "run_service",
     "validate_campaign_name",
     "validate_histogram",

@@ -22,7 +22,17 @@ Layout under the checkpoint root::
     root/
       manifest.json               campaign table + checksums (written last)
       strategies/<name>.npz       public strategy, one per campaign
+      strategies/<name>@r<k>.npz  completed round k of an adaptive campaign
       accumulators/<name>.bin     serialized ShardAccumulator snapshot
+      accumulators/<name>@r<k>.bin  frozen round-k accumulator
+
+Adaptive campaigns additionally record their plan, the exact budget ledger
+(every amount a ``str(Fraction)``, so recovery replays the identical
+arithmetic), the live round number, and one strategy + accumulator payload
+per *completed* round — recovery rebuilds the full round history, making
+mid-campaign crash recovery bit-identical, combined estimates included.
+``@`` cannot appear in a campaign name, so round payloads can never collide
+with another campaign's files.
 """
 
 from __future__ import annotations
@@ -34,13 +44,24 @@ from pathlib import Path
 
 from repro.exceptions import ProtocolError, ReproError, ServiceError
 from repro.mechanisms.base import StrategyMatrix
+from repro.protocol.accounting import BudgetLedger
 from repro.protocol.engine import ProtocolSession, ShardAccumulator
-from repro.service.campaigns import Campaign, CampaignManager, validate_campaign_name
+from repro.service.campaigns import (
+    AdaptivePlan,
+    Campaign,
+    CampaignManager,
+    RoundRecord,
+    validate_campaign_name,
+)
 from repro.store.store import _atomic_write_bytes
 from repro.workloads import by_name as workload_by_name
 
 #: Manifest schema version; bumped on incompatible layout changes.
-MANIFEST_VERSION = 1
+#: Version 2 added adaptive round state; version-1 manifests (no adaptive
+#: campaigns by construction) still load.
+MANIFEST_VERSION = 2
+
+_READABLE_VERSIONS = (1, 2)
 
 
 def _sha256(payload: bytes) -> str:
@@ -78,11 +99,13 @@ class CheckpointStore:
     def manifest_path(self) -> Path:
         return self.root / "manifest.json"
 
-    def strategy_path(self, name: str) -> Path:
-        return self.root / "strategies" / f"{name}.npz"
+    def strategy_path(self, name: str, round_id: int | None = None) -> Path:
+        stem = name if round_id is None else f"{name}@r{round_id}"
+        return self.root / "strategies" / f"{stem}.npz"
 
-    def accumulator_path(self, name: str) -> Path:
-        return self.root / "accumulators" / f"{name}.bin"
+    def accumulator_path(self, name: str, round_id: int | None = None) -> Path:
+        stem = name if round_id is None else f"{name}@r{round_id}"
+        return self.root / "accumulators" / f"{stem}.bin"
 
     def exists(self) -> bool:
         """Whether a recoverable checkpoint is present."""
@@ -105,14 +128,40 @@ class CheckpointStore:
                 campaign,
                 (snapshots or {}).get(campaign.name)
                 or campaign.accumulator.snapshot(),
+                campaign.freeze_adaptive(),
             )
             for campaign in manager.campaigns()
         ]
         return self.save_frozen(frozen)
 
+    def _write_strategy(self, cache_key: str, strategy, path: Path) -> str:
+        """Write one immutable strategy payload, skipping repeat work.
+
+        The cache maps ``cache_key`` to the exact strategy *object* last
+        written there; on a hit, serializing, hashing, and re-reading the
+        file are all skipped.  On a miss the file is verified against the
+        fresh digest — a leftover from a crashed prior deployment (same
+        name, different strategy) must not be checksummed into this
+        manifest — and rewritten on any mismatch.
+        """
+        cached = self._strategy_digests.get(cache_key)
+        if cached is not None and cached[0] is strategy:
+            return cached[1]
+        import io
+
+        buffer = io.BytesIO()
+        strategy.save(buffer)
+        payload = buffer.getvalue()
+        digest = _sha256(payload)
+        if not path.exists() or _sha256(path.read_bytes()) != digest:
+            _atomic_write_bytes(path, payload)
+        self._strategy_digests[cache_key] = (strategy, digest)
+        return digest
+
     def save_frozen(self, frozen: list) -> dict:
-        """Write a checkpoint from ``(campaign, accumulator snapshot)``
-        pairs captured by the caller.
+        """Write a checkpoint from ``(campaign, accumulator snapshot,
+        adaptive snapshot)`` triples captured by the caller (pairs are
+        accepted for non-adaptive callers).
 
         Payloads are written (atomically) before the manifest, and the
         manifest itself is swapped in atomically, so readers and a
@@ -125,37 +174,18 @@ class CheckpointStore:
         itself, never the live accumulator.
         """
         entries: dict[str, dict] = {}
-        for campaign, snapshot in frozen:
-            cached = self._strategy_digests.get(campaign.name)
-            if cached is not None and cached[0] is campaign.session.strategy:
-                strategy_sha = cached[1]
-            else:
-                import io
-
-                buffer = io.BytesIO()
-                campaign.session.strategy.save(buffer)
-                strategy_payload = buffer.getvalue()
-                strategy_sha = _sha256(strategy_payload)
-                strategy_file = self.strategy_path(campaign.name)
-                # The strategy is immutable per campaign, so the file is
-                # usually already right — but a leftover from a crashed
-                # prior deployment (same name, different strategy) must
-                # not be checksummed into this manifest.  Verify once per
-                # process, rewrite on any mismatch.
-                if (
-                    not strategy_file.exists()
-                    or _sha256(strategy_file.read_bytes()) != strategy_sha
-                ):
-                    _atomic_write_bytes(strategy_file, strategy_payload)
-                self._strategy_digests[campaign.name] = (
-                    campaign.session.strategy,
-                    strategy_sha,
-                )
+        for item in frozen:
+            campaign, snapshot = item[0], item[1]
+            adaptive = item[2] if len(item) > 2 else campaign.freeze_adaptive()
+            session = adaptive.session if adaptive else campaign.session
+            strategy_sha = self._write_strategy(
+                campaign.name, session.strategy, self.strategy_path(campaign.name)
+            )
             payload = snapshot.to_bytes()
             _atomic_write_bytes(self.accumulator_path(campaign.name), payload)
-            entries[campaign.name] = {
+            entry = {
                 "workload": campaign.workload_name,
-                "domain_size": campaign.session.domain_size,
+                "domain_size": session.domain_size,
                 "epsilon": campaign.epsilon,
                 "source": campaign.source,
                 "created_at": campaign.created_at,
@@ -163,6 +193,43 @@ class CheckpointStore:
                 "strategy_sha256": strategy_sha,
                 "accumulator_sha256": _sha256(payload),
             }
+            if adaptive is not None:
+                rounds = []
+                for record in adaptive.rounds:
+                    round_key = f"{campaign.name}@r{record.round_id}"
+                    round_sha = self._write_strategy(
+                        round_key,
+                        record.session.strategy,
+                        self.strategy_path(campaign.name, record.round_id),
+                    )
+                    round_payload = record.accumulator.to_bytes()
+                    round_file = self.accumulator_path(
+                        campaign.name, record.round_id
+                    )
+                    round_digest = _sha256(round_payload)
+                    # Frozen-round accumulators never change; skip the
+                    # rewrite when the file already matches.
+                    if (
+                        not round_file.exists()
+                        or _sha256(round_file.read_bytes()) != round_digest
+                    ):
+                        _atomic_write_bytes(round_file, round_payload)
+                    rounds.append(
+                        {
+                            "round": record.round_id,
+                            "selected_group": record.selected_group,
+                            "num_reports": record.accumulator.num_reports,
+                            "strategy_sha256": round_sha,
+                            "accumulator_sha256": round_digest,
+                        }
+                    )
+                entry["adaptive"] = {
+                    "plan": adaptive.plan.to_json(),
+                    "ledger": adaptive.ledger_json,
+                    "current_round": adaptive.current_round,
+                    "rounds": rounds,
+                }
+            entries[campaign.name] = entry
         manifest = {
             "manifest_version": MANIFEST_VERSION,
             "saved_at": time.time(),
@@ -187,11 +254,11 @@ class CheckpointStore:
             raise ServiceError(
                 f"unreadable checkpoint manifest {self.manifest_path}: {error}"
             )
-        if manifest.get("manifest_version") != MANIFEST_VERSION:
+        if manifest.get("manifest_version") not in _READABLE_VERSIONS:
             raise ServiceError(
                 f"checkpoint manifest version "
-                f"{manifest.get('manifest_version')!r} != supported version "
-                f"{MANIFEST_VERSION}"
+                f"{manifest.get('manifest_version')!r} not in supported "
+                f"versions {_READABLE_VERSIONS}"
             )
         if not isinstance(manifest.get("campaigns"), dict):
             raise ServiceError("checkpoint manifest has no campaign table")
@@ -212,39 +279,104 @@ class CheckpointStore:
             manager.adopt(self._load_campaign(name, entry))
         return manager
 
+    def _verify_payload(self, name: str, path: Path, recorded) -> bytes:
+        """Read one payload, failing loudly on absence or checksum drift."""
+        if not path.is_file():
+            raise ServiceError(
+                f"checkpoint for campaign {name!r} is missing {path.name}"
+            )
+        payload = path.read_bytes()
+        digest = _sha256(payload)
+        if digest != recorded:
+            raise ServiceError(
+                f"checkpoint for campaign {name!r} failed its checksum "
+                f"({path.name}: {digest[:12]}… != recorded "
+                f"{str(recorded)[:12]}…); refusing to recover corrupt state"
+            )
+        return payload
+
+    def _load_session(
+        self, name: str, path: Path, recorded, workload
+    ) -> ProtocolSession:
+        self._verify_payload(name, path, recorded)
+        return ProtocolSession(StrategyMatrix.load(path), workload)
+
+    def _load_rounds(
+        self, name: str, adaptive_entry: dict, workload
+    ) -> list[RoundRecord]:
+        """Rebuild the completed-round history of one adaptive campaign."""
+        rounds = []
+        for row in adaptive_entry.get("rounds", []):
+            round_id = int(row["round"])
+            session = self._load_session(
+                name,
+                self.strategy_path(name, round_id),
+                row.get("strategy_sha256"),
+                workload,
+            )
+            payload = self._verify_payload(
+                name,
+                self.accumulator_path(name, round_id),
+                row.get("accumulator_sha256"),
+            )
+            accumulator = ShardAccumulator.from_bytes(payload)
+            if accumulator.round_id != round_id:
+                raise ServiceError(
+                    f"checkpoint for campaign {name!r}: round-{round_id} "
+                    f"accumulator is tagged round {accumulator.round_id}"
+                )
+            if accumulator.num_reports != int(row.get("num_reports", -1)):
+                raise ServiceError(
+                    f"checkpoint for campaign {name!r} disagrees with its "
+                    f"manifest: round-{round_id} accumulator holds "
+                    f"{accumulator.num_reports} reports, manifest recorded "
+                    f"{row.get('num_reports')}"
+                )
+            rounds.append(
+                RoundRecord(
+                    round_id=round_id,
+                    session=session,
+                    accumulator=accumulator,
+                    selected_group=int(row["selected_group"]),
+                )
+            )
+        return rounds
+
     def _load_campaign(self, name: str, entry: dict) -> Campaign:
         validate_campaign_name(name)
-        strategy_file = self.strategy_path(name)
-        accumulator_file = self.accumulator_path(name)
-        for path, key in (
-            (strategy_file, "strategy_sha256"),
-            (accumulator_file, "accumulator_sha256"),
-        ):
-            if not path.is_file():
-                raise ServiceError(
-                    f"checkpoint for campaign {name!r} is missing {path.name}"
-                )
-            digest = _sha256(path.read_bytes())
-            if digest != entry.get(key):
-                raise ServiceError(
-                    f"checkpoint for campaign {name!r} failed its checksum "
-                    f"({path.name}: {digest[:12]}… != recorded "
-                    f"{str(entry.get(key))[:12]}…); refusing to recover "
-                    "corrupt state"
-                )
         try:
-            strategy = StrategyMatrix.load(strategy_file)
             workload = workload_by_name(
                 entry["workload"], int(entry["domain_size"])
             )
-            session = ProtocolSession(strategy, workload)
-            accumulator = ShardAccumulator.from_bytes(
-                accumulator_file.read_bytes()
+            session = self._load_session(
+                name,
+                self.strategy_path(name),
+                entry.get("strategy_sha256"),
+                workload,
             )
+            accumulator = ShardAccumulator.from_bytes(
+                self._verify_payload(
+                    name,
+                    self.accumulator_path(name),
+                    entry.get("accumulator_sha256"),
+                )
+            )
+            adaptive_entry = entry.get("adaptive")
+            plan = None
+            ledger = None
+            rounds: list[RoundRecord] = []
+            current_round = 0
+            if adaptive_entry is not None:
+                plan = AdaptivePlan.from_json(adaptive_entry["plan"])
+                ledger = BudgetLedger.from_json(adaptive_entry["ledger"])
+                current_round = int(adaptive_entry["current_round"])
+                rounds = self._load_rounds(name, adaptive_entry, workload)
         except KeyError as error:
             raise ServiceError(
                 f"checkpoint manifest entry for {name!r} is missing {error}"
             )
+        except ServiceError:
+            raise
         except (ProtocolError, ReproError) as error:
             raise ServiceError(
                 f"checkpoint for campaign {name!r} is invalid: {error}"
@@ -257,12 +389,17 @@ class CheckpointStore:
             source=str(entry.get("source", "checkpoint")),
             created_at=float(entry.get("created_at", time.time())),
             accumulator=accumulator,
+            adaptive=plan,
+            ledger=ledger,
+            rounds=rounds,
+            current_round=current_round,
         )
-        if campaign.num_reports != int(entry.get("num_reports", -1)):
+        if campaign.accumulator.num_reports != int(entry.get("num_reports", -1)):
             raise ServiceError(
                 f"checkpoint for campaign {name!r} disagrees with its "
-                f"manifest: accumulator holds {campaign.num_reports} reports, "
-                f"manifest recorded {entry.get('num_reports')}"
+                f"manifest: accumulator holds "
+                f"{campaign.accumulator.num_reports} reports, manifest "
+                f"recorded {entry.get('num_reports')}"
             )
         return campaign
 

@@ -80,14 +80,20 @@ class _ShardSession:
     def __init__(self, num_outputs: int) -> None:
         self.num_outputs = int(num_outputs)
 
-    def new_accumulator(self) -> ShardAccumulator:
-        return ShardAccumulator(self.num_outputs)
+    def new_accumulator(self, round_id: int = 0) -> ShardAccumulator:
+        return ShardAccumulator(self.num_outputs, round_id)
 
 
 class _ShardCampaign:
     """Worker-side view of one campaign: accumulator + flush counter."""
 
     __slots__ = ("name", "session", "accumulator", "flushes")
+
+    # Adaptive campaigns are rejected in cluster mode at creation, so the
+    # worker-side view is always single-round; the ingest pipeline's round
+    # resolution reads these two attributes.
+    adaptive = None
+    current_round = 0
 
     def __init__(self, name: str, num_outputs: int) -> None:
         self.name = name

@@ -15,12 +15,19 @@ Frame layout (all little-endian)::
     4       1     format version (1)
     5       1     kind: 1 = report batch, 2 = response histogram
     6       1     item size in bytes (1/2/4/8 for reports, 8 for histograms)
-    7       1     reserved (0)
+    7       1     adaptive-campaign round id (0 = untagged / non-adaptive)
     8       2     campaign-name length in bytes
     10      2     reserved (0)
     12      4     body length  = name length + count * item size
     16      8     item count
     24      ...   campaign name (UTF-8), then the packed payload
+
+The round byte was the version-1 reserved byte at offset 7, so a round-0
+frame is byte-identical to what older writers emitted and older readers
+accept — the format version stays 1.  Adaptive cohorts tag their round (1
+onward, capped at 255 rounds) and the service refuses a tag that does not
+match the campaign's live round instead of silently folding a stale
+cohort's reports into the wrong strategy's histogram.
 
 The *body length* field makes a frame self-delimiting, so the same bytes
 work as an HTTP request body (where ``Content-Length`` already bounds it)
@@ -54,8 +61,11 @@ KIND_HISTOGRAM = 2
 #: Content type the service and SDK use for binary ingest bodies.
 FRAME_CONTENT_TYPE = "application/x-repro-frame"
 
-#: magic, version, kind, item_size, pad, name_len, pad, body_len, count.
-_HEADER = struct.Struct("<4sBBBxHxxIQ")
+#: magic, version, kind, item_size, round, name_len, pad, body_len, count.
+_HEADER = struct.Struct("<4sBBBBHxxIQ")
+
+#: Largest round id the one-byte header field can carry.
+MAX_FRAME_ROUND = 255
 
 #: Longest accepted campaign name on the wire (matches the service's
 #: 64-character campaign-name alphabet with UTF-8 headroom).
@@ -82,6 +92,7 @@ class Frame:
     count: int
     item_size: int
     payload: bytes
+    round_id: int = 0
 
     @property
     def dtype(self) -> np.dtype:
@@ -128,17 +139,29 @@ def unpack_reports(payload: bytes, item_size: int) -> np.ndarray:
     )
 
 
-def _encode(kind: int, campaign: str, payload: bytes, count: int, item_size: int) -> bytes:
+def _encode(
+    kind: int,
+    campaign: str,
+    payload: bytes,
+    count: int,
+    item_size: int,
+    round_id: int,
+) -> bytes:
     name = str(campaign).encode("utf-8")
     if not name or len(name) > _MAX_NAME_BYTES:
         raise ServiceError(
             f"campaign name of {len(name)} bytes outside [1, {_MAX_NAME_BYTES}]"
+        )
+    if not 0 <= int(round_id) <= MAX_FRAME_ROUND:
+        raise ServiceError(
+            f"frame round id {round_id} outside [0, {MAX_FRAME_ROUND}]"
         )
     header = _HEADER.pack(
         FRAME_MAGIC,
         FRAME_VERSION,
         kind,
         item_size,
+        int(round_id),
         len(name),
         len(name) + len(payload),
         count,
@@ -146,7 +169,7 @@ def _encode(kind: int, campaign: str, payload: bytes, count: int, item_size: int
     return header + name + payload
 
 
-def encode_reports(campaign: str, reports) -> bytes:
+def encode_reports(campaign: str, reports, *, round_id: int = 0) -> bytes:
     """Pack a batch of privatized reports (output ids) into one frame.
 
     The ids are packed in the smallest unsigned width that holds the
@@ -159,6 +182,8 @@ def encode_reports(campaign: str, reports) -> bytes:
     4
     >>> decode_frame(encode_reports("demo", [70000])).reports()
     array([70000])
+    >>> decode_frame(encode_reports("demo", [1, 2], round_id=3)).round_id
+    3
     """
     array = np.asarray(reports)
     if array.ndim != 1 or array.shape[0] == 0:
@@ -183,10 +208,12 @@ def encode_reports(campaign: str, reports) -> bytes:
         array.astype(np.dtype(_REPORT_DTYPES[item_size]).newbyteorder("<"))
         .tobytes()
     )
-    return _encode(KIND_REPORTS, campaign, payload, int(array.shape[0]), item_size)
+    return _encode(
+        KIND_REPORTS, campaign, payload, int(array.shape[0]), item_size, round_id
+    )
 
 
-def encode_histogram(campaign: str, histogram) -> bytes:
+def encode_histogram(campaign: str, histogram, *, round_id: int = 0) -> bytes:
     """Pack a pre-aggregated response histogram into one frame.
 
     Examples
@@ -199,7 +226,9 @@ def encode_histogram(campaign: str, histogram) -> bytes:
     if array.ndim != 1 or array.shape[0] == 0:
         raise ServiceError("histogram must be a non-empty flat vector")
     payload = array.astype("<f8").tobytes()
-    return _encode(KIND_HISTOGRAM, campaign, payload, int(array.shape[0]), 8)
+    return _encode(
+        KIND_HISTOGRAM, campaign, payload, int(array.shape[0]), 8, round_id
+    )
 
 
 def decode_frame(buffer: bytes, offset: int = 0) -> Frame:
@@ -252,9 +281,16 @@ def _decode_at(buffer: bytes, offset: int) -> tuple[Frame, int]:
             f"truncated frame: {len(buffer) - offset} bytes is shorter than "
             f"the {_HEADER.size}-byte header"
         )
-    magic, version, kind, item_size, name_len, body_len, count = _HEADER.unpack_from(
-        buffer, offset
-    )
+    (
+        magic,
+        version,
+        kind,
+        item_size,
+        round_id,
+        name_len,
+        body_len,
+        count,
+    ) = _HEADER.unpack_from(buffer, offset)
     if version != FRAME_VERSION:
         raise ServiceError(
             f"frame format version {version} != supported version "
@@ -289,4 +325,5 @@ def _decode_at(buffer: bytes, offset: int) -> tuple[Frame, int]:
     except UnicodeDecodeError as error:
         raise ServiceError(f"frame campaign name is not UTF-8: {error}")
     payload = bytes(buffer[body_start + name_len : end])
-    return Frame(kind, campaign, int(count), item_size, payload), end
+    frame = Frame(kind, campaign, int(count), item_size, payload, int(round_id))
+    return frame, end

@@ -76,6 +76,44 @@ def validate_reports(reports, num_outputs: int) -> np.ndarray:
     return array.astype(np.int64, copy=False)
 
 
+def resolve_round(campaign, round_id) -> int:
+    """Resolve a submission's round tag against a campaign's live round.
+
+    ``None`` and ``0`` mean *untagged* — the report folds into whatever
+    round is live (round ``0`` on non-adaptive campaigns).  An explicit tag
+    must match the campaign's current round exactly: a lower tag is a stale
+    cohort still reporting against a retired strategy, a higher one is a
+    round the campaign has not opened, and a tag on a non-adaptive campaign
+    is a client confusing campaigns.  All three raise
+    :class:`~repro.exceptions.ProtocolError` — folding them in silently
+    would mix cohorts that used *different strategies* into one histogram.
+    """
+    if round_id is None:
+        return campaign.current_round
+    if isinstance(round_id, bool) or not isinstance(round_id, int):
+        raise ProtocolError(f"round tag must be an integer, got {round_id!r}")
+    if round_id == 0:
+        return campaign.current_round
+    if campaign.adaptive is None:
+        raise ProtocolError(
+            f"campaign {campaign.name!r} is not adaptive; round-{round_id} "
+            "reports belong to some other campaign"
+        )
+    if round_id < campaign.current_round:
+        raise ProtocolError(
+            f"stale round tag {round_id} for campaign {campaign.name!r}: "
+            f"round {campaign.current_round} is live and round-{round_id} "
+            "reports used a retired strategy; refresh the campaign strategy "
+            "and re-randomize"
+        )
+    if round_id > campaign.current_round:
+        raise ProtocolError(
+            f"unknown round tag {round_id} for campaign {campaign.name!r}: "
+            f"the campaign has only opened round {campaign.current_round}"
+        )
+    return round_id
+
+
 def validate_histogram(histogram, num_outputs: int) -> np.ndarray:
     """Validate one pre-aggregated response histogram; returns it as a
     ``float64`` vector of length ``num_outputs``.
@@ -120,12 +158,17 @@ class IngestStats:
 
 @dataclass
 class _Batch:
-    """One validated queue item: reports or a pre-aggregated histogram."""
+    """One validated queue item: reports or a pre-aggregated histogram.
+
+    ``round_id`` is the campaign round the batch was accepted into (0 for
+    non-adaptive campaigns), resolved at submit time.
+    """
 
     campaign: str
     reports: np.ndarray | None = None
     histogram: np.ndarray | None = None
     num_reports: int = 0
+    round_id: int = 0
 
 
 @dataclass
@@ -262,45 +305,52 @@ class IngestPipeline:
 
     # -- submission --------------------------------------------------------
 
-    def _validate_reports(self, campaign: str, reports) -> _Batch:
-        num_outputs = self.manager.get(campaign).session.num_outputs
-        array = validate_reports(reports, num_outputs)
+    def _validate_reports(self, campaign: str, reports, round_id) -> _Batch:
+        target = self.manager.get(campaign)
+        array = validate_reports(reports, target.session.num_outputs)
         return _Batch(
             campaign=campaign,
             reports=array,
             num_reports=int(array.shape[0]),
+            round_id=resolve_round(target, round_id),
         )
 
-    def _validate_histogram(self, campaign: str, histogram) -> _Batch:
-        num_outputs = self.manager.get(campaign).session.num_outputs
-        array = validate_histogram(histogram, num_outputs)
+    def _validate_histogram(self, campaign: str, histogram, round_id) -> _Batch:
+        target = self.manager.get(campaign)
+        array = validate_histogram(histogram, target.session.num_outputs)
         return _Batch(
             campaign=campaign,
             histogram=array,
             num_reports=int(round(float(array.sum()))),
+            round_id=resolve_round(target, round_id),
         )
 
-    async def submit_reports(self, campaign: str, reports) -> int:
+    async def submit_reports(
+        self, campaign: str, reports, round_id: int | None = None
+    ) -> int:
         """Validate and enqueue a batch of privatized reports.
 
         Returns the number of reports accepted.  Raises
-        :class:`ServiceError` (and counts a rejected batch) without
-        enqueuing anything if validation fails — a batch is all-or-nothing.
+        :class:`ServiceError` (or :class:`ProtocolError` for a round-tag
+        mismatch) and counts a rejected batch without enqueuing anything if
+        validation fails — a batch is all-or-nothing.
         """
         try:
-            batch = self._validate_reports(campaign, reports)
-        except ServiceError:
+            batch = self._validate_reports(campaign, reports, round_id)
+        except (ProtocolError, ServiceError):
             self.stats.rejected_batches += 1
             raise
         await self._enqueue(batch)
         return batch.num_reports
 
-    async def submit_histogram(self, campaign: str, histogram) -> int:
+    async def submit_histogram(
+        self, campaign: str, histogram, round_id: int | None = None
+    ) -> int:
         """Validate and enqueue a pre-aggregated response histogram (the
         cross-tier path: an edge aggregator ships its merged counts)."""
         try:
-            batch = self._validate_histogram(campaign, histogram)
-        except ServiceError:
+            batch = self._validate_histogram(campaign, histogram, round_id)
+        except (ProtocolError, ServiceError):
             self.stats.rejected_batches += 1
             raise
         await self._enqueue(batch)
@@ -326,9 +376,19 @@ class IngestPipeline:
         while True:
             batch = await self._queue.get()
             try:
+                campaign = self.manager.get(batch.campaign)
+                if batch.round_id != campaign.current_round:
+                    raise ProtocolError(
+                        f"round {batch.round_id} batch arrived after campaign "
+                        f"{batch.campaign!r} advanced to round "
+                        f"{campaign.current_round}"
+                    )
                 partial = worker.partials.get(batch.campaign)
+                if partial is not None and partial.round_id != batch.round_id:
+                    self._flush_partial(worker, batch.campaign)
+                    partial = None
                 if partial is None:
-                    partial = self.manager.get(batch.campaign).session.new_accumulator()
+                    partial = campaign.session.new_accumulator(batch.round_id)
                     worker.partials[batch.campaign] = partial
                 if batch.reports is not None:
                     partial.add_reports(batch.reports)
@@ -351,6 +411,13 @@ class IngestPipeline:
         if partial is None or partial.num_reports == 0:
             return
         campaign = self.manager.get(campaign_name)
+        if partial.round_id != campaign.accumulator.round_id:
+            # Unreachable when advances drain the pipeline first (the
+            # service does); a partial stranded across a round swap must
+            # not poison the flush timer, so count it and drop it rather
+            # than raise from a background task.
+            self.stats.rejected_batches += 1
+            return
         # merge() is the one place the monoid semantics (and their shape
         # checks) live; reassigning is safe because every mutation of the
         # campaign happens on the event loop and snapshots are copies.
@@ -406,10 +473,15 @@ async def fold_json_body(
         raise ServiceError("body needs a 'campaign' field")
     if ("reports" in body) == ("histogram" in body):
         raise ServiceError("body needs exactly one of 'reports' or 'histogram'")
+    round_id = body.get("round")
     if "reports" in body:
-        accepted = await pipeline.submit_reports(campaign, body["reports"])
+        accepted = await pipeline.submit_reports(
+            campaign, body["reports"], round_id
+        )
     else:
-        accepted = await pipeline.submit_histogram(campaign, body["histogram"])
+        accepted = await pipeline.submit_histogram(
+            campaign, body["histogram"], round_id
+        )
     return {campaign: accepted}
 
 
@@ -425,19 +497,22 @@ async def fold_frame_body(
     metrics and accepted-count bookkeeping permanently out of step with
     the accumulators).
     """
-    validated: list[tuple[str, int, np.ndarray]] = []
+    validated: list[tuple[str, int, np.ndarray, int]] = []
     for frame in decode_frames(payload):
-        num_outputs = pipeline.manager.get(frame.campaign).session.num_outputs
+        target = pipeline.manager.get(frame.campaign)
+        resolve_round(target, frame.round_id or None)
         if frame.kind == KIND_REPORTS:
-            array = validate_reports(frame.reports(), num_outputs)
+            array = validate_reports(frame.reports(), target.session.num_outputs)
         else:
-            array = validate_histogram(frame.histogram(), num_outputs)
-        validated.append((frame.campaign, frame.kind, array))
+            array = validate_histogram(
+                frame.histogram(), target.session.num_outputs
+            )
+        validated.append((frame.campaign, frame.kind, array, frame.round_id))
     per_campaign: dict[str, int] = {}
-    for campaign, kind, array in validated:
+    for campaign, kind, array, round_id in validated:
         if kind == KIND_REPORTS:
-            count = await pipeline.submit_reports(campaign, array)
+            count = await pipeline.submit_reports(campaign, array, round_id)
         else:
-            count = await pipeline.submit_histogram(campaign, array)
+            count = await pipeline.submit_histogram(campaign, array, round_id)
         per_campaign[campaign] = per_campaign.get(campaign, 0) + count
     return per_campaign

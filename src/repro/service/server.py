@@ -11,11 +11,17 @@ Endpoints (all JSON):
 ====== ================================ =======================================
 method path                             purpose
 ====== ================================ =======================================
-POST   ``/v1/campaigns``                create a campaign
+POST   ``/v1/campaigns``                create a campaign (pass ``adaptive``
+                                        for a multi-round plan)
 GET    ``/v1/campaigns``                list campaigns
 GET    ``/v1/campaigns/<name>``         one campaign's summary
 GET    ``/v1/campaigns/<name>/strategy`` the public strategy matrix (clients
-                                        randomize locally against it)
+                                        randomize locally against it; carries
+                                        the live round for adaptive campaigns)
+POST   ``/v1/campaigns/<name>/advance`` close the live round of an adaptive
+                                        campaign: drain + checkpoint, select
+                                        the worst-approximated sub-workload,
+                                        re-optimize, open the next round
 POST   ``/v1/report``                   one privatized report
 POST   ``/v1/reports``                  a batch of reports, or a
                                         pre-aggregated histogram
@@ -47,7 +53,7 @@ from dataclasses import dataclass
 
 from repro._version import __version__
 from repro.exceptions import ClusterDegradedError, ReproError, ServiceError
-from repro.service.campaigns import CampaignManager
+from repro.service.campaigns import AdaptivePlan, CampaignManager
 from repro.service.checkpoint import CheckpointStore
 from repro.service.cluster import DEFAULT_START_METHOD, WorkerPool
 from repro.service.framing import FRAME_CONTENT_TYPE
@@ -325,10 +331,17 @@ class CollectionService:
                     extra = worker_states.get(campaign.name)
                     if extra is not None:
                         snapshot = snapshot.merge(extra)
-                    frozen.append((campaign, snapshot))
+                    frozen.append((campaign, snapshot, campaign.freeze_adaptive()))
             else:
+                # Round state is frozen here too, on the loop — a round
+                # advance committing while save_frozen runs on the worker
+                # thread must not tear the ledger/session/history apart.
                 frozen = [
-                    (campaign, campaign.accumulator.snapshot())
+                    (
+                        campaign,
+                        campaign.accumulator.snapshot(),
+                        campaign.freeze_adaptive(),
+                    )
                     for campaign in self.manager.campaigns()
                 ]
             manifest = await asyncio.to_thread(
@@ -482,6 +495,9 @@ class CollectionService:
                 }
             raise _HttpError(405, f"{method} not allowed on {path}")
         if path.startswith("/v1/campaigns/"):
+            parts = path.split("/")[3:]
+            if method == "POST" and len(parts) == 2 and parts[1] == "advance":
+                return await self._advance_campaign(parts[0], request.json())
             return self._campaign_subresource(method, path)
         if path == "/v1/report" and method == "POST":
             if request.is_frame:
@@ -532,6 +548,7 @@ class CollectionService:
                 "epsilon": strategy.epsilon,
                 "domain_size": strategy.domain_size,
                 "num_outputs": strategy.num_outputs,
+                "round": campaign.current_round,
                 "probabilities": [
                     [float(v) for v in row] for row in strategy.probabilities
                 ],
@@ -554,6 +571,16 @@ class CollectionService:
             )
         mechanism = str(body.get("mechanism", "Hadamard"))
         iterations = int(body.get("iterations", 300))
+        adaptive = None
+        if body.get("adaptive") is not None:
+            if self.pool is not None:
+                raise _HttpError(
+                    400,
+                    "adaptive campaigns are not supported in cluster mode: "
+                    "round advances swap the strategy under the worker "
+                    "shards; run without --cluster-workers",
+                )
+            adaptive = AdaptivePlan.from_json(body["adaptive"])
         if name in self.manager:
             raise _HttpError(409, f"campaign {name!r} already exists")
         # Strategy resolution can be slow (PGD); run it off the loop.  The
@@ -568,6 +595,7 @@ class CollectionService:
             mechanism=mechanism,
             iterations=iterations,
             store=self.store,
+            adaptive=adaptive,
         )
         try:
             self.manager.adopt(campaign)
@@ -580,6 +608,49 @@ class CollectionService:
             )
         await self.checkpoint()
         return 200, self._describe(campaign)
+
+    async def _advance_campaign(self, name: str, body: dict) -> tuple[int, dict]:
+        """Close the live round of an adaptive campaign and open the next.
+
+        Order matters for crash safety:
+
+        1. drain ingest — every acknowledged round-``r`` report is in the
+           live accumulator;
+        2. *round checkpoint* — the completed round is durable before any
+           state moves;
+        3. plan (fast, on-loop) then optimize (slow, off-loop while ingest
+           keeps running);
+        4. drain again — reports accepted during the optimization fold in;
+        5. commit on-loop (ledger debits, session swap, round bump);
+        6. checkpoint the new round, unless the body says
+           ``{"checkpoint": false}`` — the fault-injection hook that leaves
+           a SIGKILL landing between the round checkpoint and the durable
+           strategy swap, which recovery must replay deterministically.
+
+        A crash anywhere in between recovers from the round checkpoint into
+        round ``r``; re-advancing re-plans with the same seeded selection
+        and re-optimizes deterministically, so the retried transition is
+        bit-identical to the one the crash destroyed.
+        """
+        try:
+            campaign = self.manager.get(name)
+        except ServiceError as error:
+            raise _HttpError(404, str(error))
+        if campaign.adaptive is None:
+            raise _HttpError(
+                400, f"campaign {name!r} is not adaptive; nothing to advance"
+            )
+        await self.pipeline.drain()
+        await self.checkpoint()
+        advance = self.manager.plan_advance(name)
+        session = await asyncio.to_thread(
+            self.manager.optimize_round_strategy, advance, store=self.store
+        )
+        await self.pipeline.drain()
+        report = self.manager.commit_advance(advance, session)
+        if body.get("checkpoint", True):
+            await self.checkpoint()
+        return 200, report.to_json()
 
     def _require_transport(self, wire: str) -> None:
         if self.transport not in (wire, "both"):

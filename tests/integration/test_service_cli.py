@@ -137,3 +137,86 @@ class TestServeFlags:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--transport", "tcp"])
         assert "invalid choice" in capsys.readouterr().err
+
+    def test_serve_parser_accepts_adaptive_flags(self):
+        from repro.cli import build_parser
+
+        arguments = build_parser().parse_args(
+            ["serve", "--adaptive", "3", "--adaptive-groups", "2",
+             "--adaptive-seed", "7", "--port", "0"]
+        )
+        assert arguments.adaptive == 3
+        assert arguments.adaptive_groups == 2
+        assert arguments.adaptive_seed == 7
+
+    def test_serve_refuses_adaptive_with_cluster_workers(self, capsys):
+        code = main(["serve", "--adaptive", "2", "--workers", "2", "--port", "0"])
+        assert code == 2
+        assert "cluster mode" in capsys.readouterr().err
+
+
+class TestCampaignAdvanceCli:
+    @pytest.fixture
+    def adaptive_server(self):
+        from repro.service import AdaptivePlan
+
+        service = CollectionService(flush_interval=0.02)
+        service.manager.create(
+            "cli-adaptive",
+            workload="Prefix",
+            domain_size=8,
+            epsilon=2.0,
+            mechanism="Randomized Response",
+            adaptive=AdaptivePlan(
+                num_rounds=2, num_groups=2, iterations=15, seed=0
+            ),
+        )
+        thread = ServiceThread(service)
+        host, port = thread.start()
+        try:
+            yield host, port
+        finally:
+            thread.stop()
+
+    def test_advance_prints_the_round_report(self, adaptive_server, capsys):
+        host, port = adaptive_server
+        assert main(
+            [
+                "report",
+                "--host", host,
+                "--port", str(port),
+                "--campaign", "cli-adaptive",
+                "--simulate", "300",
+                "--seed", "0",
+            ]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "campaign", "advance",
+                "--host", host,
+                "--port", str(port),
+                "--campaign", "cli-adaptive",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "advanced to round 2" in output
+        assert "selected sub-workload" in output
+
+    def test_advance_on_non_adaptive_campaign_errors(self, live_server):
+        from repro.exceptions import ServiceError
+
+        host, port = live_server
+        with pytest.raises(ServiceError, match="not adaptive"):
+            main(
+                [
+                    "campaign", "advance",
+                    "--host", host,
+                    "--port", str(port),
+                    "--campaign", "cli-demo",
+                ]
+            )
+
+    def test_campaign_without_subcommand_is_usage_error(self, capsys):
+        assert main(["campaign"]) == 2

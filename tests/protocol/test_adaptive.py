@@ -1,0 +1,154 @@
+"""Private worst-approximated selection: partitioning, scoring, and the
+exponential mechanism's distribution checked against its analytic form."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.protocol import (
+    partition_workload,
+    group_scores,
+    selection_probabilities,
+    worst_approximated,
+    boosted_workload,
+)
+from repro.workloads import histogram, prefix
+
+
+class TestPartitionWorkload:
+    def test_partition_covers_the_workload_contiguously(self):
+        groups = partition_workload(prefix(8), 3)
+        assert [g.index for g in groups] == [0, 1, 2]
+        assert groups[0].start == 0
+        assert groups[-1].stop == 8
+        for left, right in zip(groups, groups[1:]):
+            assert left.stop == right.start
+        assert sum(g.num_queries for g in groups) == 8
+
+    def test_more_groups_than_queries_clamps(self):
+        groups = partition_workload(histogram(3), 10)
+        assert len(groups) == 3
+        assert all(g.num_queries == 1 for g in groups)
+
+    def test_rejects_bad_group_count(self):
+        with pytest.raises(ProtocolError):
+            partition_workload(histogram(4), 0)
+
+
+class TestGroupScores:
+    def test_scores_are_per_block_rms(self):
+        groups = partition_workload(histogram(4), 2)
+        errors = np.array([3.0, 4.0, 0.0, 2.0])
+        scores = group_scores(groups, errors)
+        assert scores[0] == pytest.approx(np.sqrt((9 + 16) / 2))
+        assert scores[1] == pytest.approx(np.sqrt((0 + 4) / 2))
+
+    def test_rejects_length_mismatch(self):
+        groups = partition_workload(histogram(4), 2)
+        with pytest.raises(ProtocolError):
+            group_scores(groups, np.ones(3))
+
+
+class TestSelectionProbabilities:
+    def test_equal_scores_give_uniform(self):
+        probabilities = selection_probabilities([5.0, 5.0, 5.0, 5.0], epsilon=1.0)
+        assert np.allclose(probabilities, 0.25)
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_all_zero_scores_give_uniform(self):
+        assert np.allclose(
+            selection_probabilities([0.0, 0.0], epsilon=2.0), [0.5, 0.5]
+        )
+
+    def test_matches_analytic_exponential_mechanism(self):
+        # P[g] ∝ exp(0.5 · ε · score / sensitivity)
+        scores = np.array([0.0, 1.0, 2.5])
+        epsilon, sensitivity = 1.5, 2.0
+        weights = np.exp(0.5 * epsilon * scores / sensitivity)
+        expected = weights / weights.sum()
+        actual = selection_probabilities(
+            scores, epsilon=epsilon, sensitivity=sensitivity
+        )
+        assert np.allclose(actual, expected, rtol=1e-12)
+
+    def test_huge_scores_do_not_overflow(self):
+        probabilities = selection_probabilities([0.0, 1e6], epsilon=10.0)
+        assert np.all(np.isfinite(probabilities))
+        assert probabilities[1] == pytest.approx(1.0)
+
+    def test_rejects_invalid_input(self):
+        with pytest.raises(ProtocolError, match="non-empty"):
+            selection_probabilities([], epsilon=1.0)
+        with pytest.raises(ProtocolError, match="finite"):
+            selection_probabilities([np.inf], epsilon=1.0)
+        with pytest.raises(ProtocolError, match="epsilon"):
+            selection_probabilities([1.0], epsilon=0.0)
+        with pytest.raises(ProtocolError, match="sensitivity"):
+            selection_probabilities([1.0], epsilon=1.0, sensitivity=-1.0)
+
+
+class TestWorstApproximated:
+    def test_empirical_frequencies_match_analytic_distribution(self):
+        """Satellite: at a fixed seed, selection frequencies over many
+        draws sit within binomial tolerance of the analytic exponential-
+        mechanism probabilities."""
+        scores = [0.0, 1.0, 2.0, 4.0]
+        epsilon = 2.0
+        expected = selection_probabilities(scores, epsilon=epsilon)
+        rng = np.random.default_rng(2024)
+        draws = 8000
+        counts = np.bincount(
+            [worst_approximated(scores, epsilon, rng=rng) for _ in range(draws)],
+            minlength=len(scores),
+        )
+        empirical = counts / draws
+        # 4-sigma binomial band per candidate at the fixed seed
+        tolerance = 4.0 * np.sqrt(expected * (1 - expected) / draws)
+        assert np.all(np.abs(empirical - expected) <= tolerance)
+
+    def test_single_candidate_is_deterministic(self):
+        # no rng supplied: the degenerate case must not consume randomness
+        assert worst_approximated([42.0], epsilon=0.001) == 0
+
+    def test_zero_scores_select_uniformly(self):
+        rng = np.random.default_rng(7)
+        draws = 4000
+        counts = np.bincount(
+            [worst_approximated([0.0, 0.0], 1.0, rng=rng) for _ in range(draws)],
+            minlength=2,
+        )
+        assert np.all(np.abs(counts / draws - 0.5) < 0.05)
+
+    def test_fixed_seed_is_reproducible(self):
+        scores = [1.0, 3.0, 2.0]
+        first = worst_approximated(scores, 1.0, rng=np.random.default_rng(11))
+        second = worst_approximated(scores, 1.0, rng=np.random.default_rng(11))
+        assert first == second
+
+
+class TestBoostedWorkload:
+    def test_only_selected_rows_are_scaled(self):
+        base = prefix(8)
+        groups = partition_workload(base, 4)
+        boosted = boosted_workload(base, groups, selected=2, boost=4.0)
+        block = groups[2]
+        assert np.array_equal(
+            boosted.matrix[block.start : block.stop],
+            4.0 * np.asarray(base.matrix)[block.start : block.stop],
+        )
+        untouched = np.ones(8, dtype=bool)
+        untouched[block.start : block.stop] = False
+        assert np.array_equal(
+            boosted.matrix[untouched], np.asarray(base.matrix)[untouched]
+        )
+        assert f"boost {block.start}:{block.stop}" in boosted.name
+
+    def test_rejects_bad_selection(self):
+        base = histogram(4)
+        groups = partition_workload(base, 2)
+        with pytest.raises(ProtocolError):
+            boosted_workload(base, groups, selected=5, boost=2.0)
+        with pytest.raises(ProtocolError):
+            boosted_workload(base, groups, selected=0, boost=0.0)
+        with pytest.raises(ProtocolError):
+            boosted_workload(base, [], selected=0, boost=2.0)

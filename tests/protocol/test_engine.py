@@ -137,6 +137,59 @@ class TestShardAccumulator:
             ShardAccumulator.from_bytes(b"definitely not an npz payload")
 
 
+class TestRoundTags:
+    def test_default_round_is_zero(self):
+        assert ShardAccumulator(4).round_id == 0
+
+    def test_round_tag_survives_merge_snapshot_and_bytes(self):
+        tagged = ShardAccumulator(4, 2).add_reports(np.array([1, 3]))
+        other = ShardAccumulator(4, 2).add_reports(np.array([0]))
+        merged = tagged.merge(other)
+        assert merged.round_id == 2
+        assert merged.snapshot().round_id == 2
+        restored = ShardAccumulator.from_bytes(merged.to_bytes())
+        assert restored == merged
+        assert restored.round_id == 2
+
+    def test_merge_refuses_cross_round_mix(self):
+        # different rounds ran different strategies; folding them into one
+        # histogram would silently corrupt the reconstruction
+        round_one = ShardAccumulator(4, 1).add_reports(np.array([0]))
+        round_two = ShardAccumulator(4, 2).add_reports(np.array([1]))
+        with pytest.raises(ProtocolError, match="rounds 1 and 2"):
+            round_one.merge(round_two)
+        with pytest.raises(ProtocolError, match="different"):
+            ShardAccumulator.merge_all([round_one, round_two])
+
+    def test_untagged_payload_loads_as_round_zero(self):
+        # payloads written before round tags existed stay readable
+        import io
+
+        from repro.protocol import (
+            ACCUMULATOR_FORMAT_VERSION,
+            ACCUMULATOR_MAGIC,
+        )
+
+        buffer = io.BytesIO()
+        np.savez_compressed(
+            buffer,
+            format_magic=np.asarray(ACCUMULATOR_MAGIC),
+            format_version=np.asarray(ACCUMULATOR_FORMAT_VERSION, dtype=np.int64),
+            histogram=np.array([1.0, 0.0]),
+            num_reports=np.asarray(1, dtype=np.int64),
+        )
+        assert ShardAccumulator.from_bytes(buffer.getvalue()).round_id == 0
+
+    def test_negative_round_rejected(self):
+        with pytest.raises(ProtocolError, match="round id"):
+            ShardAccumulator(4, -1)
+
+    def test_session_mints_tagged_accumulators(self, session):
+        accumulator = session.new_accumulator(3)
+        assert accumulator.round_id == 3
+        assert session.new_accumulator().round_id == 0
+
+
 class TestSplitDataVector:
     def test_partition_is_exact_and_even(self):
         x = np.array([10.0, 3.0, 0.0, 7.0])

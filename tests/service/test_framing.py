@@ -156,3 +156,32 @@ class TestDecodeValidation:
             unpack_reports(b"\x00\x00", 3)
         with pytest.raises(ServiceError, match="multiple"):
             unpack_reports(b"\x00\x00\x00", 2)
+
+
+class TestRoundTags:
+    def test_round_id_round_trips(self):
+        frame = decode_frame(encode_reports("demo", [1, 2], round_id=3))
+        assert frame.round_id == 3
+        histogram = decode_frame(encode_histogram("demo", [1.0, 0.0], round_id=7))
+        assert histogram.round_id == 7
+
+    def test_default_round_is_zero(self):
+        assert decode_frame(encode_reports("demo", [1])).round_id == 0
+
+    def test_untagged_frame_is_byte_identical_to_pre_round_format(self):
+        # round 0 lands in what used to be a reserved zero pad byte, so
+        # old decoders keep accepting untagged frames unchanged
+        tagged = encode_reports("demo", [1, 2, 3], round_id=0)
+        assert tagged == encode_reports("demo", [1, 2, 3])
+        assert tagged[7] == 0
+
+    def test_round_tag_occupies_header_byte_seven(self):
+        assert encode_reports("demo", [1], round_id=9)[7] == 9
+
+    def test_out_of_range_rounds_rejected(self):
+        from repro.service.framing import MAX_FRAME_ROUND
+
+        with pytest.raises(ServiceError, match="round"):
+            encode_reports("demo", [1], round_id=MAX_FRAME_ROUND + 1)
+        with pytest.raises(ServiceError, match="round"):
+            encode_reports("demo", [1], round_id=-1)
