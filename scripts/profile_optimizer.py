@@ -21,9 +21,11 @@ from __future__ import annotations
 import argparse
 import cProfile
 import io
+import json
 import pstats
 import sys
 import time
+from pathlib import Path
 
 from repro.optimization import OptimizerConfig, optimize_strategy
 from repro.workloads import histogram, prefix
@@ -55,6 +57,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output", default=None, help="also dump pstats data to this path"
     )
+    parser.add_argument(
+        "--telemetry-output",
+        default=None,
+        help="write the run's optimizer telemetry (objective trajectory, "
+        "line-search attempts, projection passes) as JSON to this path "
+        "(default: <output>.telemetry.json when --output is given)",
+    )
     arguments = parser.parse_args(argv)
 
     workload = WORKLOADS[arguments.workload](arguments.domain)
@@ -63,6 +72,7 @@ def main(argv=None) -> int:
         seed=arguments.seed,
         num_outputs=arguments.num_outputs,
         engine=arguments.engine,
+        track_history=True,
     )
     print(
         f"profiling optimize_strategy: {arguments.workload}({arguments.domain}), "
@@ -89,6 +99,28 @@ def main(argv=None) -> int:
     if arguments.output:
         stats.dump_stats(arguments.output)
         print(f"wrote pstats data to {arguments.output}")
+    telemetry_path = arguments.telemetry_output
+    if telemetry_path is None and arguments.output:
+        telemetry_path = f"{arguments.output}.telemetry.json"
+    if telemetry_path:
+        document = {
+            "workload": arguments.workload,
+            "domain": arguments.domain,
+            "epsilon": arguments.epsilon,
+            "seed": arguments.seed,
+            "engine": arguments.engine,
+            "elapsed_seconds": elapsed,
+            "objective": result.objective,
+            "iterations_run": result.iterations_run,
+            "step_size": result.step_size,
+            "objective_trajectory": result.history,
+            **result.telemetry,
+        }
+        Path(telemetry_path).write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote optimizer telemetry to {telemetry_path}")
     return 0
 
 

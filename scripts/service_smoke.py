@@ -150,6 +150,71 @@ class Server:
         raise SystemExit(f"server on :{self.port} never became healthy")
 
 
+_PROM_COMMENT = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$")
+_PROM_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? "
+    r"(?:[+-]?(?:\d+\.?\d*(?:[eE][+-]?\d+)?|Inf)|NaN)$"
+)
+
+
+def check_prometheus_scrape(
+    client: ServiceClient, required_families: tuple[str, ...]
+) -> None:
+    """Scrape /v1/metrics?format=prometheus and fail on malformed lines,
+    missing families, or a latency histogram with no observations."""
+    text = client.prometheus_metrics()
+    typed: set[str] = set()
+    samples: dict[str, float] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        if line.startswith("#"):
+            if not _PROM_COMMENT.match(line):
+                raise SystemExit(
+                    f"[smoke] FAIL: malformed exposition comment at line "
+                    f"{number}: {line!r}"
+                )
+            _, kind, family = line.split(" ")[:3]
+            if kind == "TYPE":
+                typed.add(family)
+            continue
+        if not _PROM_SAMPLE.match(line):
+            raise SystemExit(
+                f"[smoke] FAIL: malformed exposition sample at line "
+                f"{number}: {line!r}"
+            )
+        name = line.split("{")[0].split(" ")[0]
+        samples[line.rsplit(" ", 1)[0]] = float(
+            line.rsplit(" ", 1)[1].replace("Inf", "inf")
+        )
+        samples.setdefault(name, 0.0)
+    for family in required_families:
+        if family not in typed:
+            raise SystemExit(
+                f"[smoke] FAIL: exposition is missing a TYPE header for "
+                f"required family {family!r}"
+            )
+        if not any(key.startswith(family) for key in samples):
+            raise SystemExit(
+                f"[smoke] FAIL: exposition has no samples for required "
+                f"family {family!r}"
+            )
+    latency_count = next(
+        (
+            value
+            for key, value in samples.items()
+            if key.startswith("repro_ingest_latency_seconds_count")
+        ),
+        0.0,
+    )
+    if latency_count <= 0:
+        raise SystemExit(
+            "[smoke] FAIL: ingest latency histogram recorded no observations"
+        )
+    print(
+        f"[smoke] prometheus scrape: {len(text.splitlines())} lines valid, "
+        f"{len(typed)} families, ingest latency count {latency_count:g}"
+    )
+
+
 def worst_group_error(estimates, truth, num_reports: int) -> float:
     """Max over the two sub-workload halves of per-report RMS error."""
     error = np.asarray(estimates, dtype=float) - np.asarray(truth, dtype=float)
@@ -271,6 +336,18 @@ def run_adaptive(transport: str) -> int:
             )
             ledger = client2.campaign(CAMPAIGN)["adaptive"]["ledger"]
             assert ledger["remaining_epsilon"] == 0.0, ledger
+            check_prometheus_scrape(
+                client2,
+                required_families=(
+                    "repro_uptime_seconds",
+                    "repro_http_requests_total",
+                    "repro_ingest_latency_seconds",
+                    "repro_campaign_reports",
+                    "repro_campaign_epsilon_spent",
+                    "repro_campaign_epsilon_remaining",
+                    "repro_campaign_ledger_info",
+                ),
+            )
             print(
                 f"[smoke] round 2: {final['num_reports']:,} total reports, "
                 f"worst sub-workload error {combined_error:.4f} users/report "
@@ -357,6 +434,16 @@ def main() -> int:
         if worst > 6.0:
             print("[smoke] FAIL: estimate outside 6-sigma tolerance")
             return 1
+
+        check_prometheus_scrape(
+            client,
+            required_families=(
+                "repro_uptime_seconds",
+                "repro_http_requests_total",
+                "repro_ingest_latency_seconds",
+                "repro_campaign_reports",
+            ),
+        )
 
         client.checkpoint()
         pre_kill = client.query(CAMPAIGN, sync=True)

@@ -321,6 +321,43 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="root seed for the per-round private selection",
     )
+    serve.add_argument(
+        "--log-format",
+        choices=("text", "json"),
+        default="text",
+        help="structured log format on stderr (json = one object per line, "
+        "trace-id correlated)",
+    )
+    serve.add_argument(
+        "--no-tracing",
+        action="store_true",
+        help="disable span tracing (tracing is on by default; it never "
+        "changes estimates either way)",
+    )
+
+    metrics = subcommands.add_parser(
+        "metrics", help="show a running service's telemetry snapshot"
+    )
+    metrics.add_argument("--host", default="127.0.0.1", help="service address")
+    metrics.add_argument("--port", type=int, default=8320, help="service port")
+    metrics.add_argument(
+        "--format",
+        choices=("summary", "json", "prometheus"),
+        default="summary",
+        help="summary = human-readable digest, json = the raw /v1/metrics "
+        "document, prometheus = the text exposition",
+    )
+    metrics.add_argument(
+        "--watch",
+        action="store_true",
+        help="refresh continuously until interrupted",
+    )
+    metrics.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between refreshes with --watch",
+    )
 
     campaign = subcommands.add_parser(
         "campaign", help="operate on campaigns of a running service"
@@ -772,7 +809,9 @@ def _run_strategy_prune(arguments) -> int:
 
 def _run_serve(arguments) -> int:
     from repro.service import CollectionService, run_service
+    from repro.telemetry import configure_logging
 
+    configure_logging(arguments.log_format)
     if arguments.adaptive is not None and arguments.workers > 0:
         # checked before the service spins up so no worker processes leak
         print(
@@ -795,6 +834,7 @@ def _run_serve(arguments) -> int:
         flush_interval=arguments.flush_interval,
         cluster_workers=arguments.workers,
         transport=arguments.transport,
+        tracing=not arguments.no_tracing,
     )
     if arguments.campaign is not None and arguments.campaign not in service.manager:
         adaptive = None
@@ -870,6 +910,90 @@ def _run_report(arguments) -> int:
     return 0
 
 
+def _render_metrics_summary(snapshot: dict) -> str:
+    """A terminal digest of the /v1/metrics JSON document."""
+    lines = [
+        f"uptime {snapshot.get('uptime_seconds', 0.0):,.1f} s, "
+        f"{snapshot.get('requests_served', 0):,} requests served, "
+        f"{snapshot.get('total_reports', 0):,} reports total",
+    ]
+    ingest = snapshot.get("ingest", {})
+    lines.append(
+        f"ingest: {ingest.get('ingested', 0):,} folded, "
+        f"{ingest.get('rejected_batches', 0):,} batches rejected, "
+        f"{ingest.get('reports_dropped', 0):,} stale-cohort drops, "
+        f"queue depth {snapshot.get('queue_depth', 0)}"
+    )
+    lines.append(
+        f"checkpoints: {snapshot.get('checkpoints_written', 0)} written, "
+        f"{snapshot.get('checkpoint_failures', 0)} failed"
+    )
+    for name, row in sorted(snapshot.get("campaigns", {}).items()):
+        line = (
+            f"campaign {name!r}: {row.get('num_reports', 0):,} reports, "
+            f"round {row.get('round', 0)}"
+        )
+        ledger = row.get("ledger")
+        if ledger:
+            line += (
+                f", eps spent {ledger['epsilon_spent']:g}"
+                f"/{ledger['epsilon_total']:g} "
+                f"(exact {ledger['epsilon_spent_exact']})"
+            )
+        lines.append(line)
+    telemetry = snapshot.get("telemetry", {})
+    for family in ("repro_ingest_latency_seconds", "repro_http_request_seconds"):
+        for key, row in sorted(telemetry.items()):
+            if not key.startswith(family) or not isinstance(row, dict):
+                continue
+            if "p50" not in row:
+                continue
+            lines.append(
+                f"{key}: count {row['count']:,}, "
+                f"p50 {row['p50']:.6f} s, p95 {row['p95']:.6f} s, "
+                f"p99 {row['p99']:.6f} s"
+            )
+    cluster = snapshot.get("cluster")
+    if cluster:
+        lines.append(
+            f"cluster: {cluster['workers_alive']}/{cluster['num_workers']} "
+            f"workers alive, {cluster['dispatched_reports']:,} reports "
+            "dispatched"
+        )
+    return "\n".join(lines)
+
+
+def _run_metrics(arguments) -> int:
+    import json as json_module
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient(arguments.host, arguments.port)
+    try:
+        while True:
+            if arguments.format == "prometheus":
+                output = client.prometheus_metrics().rstrip("\n")
+            elif arguments.format == "json":
+                output = json_module.dumps(
+                    client.metrics(), indent=2, sort_keys=True
+                )
+            else:
+                output = _render_metrics_summary(client.metrics())
+            if arguments.watch:
+                print("\x1b[2J\x1b[H", end="")
+            print(output)
+            if not arguments.watch:
+                return 0
+            time.sleep(arguments.interval)
+    except KeyboardInterrupt:
+        return 0
+    except BrokenPipeError:
+        # Downstream pager/head closed early; that is not an error.
+        return 0
+    finally:
+        client.close()
+
+
 def _run_campaign_advance(arguments) -> int:
     from repro.service import ServiceClient
 
@@ -941,6 +1065,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_report(arguments)
     if arguments.command == "query":
         return _run_query(arguments)
+    if arguments.command == "metrics":
+        return _run_metrics(arguments)
     if arguments.command == "campaign":
         if arguments.campaign_command == "advance":
             return _run_campaign_advance(arguments)

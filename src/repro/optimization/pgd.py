@@ -35,6 +35,7 @@ from repro.optimization.projection import (
     project_columns,
     projection_vjp,
 )
+from repro.telemetry import get_registry
 from repro.workloads.base import Workload
 
 #: Default ratio of strategy outputs to domain size (the paper's m = 4n).
@@ -124,6 +125,11 @@ class OptimizationResult:
     step_size: float
     iterations_run: int
     history: list[float] = field(default_factory=list)
+    #: Per-run driver telemetry: ``iterations``, ``line_search_attempts``
+    #: (candidate step sizes probed), and ``projection_passes`` (calls into
+    #: the dual projection).  Purely observational — never feeds back into
+    #: the optimization.
+    telemetry: dict = field(default_factory=dict)
 
 
 def initial_bounds(num_outputs: int, epsilon: float) -> np.ndarray:
@@ -239,6 +245,7 @@ def _descend(
     step_growth: float = 1.25,
     weights: np.ndarray | None = None,
     evaluator=None,  # required; keyword-style for call-site clarity
+    stats: dict | None = None,
 ) -> tuple[ProjectionState, np.ndarray, float, int]:
     """Run PGD from a starting point; returns the best iterate found.
 
@@ -262,12 +269,18 @@ def _descend(
     """
     if evaluator is None:
         raise OptimizationError("_descend requires an evaluation engine")
+    if stats is None:
+        stats = {}
+    stats.setdefault("iterations", 0)
+    stats.setdefault("line_search_attempts", 0)
+    stats.setdefault("projection_passes", 0)
     best_value = np.inf
     best_state, best_bounds = state, bounds
     stall = 0
     iterations_run = 0
     for iteration in range(num_iterations):
         iterations_run = iteration + 1
+        stats["iterations"] += 1
         value, gradient = evaluator.value_and_gradient(state.matrix)
         if history is not None:
             history.append(value)
@@ -295,6 +308,7 @@ def _descend(
             bounds = _repair_bounds(
                 bounds - step_size / z_scale * bound_gradient, epsilon
             )
+            stats["projection_passes"] += 1
             state = evaluator.project(
                 state.matrix - step_size * gradient,
                 bounds,
@@ -311,6 +325,8 @@ def _descend(
         for batch_size in _LINE_SEARCH_BATCHES:
             steps = [step_size * 0.5**probe for probe in range(batch_size)]
             raws = [state.matrix - step * gradient for step in steps]
+            stats["line_search_attempts"] += batch_size
+            stats["projection_passes"] += batch_size
             candidates = evaluator.project_batch(
                 raws, bounds, epsilon, initial_multipliers=state.multipliers
             )
@@ -364,6 +380,7 @@ def _descend(
         proposals = _bound_proposals(
             candidate, bounds, gradient, accepted_step / z_scale, epsilon
         )
+        stats["projection_passes"] += len(proposals)
         reprojected = [
             evaluator.project(
                 raw, proposal, epsilon, initial_multipliers=state.multipliers
@@ -473,6 +490,35 @@ def _base_step(state: ProjectionState, evaluator) -> float:
     return 1.0 / (state.matrix.shape[0] * scale)
 
 
+def _record_run_telemetry(stats: dict, objective: float) -> None:
+    """Mirror one driver run's counters into the process-global registry.
+
+    Registration is idempotent, so every run reuses the same families; the
+    registry is observational only and never read back by the optimizer.
+    """
+    registry = get_registry()
+    registry.counter(
+        "repro_optimizer_runs_total", "Completed optimize_strategy runs."
+    ).inc()
+    registry.counter(
+        "repro_optimizer_iterations_total",
+        "PGD iterations across all optimizer runs.",
+    ).inc(stats.get("iterations", 0))
+    registry.counter(
+        "repro_optimizer_line_search_attempts_total",
+        "Backtracking candidate step sizes probed across all runs.",
+    ).inc(stats.get("line_search_attempts", 0))
+    registry.counter(
+        "repro_optimizer_projection_passes_total",
+        "Dual-projection passes across all runs.",
+    ).inc(stats.get("projection_passes", 0))
+    if np.isfinite(objective):
+        registry.gauge(
+            "repro_optimizer_last_objective",
+            "Objective value of the most recent optimizer run.",
+        ).set(float(objective))
+
+
 def optimize_strategy(
     workload: Workload | np.ndarray,
     epsilon: float,
@@ -553,6 +599,7 @@ def optimize_strategy(
             )
 
     history: list[float] | None = [] if config.track_history else None
+    stats: dict = {}
     state, bounds, value, iterations = _descend(
         gram,
         state,
@@ -567,7 +614,9 @@ def optimize_strategy(
         step_growth=config.step_growth,
         weights=weights,
         evaluator=evaluator,
+        stats=stats,
     )
+    _record_run_telemetry(stats, value)
     strategy = StrategyMatrix(
         state.matrix, epsilon, name="Optimized"
     )
@@ -578,4 +627,5 @@ def optimize_strategy(
         step_size=step_size,
         iterations_run=iterations,
         history=history or [],
+        telemetry=stats,
     )

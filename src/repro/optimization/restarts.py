@@ -37,6 +37,7 @@ from repro.optimization.pgd import (
     OptimizerConfig,
     optimize_strategy,
 )
+from repro.telemetry import get_registry
 from repro.workloads.base import Workload
 
 #: Restart execution backends.
@@ -303,6 +304,10 @@ def multi_restart_optimize(
         key = key_for(gram, epsilon, config, restarts=restarts)
         cached = store.get(key)
         if cached is not None:
+            get_registry().counter(
+                "repro_optimizer_store_hits_total",
+                "Multi-restart calls answered straight from the store.",
+            ).inc()
             return RestartReport(result=cached, store_hit=True)
 
     seeds: list = restart_seeds(config.seed, restarts)
@@ -349,6 +354,23 @@ def multi_restart_optimize(
         raise OptimizationError(
             f"all {len(configs)} restart(s) diverged for epsilon {epsilon}"
         )
+    # Restart-level counters live in the coordinator process; per-iteration
+    # counters from the process backend stay in the worker processes (each
+    # restart is pure, so nothing is lost but their registry increments).
+    registry = get_registry()
+    registry.counter(
+        "repro_optimizer_multi_restart_runs_total",
+        "Completed multi_restart_optimize calls (store hits excluded).",
+    ).inc()
+    registry.counter(
+        "repro_optimizer_restarts_total",
+        "Individual restart runs scheduled across all multi-restart calls.",
+    ).inc(len(configs))
+    if warm_started:
+        registry.counter(
+            "repro_optimizer_warm_starts_total",
+            "Multi-restart calls that seeded a warm-started restart.",
+        ).inc()
     if store is not None and write:
         # A warm-started winner depends on what the store held at build
         # time, not on the key alone — record that in the entry's notes so

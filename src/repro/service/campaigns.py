@@ -43,6 +43,7 @@ from repro.protocol.adaptive import (
     worst_approximated,
 )
 from repro.protocol.engine import ProtocolSession, ShardAccumulator
+from repro.telemetry import get_registry
 from repro.workloads import by_name as workload_by_name
 from repro.workloads.base import ExplicitWorkload
 
@@ -729,6 +730,11 @@ class CampaignManager:
         campaign.session = session
         campaign.accumulator = session.new_accumulator(advance.to_round)
         campaign.current_round = advance.to_round
+        get_registry().counter(
+            "repro_rounds_advanced_total",
+            "Committed adaptive-campaign round transitions.",
+            labelnames=("campaign",),
+        ).labels(advance.campaign).inc()
         return AdvanceReport(
             campaign=advance.campaign,
             from_round=advance.from_round,
@@ -746,9 +752,16 @@ class CampaignManager:
         The service splits these steps across the loop and a worker
         thread; tests and the CLI's offline paths use this one-shot form.
         """
+        started = time.perf_counter()
         advance = self.plan_advance(name)
         session = self.optimize_round_strategy(advance, store=store)
-        return self.commit_advance(advance, session)
+        report = self.commit_advance(advance, session)
+        get_registry().histogram(
+            "repro_round_advance_seconds",
+            "Wall time of one plan/optimize/commit round transition.",
+            bounds=(0.01, 0.05, 0.25, 1.0, 5.0, 30.0, 120.0),
+        ).observe(time.perf_counter() - started)
+        return report
 
     # -- answering ---------------------------------------------------------
 

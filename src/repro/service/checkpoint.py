@@ -54,6 +54,7 @@ from repro.service.campaigns import (
     validate_campaign_name,
 )
 from repro.store.store import _atomic_write_bytes
+from repro.telemetry import MetricsRegistry
 from repro.workloads import by_name as workload_by_name
 
 #: Manifest schema version; bumped on incompatible layout changes.
@@ -87,13 +88,25 @@ class CheckpointStore:
     True
     """
 
-    def __init__(self, root) -> None:
+    def __init__(self, root, registry: MetricsRegistry | None = None) -> None:
         self.root = Path(root)
         # (strategy object, payload digest) this instance last
         # wrote/verified per campaign; strategies are immutable, so a
         # repeat checkpoint of the same object can skip re-serializing,
         # re-hashing, and re-reading the file entirely.
         self._strategy_digests: dict[str, tuple] = {}
+        self._m_save_seconds = None
+        self._m_bytes_written = None
+        if registry is not None:
+            self._m_save_seconds = registry.histogram(
+                "repro_checkpoint_save_seconds",
+                "Wall time of one full checkpoint write.",
+                bounds=(0.001, 0.005, 0.025, 0.1, 0.5, 1.0, 5.0, 30.0),
+            )
+            self._m_bytes_written = registry.counter(
+                "repro_checkpoint_bytes_written_total",
+                "Manifest bytes written across all checkpoints.",
+            )
 
     @property
     def manifest_path(self) -> Path:
@@ -173,6 +186,8 @@ class CheckpointStore:
         manifest's report count always comes from the serialized snapshot
         itself, never the live accumulator.
         """
+        started = time.perf_counter()
+        written_bytes = 0
         entries: dict[str, dict] = {}
         for item in frozen:
             campaign, snapshot = item[0], item[1]
@@ -183,6 +198,7 @@ class CheckpointStore:
             )
             payload = snapshot.to_bytes()
             _atomic_write_bytes(self.accumulator_path(campaign.name), payload)
+            written_bytes += len(payload)
             entry = {
                 "workload": campaign.workload_name,
                 "domain_size": session.domain_size,
@@ -235,10 +251,15 @@ class CheckpointStore:
             "saved_at": time.time(),
             "campaigns": entries,
         }
-        _atomic_write_bytes(
-            self.manifest_path,
-            json.dumps(manifest, indent=2, sort_keys=True).encode("utf-8"),
-        )
+        manifest_bytes = json.dumps(
+            manifest, indent=2, sort_keys=True
+        ).encode("utf-8")
+        _atomic_write_bytes(self.manifest_path, manifest_bytes)
+        written_bytes += len(manifest_bytes)
+        if self._m_save_seconds is not None:
+            self._m_save_seconds.observe(time.perf_counter() - started)
+        if self._m_bytes_written is not None:
+            self._m_bytes_written.inc(written_bytes)
         return manifest
 
     # -- reading -----------------------------------------------------------

@@ -29,6 +29,7 @@ from repro.service.framing import (
     encode_histogram,
     encode_reports,
 )
+from repro.telemetry import mint_trace_id
 
 #: Ingest wire formats the SDK can speak.
 CLIENT_TRANSPORTS = ("json", "binary")
@@ -60,6 +61,7 @@ class ServiceClient:
         timeout: float = 30.0,
         *,
         transport: str = "json",
+        trace: bool = False,
     ) -> None:
         if transport not in CLIENT_TRANSPORTS:
             raise ServiceError(
@@ -70,6 +72,11 @@ class ServiceClient:
         self.port = port
         self.timeout = timeout
         self.transport = transport
+        #: With ``trace=True`` every ingest request carries a client-minted
+        #: trace id (``X-Repro-Trace``); the id of the most recent send is
+        #: kept in :attr:`last_trace_id` for correlation with server spans.
+        self.trace = bool(trace)
+        self.last_trace_id = ""
         self._connection: http.client.HTTPConnection | None = None
 
     # -- transport ---------------------------------------------------------
@@ -82,7 +89,9 @@ class ServiceClient:
         *,
         raw: bytes | None = None,
         content_type: str | None = None,
-    ) -> dict:
+        trace_id: str | None = None,
+        raw_response: bool = False,
+    ) -> dict | str:
         payload = None
         headers = {}
         if raw is not None:
@@ -91,6 +100,8 @@ class ServiceClient:
         elif body is not None:
             payload = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        if trace_id:
+            headers["X-Repro-Trace"] = trace_id
         for attempt in (0, 1):
             if self._connection is None:
                 self._connection = http.client.HTTPConnection(
@@ -108,6 +119,12 @@ class ServiceClient:
                 self.close()
                 if attempt or method != "GET":
                     raise
+        if raw_response:
+            if response.status >= 400:
+                raise ServiceError(
+                    f"{method} {path} failed ({response.status}): {raw[:200]!r}"
+                )
+            return raw.decode("utf-8")
         try:
             document = json.loads(raw) if raw else {}
         except json.JSONDecodeError:
@@ -133,6 +150,18 @@ class ServiceClient:
 
     def metrics(self) -> dict:
         return self._request("GET", "/v1/metrics")
+
+    def prometheus_metrics(self) -> str:
+        """The server's metrics in Prometheus text exposition format."""
+        return self._request(
+            "GET", "/v1/metrics?format=prometheus", raw_response=True
+        )
+
+    def _mint_trace(self) -> str | None:
+        if not self.trace:
+            return None
+        self.last_trace_id = mint_trace_id()
+        return self.last_trace_id
 
     def create_campaign(
         self,
@@ -225,11 +254,19 @@ class ServiceClient:
         matches the live round instead of folding a stale cohort into the
         wrong strategy's histogram.
         """
+        # The id travels both as the X-Repro-Trace header (adopted by the
+        # HTTP edge for its ingest span and the echoed reply) and inside
+        # the body/frame (so a cluster worker that decodes the payload can
+        # correlate its fold span without the coordinator parsing bodies).
+        trace_id = self._mint_trace()
         if self.transport == "binary":
             return self._request(
                 "POST",
                 "/v1/reports",
-                raw=encode_reports(campaign, reports, round_id=round_id or 0),
+                raw=encode_reports(
+                    campaign, reports, round_id=round_id or 0, trace_id=trace_id
+                ),
+                trace_id=trace_id,
             )
         body = {
             "campaign": campaign,
@@ -237,17 +274,23 @@ class ServiceClient:
         }
         if round_id is not None:
             body["round"] = int(round_id)
-        return self._request("POST", "/v1/reports", body)
+        if trace_id:
+            body["trace"] = trace_id
+        return self._request("POST", "/v1/reports", body, trace_id=trace_id)
 
     def send_histogram(
         self, campaign: str, histogram, *, round_id: int | None = None
     ) -> dict:
         """Ship a pre-aggregated response histogram."""
+        trace_id = self._mint_trace()
         if self.transport == "binary":
             return self._request(
                 "POST",
                 "/v1/reports",
-                raw=encode_histogram(campaign, histogram, round_id=round_id or 0),
+                raw=encode_histogram(
+                    campaign, histogram, round_id=round_id or 0, trace_id=trace_id
+                ),
+                trace_id=trace_id,
             )
         body = {
             "campaign": campaign,
@@ -255,7 +298,9 @@ class ServiceClient:
         }
         if round_id is not None:
             body["round"] = int(round_id)
-        return self._request("POST", "/v1/reports", body)
+        if trace_id:
+            body["trace"] = trace_id
+        return self._request("POST", "/v1/reports", body, trace_id=trace_id)
 
     def query(
         self, campaign: str, confidence: float = 0.95, sync: bool = False

@@ -57,6 +57,7 @@ from repro.service.ingest import (
     fold_frame_body,
     fold_json_body,
 )
+from repro.telemetry import MetricsRegistry, Tracer
 
 #: Maximum dispatched-but-unanswered batches per worker; acquiring past it
 #: awaits (backpressure), bounding pipe-buffer growth under overload.
@@ -165,11 +166,16 @@ def _worker_main(connection, index: int, flush_reports: int, flush_interval: flo
 
 async def _worker_loop(connection, flush_reports: int, flush_interval: float):
     manager = ShardManager()
+    # Each worker owns its telemetry: only trace *ids* cross the pipe, and
+    # the coordinator merges the histogram snapshots pulled via "stats".
+    registry = MetricsRegistry()
     pipeline = IngestPipeline(
         manager,
         num_workers=1,
         flush_reports=flush_reports,
         flush_interval=flush_interval,
+        registry=registry,
+        tracer=Tracer(registry),
     )
     await pipeline.start()
     loop = asyncio.get_running_loop()
@@ -198,12 +204,12 @@ async def _worker_loop(connection, flush_reports: int, flush_interval: float):
 async def _handle(message, manager: ShardManager, pipeline: IngestPipeline):
     op = message[0]
     if op == "json":
-        _, payload, single = message
-        per_campaign = await fold_json_body(pipeline, payload, single)
+        _, payload, single, trace_id = message
+        per_campaign = await fold_json_body(pipeline, payload, single, trace_id)
         return {"accepted": sum(per_campaign.values()), "campaigns": per_campaign}
     if op == "frames":
-        _, payload = message
-        per_campaign = await fold_frame_body(pipeline, payload)
+        _, payload, trace_id = message
+        per_campaign = await fold_frame_body(pipeline, payload, trace_id)
         return {"accepted": sum(per_campaign.values()), "campaigns": per_campaign}
     if op == "reports":
         _, name, array = message
@@ -232,9 +238,14 @@ async def _handle(message, manager: ShardManager, pipeline: IngestPipeline):
             if campaign.num_reports and (only is None or campaign.name == only)
         }
     if op == "stats":
+        metrics = pipeline._metrics
         return {
             "ingest": pipeline.stats.to_json(),
             "queue_depth": pipeline.queue_depth,
+            # Bucket snapshot travels as plain lists; the coordinator's
+            # element-wise merge is commutative, so the cluster-wide
+            # histogram is independent of worker order.
+            "fold_seconds": None if metrics is None else metrics.fold_seconds.snapshot(),
             "campaigns": {
                 campaign.name: campaign.num_reports
                 for campaign in manager.campaigns()
@@ -534,22 +545,26 @@ class WorkerPool:
             )
         )
 
-    async def submit_json(self, payload: bytes, *, single: bool = False) -> dict:
+    async def submit_json(
+        self, payload: bytes, *, single: bool = False, trace_id: str = ""
+    ) -> dict:
         """Dispatch one raw JSON ingest body; the worker parses, validates,
-        and folds it (``single=True`` for the ``/v1/report`` shape).
+        and folds it (``single=True`` for the ``/v1/report`` shape).  The
+        edge-minted trace id rides the op tuple so the worker's decode/fold
+        spans join the coordinator's trace.
         Returns ``{"accepted": total, "campaigns": {name: count}}``."""
         self._ensure_healthy()
         worker = self._next_worker()
-        reply = await self._call(worker, ("json", payload, single))
+        reply = await self._call(worker, ("json", payload, single, trace_id))
         self._count_accepted(worker, reply["campaigns"])
         return reply
 
-    async def submit_frames(self, payload: bytes) -> dict:
+    async def submit_frames(self, payload: bytes, *, trace_id: str = "") -> dict:
         """Dispatch one raw binary-frame body; the worker decodes,
         validates, and folds every frame in it."""
         self._ensure_healthy()
         worker = self._next_worker()
-        reply = await self._call(worker, ("frames", payload))
+        reply = await self._call(worker, ("frames", payload, trace_id))
         self._count_accepted(worker, reply["campaigns"])
         return reply
 

@@ -17,10 +17,11 @@ Frame layout (all little-endian)::
     6       1     item size in bytes (1/2/4/8 for reports, 8 for histograms)
     7       1     adaptive-campaign round id (0 = untagged / non-adaptive)
     8       2     campaign-name length in bytes
-    10      2     reserved (0)
+    10      2     trace-id length in bytes (0 = no trace attached)
     12      4     body length  = name length + count * item size
     16      8     item count
-    24      ...   campaign name (UTF-8), then the packed payload
+    24      ...   campaign name (UTF-8), then the packed payload,
+                  then the optional trace id (UTF-8)
 
 The round byte was the version-1 reserved byte at offset 7, so a round-0
 frame is byte-identical to what older writers emitted and older readers
@@ -28,6 +29,15 @@ accept — the format version stays 1.  Adaptive cohorts tag their round (1
 onward, capped at 255 rounds) and the service refuses a tag that does not
 match the campaign's live round instead of silently folding a stale
 cohort's reports into the wrong strategy's histogram.
+
+The trace-id length at offset 10 follows the same discipline: it was the
+version-1 reserved (zero) field, so a frame with no trace attached is
+byte-identical to the pre-telemetry encoding, and older writers' frames
+decode as trace-free.  When a telemetry trace id rides along, its UTF-8
+bytes follow the body (outside *body length*, which keeps its original
+meaning) and :func:`decode_frames` hands it back on the
+:class:`Frame` so worker processes can correlate their spans with the
+HTTP edge that minted the id.
 
 The *body length* field makes a frame self-delimiting, so the same bytes
 work as an HTTP request body (where ``Content-Length`` already bounds it)
@@ -61,8 +71,15 @@ KIND_HISTOGRAM = 2
 #: Content type the service and SDK use for binary ingest bodies.
 FRAME_CONTENT_TYPE = "application/x-repro-frame"
 
-#: magic, version, kind, item_size, round, name_len, pad, body_len, count.
-_HEADER = struct.Struct("<4sBBBBHxxIQ")
+#: magic, version, kind, item_size, round, name_len, trace_len, body_len,
+#: count.  ``trace_len`` occupies what version 1 reserved as zero padding,
+#: so trace-free frames are byte-identical to the original encoding.
+_HEADER = struct.Struct("<4sBBBBHHIQ")
+
+#: Longest accepted trace id on the wire (minted ids are 16 hex chars;
+#: the cap leaves room for foreign tracing systems without letting the
+#: field smuggle arbitrary payloads).
+_MAX_TRACE_BYTES = 64
 
 #: Largest round id the one-byte header field can carry.
 MAX_FRAME_ROUND = 255
@@ -93,6 +110,7 @@ class Frame:
     item_size: int
     payload: bytes
     round_id: int = 0
+    trace_id: str = ""
 
     @property
     def dtype(self) -> np.dtype:
@@ -146,6 +164,7 @@ def _encode(
     count: int,
     item_size: int,
     round_id: int,
+    trace_id: str | None,
 ) -> bytes:
     name = str(campaign).encode("utf-8")
     if not name or len(name) > _MAX_NAME_BYTES:
@@ -156,6 +175,11 @@ def _encode(
         raise ServiceError(
             f"frame round id {round_id} outside [0, {MAX_FRAME_ROUND}]"
         )
+    trace = (trace_id or "").encode("utf-8")
+    if len(trace) > _MAX_TRACE_BYTES:
+        raise ServiceError(
+            f"trace id of {len(trace)} bytes exceeds {_MAX_TRACE_BYTES}"
+        )
     header = _HEADER.pack(
         FRAME_MAGIC,
         FRAME_VERSION,
@@ -163,13 +187,16 @@ def _encode(
         item_size,
         int(round_id),
         len(name),
+        len(trace),
         len(name) + len(payload),
         count,
     )
-    return header + name + payload
+    return header + name + payload + trace
 
 
-def encode_reports(campaign: str, reports, *, round_id: int = 0) -> bytes:
+def encode_reports(
+    campaign: str, reports, *, round_id: int = 0, trace_id: str | None = None
+) -> bytes:
     """Pack a batch of privatized reports (output ids) into one frame.
 
     The ids are packed in the smallest unsigned width that holds the
@@ -184,6 +211,17 @@ def encode_reports(campaign: str, reports, *, round_id: int = 0) -> bytes:
     array([70000])
     >>> decode_frame(encode_reports("demo", [1, 2], round_id=3)).round_id
     3
+
+    A trace id rides outside the body; a frame without one is
+    byte-identical to the pre-telemetry encoding:
+
+    >>> traced = encode_reports("demo", [1, 2], trace_id="ab" * 8)
+    >>> decode_frame(traced).trace_id
+    'abababababababab'
+    >>> traced.endswith(b"abababababababab")
+    True
+    >>> len(traced) - len(encode_reports("demo", [1, 2]))
+    16
     """
     array = np.asarray(reports)
     if array.ndim != 1 or array.shape[0] == 0:
@@ -209,11 +247,19 @@ def encode_reports(campaign: str, reports, *, round_id: int = 0) -> bytes:
         .tobytes()
     )
     return _encode(
-        KIND_REPORTS, campaign, payload, int(array.shape[0]), item_size, round_id
+        KIND_REPORTS,
+        campaign,
+        payload,
+        int(array.shape[0]),
+        item_size,
+        round_id,
+        trace_id,
     )
 
 
-def encode_histogram(campaign: str, histogram, *, round_id: int = 0) -> bytes:
+def encode_histogram(
+    campaign: str, histogram, *, round_id: int = 0, trace_id: str | None = None
+) -> bytes:
     """Pack a pre-aggregated response histogram into one frame.
 
     Examples
@@ -227,7 +273,7 @@ def encode_histogram(campaign: str, histogram, *, round_id: int = 0) -> bytes:
         raise ServiceError("histogram must be a non-empty flat vector")
     payload = array.astype("<f8").tobytes()
     return _encode(
-        KIND_HISTOGRAM, campaign, payload, int(array.shape[0]), 8, round_id
+        KIND_HISTOGRAM, campaign, payload, int(array.shape[0]), 8, round_id, trace_id
     )
 
 
@@ -288,6 +334,7 @@ def _decode_at(buffer: bytes, offset: int) -> tuple[Frame, int]:
         item_size,
         round_id,
         name_len,
+        trace_len,
         body_len,
         count,
     ) = _HEADER.unpack_from(buffer, offset)
@@ -313,17 +360,28 @@ def _decode_at(buffer: bytes, offset: int) -> tuple[Frame, int]:
             f"frame body length {body_len} disagrees with its fields "
             f"({name_len} name bytes + {count} x {item_size}-byte items)"
         )
+    if trace_len > _MAX_TRACE_BYTES:
+        raise ServiceError(
+            f"frame trace id of {trace_len} bytes exceeds {_MAX_TRACE_BYTES}"
+        )
     body_start = offset + _HEADER.size
-    end = body_start + body_len
+    body_end = body_start + body_len
+    end = body_end + trace_len
     if end > len(buffer):
         raise ServiceError(
-            f"truncated frame: header promises {body_len} body bytes, "
-            f"{len(buffer) - body_start} present"
+            f"truncated frame: header promises {body_len} body bytes "
+            f"+ {trace_len} trace bytes, {len(buffer) - body_start} present"
         )
     try:
         campaign = buffer[body_start : body_start + name_len].decode("utf-8")
     except UnicodeDecodeError as error:
         raise ServiceError(f"frame campaign name is not UTF-8: {error}")
-    payload = bytes(buffer[body_start + name_len : end])
-    frame = Frame(kind, campaign, int(count), item_size, payload, int(round_id))
+    payload = bytes(buffer[body_start + name_len : body_end])
+    try:
+        trace = bytes(buffer[body_end:end]).decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise ServiceError(f"frame trace id is not UTF-8: {error}")
+    frame = Frame(
+        kind, campaign, int(count), item_size, payload, int(round_id), trace
+    )
     return frame, end

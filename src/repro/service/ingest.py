@@ -20,14 +20,17 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.exceptions import ProtocolError, ServiceError
+from repro.exceptions import ProtocolError, ServiceError, StaleRoundError
 from repro.protocol.engine import ShardAccumulator
 from repro.service.campaigns import CampaignManager
 from repro.service.framing import KIND_REPORTS, decode_frames
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracing import Tracer, is_trace_id
 
 #: Hard cap on reports accepted in one submission (memory safety valve).
 MAX_BATCH_REPORTS = 1_000_000
@@ -100,7 +103,7 @@ def resolve_round(campaign, round_id) -> int:
             "reports belong to some other campaign"
         )
     if round_id < campaign.current_round:
-        raise ProtocolError(
+        raise StaleRoundError(
             f"stale round tag {round_id} for campaign {campaign.name!r}: "
             f"round {campaign.current_round} is live and round-{round_id} "
             "reports used a retired strategy; refresh the campaign strategy "
@@ -145,6 +148,7 @@ class IngestStats:
     rejected_batches: int = 0
     flushes: int = 0
     queue_high_water: int = 0
+    reports_dropped: int = 0
 
     def to_json(self) -> dict:
         return {
@@ -153,6 +157,7 @@ class IngestStats:
             "rejected_batches": self.rejected_batches,
             "flushes": self.flushes,
             "queue_high_water": self.queue_high_water,
+            "reports_dropped": self.reports_dropped,
         }
 
 
@@ -169,6 +174,7 @@ class _Batch:
     histogram: np.ndarray | None = None
     num_reports: int = 0
     round_id: int = 0
+    trace_id: str = ""
 
 
 @dataclass
@@ -176,6 +182,52 @@ class _Worker:
     """One ingest worker's mutable state: per-campaign partial accumulators."""
 
     partials: dict[str, ShardAccumulator] = field(default_factory=dict)
+
+
+class _PipelineMetrics:
+    """The pipeline's registry handles (one instance per pipeline).
+
+    Mirrors :class:`IngestStats` into the shared registry so the
+    Prometheus exposition and the JSON stats never disagree, and adds
+    what flat counters cannot express: the per-batch fold-latency
+    histogram and the live queue-depth gauge.
+    """
+
+    def __init__(self, registry: MetricsRegistry, pipeline: IngestPipeline) -> None:
+        self.submitted = registry.counter(
+            "repro_ingest_reports_submitted_total",
+            "Reports accepted into the ingest queue.",
+        )
+        self.ingested = registry.counter(
+            "repro_ingest_reports_total",
+            "Reports folded into partial accumulators.",
+        )
+        self.rejected = registry.counter(
+            "repro_ingest_rejected_batches_total",
+            "Report batches rejected at validation or mid-flight.",
+        )
+        self.dropped = registry.counter(
+            "repro_reports_dropped_total",
+            "Reports dropped because their cohort's round was retired "
+            "(stale-cohort rejections).",
+        )
+        self.flushes = registry.counter(
+            "repro_ingest_flushes_total",
+            "Partial-accumulator merges into live campaign accumulators.",
+        )
+        self.fold_seconds = registry.histogram(
+            "repro_ingest_fold_seconds",
+            "Per-batch accumulator fold duration.",
+        )
+        queue_depth = registry.gauge(
+            "repro_ingest_queue_depth", "Batches waiting in the ingest queue."
+        )
+        queue_depth.set_function(lambda: float(pipeline.queue_depth))
+        high_water = registry.gauge(
+            "repro_ingest_queue_high_water",
+            "Deepest the ingest queue has been since startup.",
+        )
+        high_water.set_function(lambda: float(pipeline.stats.queue_high_water))
 
 
 class IngestPipeline:
@@ -197,6 +249,15 @@ class IngestPipeline:
     flush_interval:
         Seconds between timer-driven flushes of all partials (so a trickle
         of reports still becomes visible to live queries promptly).
+    registry:
+        Optional :class:`~repro.telemetry.metrics.MetricsRegistry` the
+        pipeline mirrors its counters into, plus a fold-latency histogram
+        and queue-depth gauges.  One pipeline per registry: two pipelines
+        sharing one registry would share (and double-count) families.
+    tracer:
+        Optional :class:`~repro.telemetry.tracing.Tracer`; when a batch
+        carries a trace id, its fold is recorded as a ``fold`` child span
+        of the edge's ``ingest`` span.
 
     Examples
     --------
@@ -223,6 +284,8 @@ class IngestPipeline:
         max_pending: int = 256,
         flush_reports: int = 8_192,
         flush_interval: float = 0.2,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if num_workers < 1:
             raise ServiceError(f"need >= 1 ingest worker, got {num_workers}")
@@ -239,6 +302,10 @@ class IngestPipeline:
         self.flush_reports = flush_reports
         self.flush_interval = flush_interval
         self.stats = IngestStats()
+        self.tracer = tracer
+        self._metrics = (
+            _PipelineMetrics(registry, self) if registry is not None else None
+        )
         self._queue: asyncio.Queue[_Batch] = asyncio.Queue(maxsize=max_pending)
         self._workers: list[_Worker] = []
         self._tasks: list[asyncio.Task] = []
@@ -305,7 +372,9 @@ class IngestPipeline:
 
     # -- submission --------------------------------------------------------
 
-    def _validate_reports(self, campaign: str, reports, round_id) -> _Batch:
+    def _validate_reports(
+        self, campaign: str, reports, round_id, trace_id: str
+    ) -> _Batch:
         target = self.manager.get(campaign)
         array = validate_reports(reports, target.session.num_outputs)
         return _Batch(
@@ -313,9 +382,12 @@ class IngestPipeline:
             reports=array,
             num_reports=int(array.shape[0]),
             round_id=resolve_round(target, round_id),
+            trace_id=trace_id,
         )
 
-    def _validate_histogram(self, campaign: str, histogram, round_id) -> _Batch:
+    def _validate_histogram(
+        self, campaign: str, histogram, round_id, trace_id: str
+    ) -> _Batch:
         target = self.manager.get(campaign)
         array = validate_histogram(histogram, target.session.num_outputs)
         return _Batch(
@@ -323,10 +395,24 @@ class IngestPipeline:
             histogram=array,
             num_reports=int(round(float(array.sum()))),
             round_id=resolve_round(target, round_id),
+            trace_id=trace_id,
         )
 
+    def _reject(self, error: Exception, dropped_reports: int) -> None:
+        self.stats.rejected_batches += 1
+        if self._metrics is not None:
+            self._metrics.rejected.inc()
+        if isinstance(error, StaleRoundError):
+            self.stats.reports_dropped += dropped_reports
+            if self._metrics is not None:
+                self._metrics.dropped.inc(dropped_reports)
+
     async def submit_reports(
-        self, campaign: str, reports, round_id: int | None = None
+        self,
+        campaign: str,
+        reports,
+        round_id: int | None = None,
+        trace_id: str = "",
     ) -> int:
         """Validate and enqueue a batch of privatized reports.
 
@@ -336,22 +422,35 @@ class IngestPipeline:
         validation fails — a batch is all-or-nothing.
         """
         try:
-            batch = self._validate_reports(campaign, reports, round_id)
-        except (ProtocolError, ServiceError):
-            self.stats.rejected_batches += 1
+            batch = self._validate_reports(campaign, reports, round_id, trace_id)
+        except (ProtocolError, ServiceError) as error:
+            try:
+                dropped = len(reports)
+            except TypeError:
+                dropped = 0
+            self._reject(error, dropped)
             raise
         await self._enqueue(batch)
         return batch.num_reports
 
     async def submit_histogram(
-        self, campaign: str, histogram, round_id: int | None = None
+        self,
+        campaign: str,
+        histogram,
+        round_id: int | None = None,
+        trace_id: str = "",
     ) -> int:
         """Validate and enqueue a pre-aggregated response histogram (the
         cross-tier path: an edge aggregator ships its merged counts)."""
         try:
-            batch = self._validate_histogram(campaign, histogram, round_id)
-        except (ProtocolError, ServiceError):
-            self.stats.rejected_batches += 1
+            batch = self._validate_histogram(campaign, histogram, round_id, trace_id)
+        except (ProtocolError, ServiceError) as error:
+            try:
+                total = float(np.asarray(histogram, dtype=float).sum())
+                dropped = int(round(total)) if np.isfinite(total) else 0
+            except (ValueError, TypeError, OverflowError):
+                dropped = 0
+            self._reject(error, dropped)
             raise
         await self._enqueue(batch)
         return batch.num_reports
@@ -362,6 +461,8 @@ class IngestPipeline:
         await self._queue.put(batch)
         self._batches_submitted += 1
         self.stats.submitted += batch.num_reports
+        if self._metrics is not None:
+            self._metrics.submitted.inc(batch.num_reports)
         self.stats.queue_high_water = max(
             self.stats.queue_high_water, self._queue.qsize()
         )
@@ -375,10 +476,11 @@ class IngestPipeline:
     async def _work(self, worker: _Worker) -> None:
         while True:
             batch = await self._queue.get()
+            started = time.perf_counter()
             try:
                 campaign = self.manager.get(batch.campaign)
                 if batch.round_id != campaign.current_round:
-                    raise ProtocolError(
+                    raise StaleRoundError(
                         f"round {batch.round_id} batch arrived after campaign "
                         f"{batch.campaign!r} advanced to round "
                         f"{campaign.current_round}"
@@ -395,12 +497,26 @@ class IngestPipeline:
                 else:
                     partial.add_histogram(batch.histogram)
                 self.stats.ingested += batch.num_reports
+                duration = time.perf_counter() - started
+                if self._metrics is not None:
+                    self._metrics.ingested.inc(batch.num_reports)
+                    self._metrics.fold_seconds.observe(duration)
+                if self.tracer is not None and batch.trace_id:
+                    self.tracer.record(
+                        "fold",
+                        duration,
+                        trace_id=batch.trace_id,
+                        parent="ingest",
+                        campaign=batch.campaign,
+                        reports=batch.num_reports,
+                    )
                 if partial.num_reports >= self.flush_reports:
                     self._flush_partial(worker, batch.campaign)
-            except (ProtocolError, ServiceError):
+            except (ProtocolError, ServiceError) as error:
                 # Validation happens at submit time; a failure here means the
-                # campaign vanished mid-flight.  Count it and keep serving.
-                self.stats.rejected_batches += 1
+                # campaign vanished (or advanced its round) mid-flight.
+                # Count it and keep serving.
+                self._reject(error, batch.num_reports)
             finally:
                 self._batches_processed += 1
                 self._batch_processed.set()
@@ -416,7 +532,10 @@ class IngestPipeline:
             # service does); a partial stranded across a round swap must
             # not poison the flush timer, so count it and drop it rather
             # than raise from a background task.
-            self.stats.rejected_batches += 1
+            self._reject(
+                StaleRoundError("partial stranded across a round swap"),
+                partial.num_reports,
+            )
             return
         # merge() is the one place the monoid semantics (and their shape
         # checks) live; reassigning is safe because every mutation of the
@@ -424,6 +543,8 @@ class IngestPipeline:
         campaign.accumulator = campaign.accumulator.merge(partial)
         campaign.flushes += 1
         self.stats.flushes += 1
+        if self._metrics is not None:
+            self._metrics.flushes.inc()
 
     def flush_all(self) -> None:
         """Merge every worker's partials into the live accumulators."""
@@ -447,7 +568,10 @@ class IngestPipeline:
 
 
 async def fold_json_body(
-    pipeline: IngestPipeline, payload: bytes, single: bool = False
+    pipeline: IngestPipeline,
+    payload: bytes,
+    single: bool = False,
+    trace_id: str = "",
 ) -> dict[str, int]:
     """Parse, validate, and fold one raw JSON ingest body
     (``single=True`` for the ``/v1/report`` shape); returns per-campaign
@@ -456,7 +580,14 @@ async def fold_json_body(
     The one implementation of the JSON ingest semantics: the
     single-process server and every cluster worker call this, so a client
     sees identical 400s whichever process validated its batch.
+
+    A client-minted ``"trace"`` field in the body wins over the
+    ``trace_id`` the caller (typically the HTTP edge) minted, so a trace
+    started upstream of this process stays one trace.  The decode stage
+    (parse + shape checks) is timed as a ``decode`` child span when the
+    pipeline has a tracer.
     """
+    started = time.perf_counter()
     try:
         body = json.loads(payload)
     except json.JSONDecodeError as error:
@@ -473,20 +604,30 @@ async def fold_json_body(
         raise ServiceError("body needs a 'campaign' field")
     if ("reports" in body) == ("histogram" in body):
         raise ServiceError("body needs exactly one of 'reports' or 'histogram'")
+    if is_trace_id(body.get("trace")):
+        trace_id = body["trace"]
     round_id = body.get("round")
+    if pipeline.tracer is not None and trace_id:
+        pipeline.tracer.record(
+            "decode",
+            time.perf_counter() - started,
+            trace_id=trace_id,
+            parent="ingest",
+            transport="json",
+        )
     if "reports" in body:
         accepted = await pipeline.submit_reports(
-            campaign, body["reports"], round_id
+            campaign, body["reports"], round_id, trace_id=trace_id
         )
     else:
         accepted = await pipeline.submit_histogram(
-            campaign, body["histogram"], round_id
+            campaign, body["histogram"], round_id, trace_id=trace_id
         )
     return {campaign: accepted}
 
 
 async def fold_frame_body(
-    pipeline: IngestPipeline, payload: bytes
+    pipeline: IngestPipeline, payload: bytes, trace_id: str = ""
 ) -> dict[str, int]:
     """Decode, validate, and fold one binary frame body (any number of
     packed frames); returns per-campaign accepted counts.
@@ -496,23 +637,57 @@ async def fold_frame_body(
     report from the body was counted (a partially-folded body would leave
     metrics and accepted-count bookkeeping permanently out of step with
     the accumulators).
+
+    A frame-embedded trace id (see :mod:`repro.service.framing`) wins
+    over the caller's ``trace_id`` for the frames that carry one; the
+    decode stage is timed as a ``decode`` child span.
     """
-    validated: list[tuple[str, int, np.ndarray, int]] = []
+    started = time.perf_counter()
+    validated: list[tuple[str, int, np.ndarray, int, str]] = []
     for frame in decode_frames(payload):
         target = pipeline.manager.get(frame.campaign)
-        resolve_round(target, frame.round_id or None)
+        try:
+            resolve_round(target, frame.round_id or None)
+        except StaleRoundError:
+            # The cohort randomized against a retired strategy; surface
+            # the loss in the stale-drop telemetry before the 400.
+            pipeline.stats.reports_dropped += frame.count
+            if pipeline._metrics is not None:
+                pipeline._metrics.dropped.inc(frame.count)
+            raise
         if frame.kind == KIND_REPORTS:
             array = validate_reports(frame.reports(), target.session.num_outputs)
         else:
             array = validate_histogram(
                 frame.histogram(), target.session.num_outputs
             )
-        validated.append((frame.campaign, frame.kind, array, frame.round_id))
+        validated.append(
+            (
+                frame.campaign,
+                frame.kind,
+                array,
+                frame.round_id,
+                frame.trace_id or trace_id,
+            )
+        )
+    if pipeline.tracer is not None and trace_id:
+        pipeline.tracer.record(
+            "decode",
+            time.perf_counter() - started,
+            trace_id=trace_id,
+            parent="ingest",
+            transport="binary",
+            frames=len(validated),
+        )
     per_campaign: dict[str, int] = {}
-    for campaign, kind, array, round_id in validated:
+    for campaign, kind, array, round_id, trace in validated:
         if kind == KIND_REPORTS:
-            count = await pipeline.submit_reports(campaign, array, round_id)
+            count = await pipeline.submit_reports(
+                campaign, array, round_id, trace_id=trace
+            )
         else:
-            count = await pipeline.submit_histogram(campaign, array, round_id)
+            count = await pipeline.submit_histogram(
+                campaign, array, round_id, trace_id=trace
+            )
         per_campaign[campaign] = per_campaign.get(campaign, 0) + count
     return per_campaign

@@ -30,7 +30,10 @@ GET    ``/v1/query``                    current estimates + confidence
                                         ``&sync=1`` drains the ingest queue
                                         first)
 POST   ``/v1/checkpoint``               force a checkpoint now
-GET    ``/v1/metrics``                  ingest/checkpoint/uptime counters
+GET    ``/v1/metrics``                  ingest/checkpoint/uptime counters,
+                                        latency percentiles, ledger balances
+                                        (``?format=prometheus`` for the text
+                                        exposition format)
 GET    ``/v1/healthz``                  liveness + library version
 ====== ================================ =======================================
 
@@ -62,6 +65,17 @@ from repro.service.ingest import (
     fold_frame_body,
     fold_json_body,
 )
+from repro.telemetry.logs import get_logger
+from repro.telemetry.metrics import (
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    render_prometheus,
+)
+from repro.telemetry.tracing import Tracer, is_trace_id, mint_trace_id
+
+_LOG = get_logger(__name__)
 
 #: Ingest wire formats the service can be restricted to.
 TRANSPORTS = ("json", "binary", "both")
@@ -93,6 +107,9 @@ class _Request:
     #: it to a worker verbatim; everything else parses it via :meth:`json`.
     raw: bytes
     content_type: str
+    #: Trace id adopted from an ``X-Repro-Trace`` request header ("" when
+    #: absent); the edge mints a fresh one for ingest requests without it.
+    trace: str = ""
 
     @property
     def is_frame(self) -> bool:
@@ -117,6 +134,25 @@ class _HttpError(Exception):
     def __init__(self, status: int, message: str) -> None:
         super().__init__(message)
         self.status = status
+
+
+@dataclass
+class _RawResponse:
+    """A non-JSON response body (the Prometheus text exposition)."""
+
+    body: bytes
+    content_type: str
+
+
+def _route_label(path: str) -> str:
+    """Collapse campaign names out of paths so the per-route metric label
+    set stays bounded no matter how many campaigns exist."""
+    if path.startswith("/v1/campaigns/"):
+        parts = path.split("/")
+        if len(parts) > 4:
+            return "/v1/campaigns/{name}/" + parts[4]
+        return "/v1/campaigns/{name}"
+    return path
 
 
 class CollectionService:
@@ -150,6 +186,18 @@ class CollectionService:
         endpoints always speak JSON.
     cluster_start_method:
         ``multiprocessing`` start method for the worker processes.
+    registry:
+        Metrics registry the service (and its pipeline/tracer) registers
+        into; defaults to a fresh per-service registry so two services in
+        one process never share counters.  ``GET /v1/metrics`` renders
+        this registry — plus the process-global one the optimizer drivers
+        use — as JSON or Prometheus text.
+    tracing:
+        When true (default), ingest requests mint a trace id at the edge
+        and each stage (dispatch/decode/fold) records a child span.
+    slow_request_seconds:
+        Requests slower than this log a structured warning with their
+        route, status, duration, and trace id.
     ingest options:
         Forwarded to :class:`~repro.service.ingest.IngestPipeline` (and,
         for the flush knobs, to each cluster worker's pipeline).
@@ -169,6 +217,9 @@ class CollectionService:
         cluster_workers: int = 0,
         transport: str = "both",
         cluster_start_method: str = DEFAULT_START_METHOD,
+        registry: MetricsRegistry | None = None,
+        tracing: bool = True,
+        slow_request_seconds: float = 1.0,
     ) -> None:
         if checkpoint_interval <= 0:
             raise ServiceError(
@@ -182,8 +233,13 @@ class CollectionService:
             raise ServiceError(
                 f"cluster_workers must be >= 0, got {cluster_workers}"
             )
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = Tracer(self.registry, enabled=tracing)
+        self.slow_request_seconds = slow_request_seconds
         self.checkpoints = (
-            CheckpointStore(checkpoint_dir) if checkpoint_dir is not None else None
+            CheckpointStore(checkpoint_dir, registry=self.registry)
+            if checkpoint_dir is not None
+            else None
         )
         self.recovered = False
         if manager is None:
@@ -211,9 +267,12 @@ class CollectionService:
                 max_pending=max_pending,
                 flush_reports=flush_reports,
                 flush_interval=flush_interval,
+                registry=self.registry,
+                tracer=self.tracer,
             )
             self.pool = None
         self.started_at: float | None = None
+        self._started_monotonic: float | None = None
         self.checkpoints_written = 0
         self.checkpoint_failures = 0
         self.last_checkpoint_at: float | None = None
@@ -222,6 +281,51 @@ class CollectionService:
         self._checkpoint_task: asyncio.Task | None = None
         self._connections: set[asyncio.Task] = set()
         self._checkpoint_lock = asyncio.Lock()
+        self._register_service_metrics()
+
+    def _register_service_metrics(self) -> None:
+        registry = self.registry
+        self._m_requests = registry.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by route and status.",
+            labelnames=("path", "status"),
+        )
+        self._m_request_seconds = registry.histogram(
+            "repro_http_request_seconds",
+            "HTTP request handling latency, by route.",
+            labelnames=("path",),
+        )
+        self._m_ingest_latency = registry.histogram(
+            "repro_ingest_latency_seconds",
+            "End-to-end latency of ingest requests "
+            "(dispatch + decode + queue admission).",
+        )
+        self._m_checkpoints = registry.counter(
+            "repro_checkpoints_total", "Checkpoints written successfully."
+        )
+        self._m_checkpoint_failures = registry.counter(
+            "repro_checkpoint_failures_total", "Checkpoint attempts that failed."
+        )
+        uptime = registry.gauge(
+            "repro_uptime_seconds",
+            "Seconds since the service started (monotonic clock).",
+        )
+        assert isinstance(uptime, Gauge)
+        uptime.set_function(self._uptime)
+        if self.pool is not None:
+            alive = registry.gauge(
+                "repro_cluster_workers_alive",
+                "Worker processes currently alive (of the configured pool).",
+            )
+            assert isinstance(alive, Gauge)
+            pool = self.pool
+            alive.set_function(lambda: float(pool.workers_alive))
+
+    def _uptime(self) -> float:
+        """Monotonic uptime: immune to NTP steps and wall-clock changes."""
+        if self._started_monotonic is None:
+            return 0.0
+        return time.monotonic() - self._started_monotonic
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -246,7 +350,21 @@ class CollectionService:
                 self._checkpoint_timer(), name="service-checkpointer"
             )
         self.started_at = time.time()
+        self._started_monotonic = time.monotonic()
         bound = self._server.sockets[0].getsockname()
+        _LOG.info(
+            "service started",
+            extra={
+                "host": bound[0],
+                "port": bound[1],
+                "campaigns": len(self.manager),
+                "cluster_workers": (
+                    self.pool.num_workers if self.pool is not None else 0
+                ),
+                "transport": self.transport,
+                "recovered": self.recovered,
+            },
+        )
         return bound[0], bound[1]
 
     async def stop(self, *, final_checkpoint: bool = True) -> None:
@@ -287,12 +405,8 @@ class CollectionService:
                     # A dead worker makes a complete final checkpoint
                     # impossible; keep the last good one rather than
                     # writing a checkpoint with a silent gap.
-                    import sys
-
-                    print(
-                        f"final checkpoint skipped: {error}",
-                        file=sys.stderr,
-                        flush=True,
+                    _LOG.warning(
+                        "final checkpoint skipped: %s", error
                     )
                 await self.pool.stop()
             else:
@@ -348,12 +462,11 @@ class CollectionService:
                 self.checkpoints.save_frozen, frozen
             )
             self.checkpoints_written += 1
+            self._m_checkpoints.inc()
             self.last_checkpoint_at = manifest["saved_at"]
             return manifest
 
     async def _checkpoint_timer(self) -> None:
-        import sys
-
         while True:
             await asyncio.sleep(self.checkpoint_interval)
             try:
@@ -364,11 +477,11 @@ class CollectionService:
                 # A transient write failure (ENOSPC, NFS hiccup) must not
                 # silently end periodic checkpointing for the process.
                 self.checkpoint_failures += 1
-                print(
-                    f"checkpoint failed (attempt will retry in "
-                    f"{self.checkpoint_interval:g}s): {error}",
-                    file=sys.stderr,
-                    flush=True,
+                self._m_checkpoint_failures.inc()
+                _LOG.warning(
+                    "checkpoint failed (will retry in %gs): %s",
+                    self.checkpoint_interval,
+                    error,
                 )
 
     # -- HTTP plumbing -----------------------------------------------------
@@ -390,6 +503,7 @@ class CollectionService:
                 if request is None and malformed is None:
                     break
                 self.requests_served += 1
+                started = time.perf_counter()
                 if malformed is not None:
                     status, payload = malformed.status, {"error": str(malformed)}
                 else:
@@ -406,17 +520,23 @@ class CollectionService:
                         status, payload = 400, {"error": str(error)}
                     except Exception as error:  # pragma: no cover - defense
                         status, payload = 500, {"error": f"internal error: {error}"}
-                body = json.dumps(payload).encode("utf-8")
+                if isinstance(payload, _RawResponse):
+                    body = payload.body
+                    content_type = payload.content_type
+                else:
+                    body = json.dumps(payload).encode("utf-8")
+                    content_type = "application/json"
                 writer.write(
                     (
                         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-                        "Content-Type: application/json\r\n"
+                        f"Content-Type: {content_type}\r\n"
                         f"Content-Length: {len(body)}\r\n"
                         "\r\n"
                     ).encode("ascii")
                     + body
                 )
                 await writer.drain()
+                self._observe_request(request, malformed, status, started)
                 if malformed is not None:
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
@@ -431,6 +551,38 @@ class CollectionService:
                 await writer.wait_closed()
             except (ConnectionError, OSError, asyncio.CancelledError):
                 pass
+
+    def _observe_request(
+        self,
+        request: _Request | None,
+        malformed: _HttpError | None,
+        status: int,
+        started: float,
+    ) -> None:
+        duration = time.perf_counter() - started
+        route = (
+            _route_label(request.path) if request is not None else "malformed"
+        )
+        requests = self._m_requests.labels(route, str(status))
+        requests.inc()  # type: ignore[union-attr]
+        seconds = self._m_request_seconds.labels(route)
+        assert isinstance(seconds, Histogram)
+        seconds.observe(duration)
+        if malformed is not None:
+            _LOG.warning(
+                "malformed request rejected",
+                extra={"status": status, "error": str(malformed)},
+            )
+        if duration > self.slow_request_seconds:
+            _LOG.warning(
+                "slow request",
+                extra={
+                    "path": route,
+                    "status": status,
+                    "duration_seconds": round(duration, 6),
+                    "trace_id": request.trace if request is not None else "",
+                },
+            )
 
     @staticmethod
     async def _read_request(reader) -> _Request | None:
@@ -462,6 +614,7 @@ class CollectionService:
             raise _HttpError(413, f"request body of {length} bytes too large")
         raw = await reader.readexactly(length) if length else b""
         content_type = headers.get("content-type", "").split(";")[0].strip().lower()
+        trace = headers.get("x-repro-trace", "")
         parsed = urllib.parse.urlsplit(target)
         params = {
             key: values[-1]
@@ -473,6 +626,7 @@ class CollectionService:
             params=params,
             raw=raw,
             content_type=content_type,
+            trace=trace if is_trace_id(trace) else "",
         )
 
     # -- routing -----------------------------------------------------------
@@ -482,6 +636,16 @@ class CollectionService:
         if path == "/v1/healthz" and method == "GET":
             return self._healthz()
         if path == "/v1/metrics" and method == "GET":
+            fmt = request.params.get("format", "json")
+            if fmt == "prometheus":
+                return 200, _RawResponse(
+                    (await self._prometheus_text()).encode("utf-8"),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            if fmt != "json":
+                raise _HttpError(
+                    400, f"unknown metrics format {fmt!r}; use json or prometheus"
+                )
             return 200, await self._metrics()
         if path == "/v1/campaigns":
             if method == "POST":
@@ -502,11 +666,11 @@ class CollectionService:
         if path == "/v1/report" and method == "POST":
             if request.is_frame:
                 raise _HttpError(400, "binary ingest frames go to /v1/reports")
-            return await self._ingest_json(request.raw, single=True)
+            return await self._ingest_json(request, single=True)
         if path == "/v1/reports" and method == "POST":
             if request.is_frame:
-                return await self._ingest_frames(request.raw)
-            return await self._ingest_json(request.raw)
+                return await self._ingest_frames(request)
+            return await self._ingest_json(request)
         if path == "/v1/query" and method == "GET":
             return await self._query(request.params)
         if path == "/v1/checkpoint" and method == "POST":
@@ -660,8 +824,20 @@ class CollectionService:
                 f"(got {wire}; see `repro serve --transport`)",
             )
 
+    def _mint_trace(self, request: _Request) -> str:
+        """The edge's trace id: adopt the client's, else mint one here.
+
+        Written back onto the request so the slow-request log line can
+        correlate with the spans the trace produced.
+        """
+        if not self.tracer.enabled:
+            return ""
+        if not request.trace:
+            request.trace = mint_trace_id()
+        return request.trace
+
     async def _ingest_json(
-        self, raw: bytes, single: bool = False
+        self, request: _Request, single: bool = False
     ) -> tuple[int, dict]:
         """JSON ingest: in cluster mode the raw body goes to a worker
         (which parses, validates, and folds it — the coordinator never
@@ -669,31 +845,55 @@ class CollectionService:
         paths share :func:`~repro.service.ingest.fold_json_body`, so
         validation 400s are identical."""
         self._require_transport("json")
-        if self.pool is not None:
-            reply = await self.pool.submit_json(raw, single=single)
-            per_campaign = reply["campaigns"]
-        else:
-            per_campaign = await fold_json_body(self.pipeline, raw, single)
-        return 200, self._ingest_reply(per_campaign)
+        trace_id = self._mint_trace(request)
+        started = time.perf_counter()
+        with self.tracer.span("ingest", trace_id=trace_id) as span:
+            span.set_attribute("transport", "json")
+            if self.pool is not None:
+                with span.child("dispatch"):
+                    reply = await self.pool.submit_json(
+                        request.raw, single=single, trace_id=trace_id
+                    )
+                per_campaign = reply["campaigns"]
+            else:
+                with span.child("dispatch"):
+                    per_campaign = await fold_json_body(
+                        self.pipeline, request.raw, single, trace_id=trace_id
+                    )
+        self._m_ingest_latency.observe(time.perf_counter() - started)
+        return 200, self._ingest_reply(per_campaign, trace_id)
 
-    async def _ingest_frames(self, raw: bytes) -> tuple[int, dict]:
+    async def _ingest_frames(self, request: _Request) -> tuple[int, dict]:
         """Binary-transport ingest: one or more packed frames per body,
         decoded and folded by a cluster worker or the in-loop pipeline
         (both via :func:`~repro.service.ingest.fold_frame_body`)."""
         self._require_transport("binary")
-        if self.pool is not None:
-            reply = await self.pool.submit_frames(raw)
-            per_campaign = reply["campaigns"]
-        else:
-            per_campaign = await fold_frame_body(self.pipeline, raw)
-        return 200, self._ingest_reply(per_campaign)
+        trace_id = self._mint_trace(request)
+        started = time.perf_counter()
+        with self.tracer.span("ingest", trace_id=trace_id) as span:
+            span.set_attribute("transport", "binary")
+            if self.pool is not None:
+                with span.child("dispatch"):
+                    reply = await self.pool.submit_frames(
+                        request.raw, trace_id=trace_id
+                    )
+                per_campaign = reply["campaigns"]
+            else:
+                with span.child("dispatch"):
+                    per_campaign = await fold_frame_body(
+                        self.pipeline, request.raw, trace_id=trace_id
+                    )
+        self._m_ingest_latency.observe(time.perf_counter() - started)
+        return 200, self._ingest_reply(per_campaign, trace_id)
 
-    def _ingest_reply(self, per_campaign: dict[str, int]) -> dict:
+    def _ingest_reply(self, per_campaign: dict[str, int], trace_id: str) -> dict:
         payload = {
             "accepted": sum(per_campaign.values()),
             "campaigns": per_campaign,
             "queue_depth": self.queue_depth,
         }
+        if trace_id:
+            payload["trace"] = trace_id
         if len(per_campaign) == 1:
             payload["campaign"] = next(iter(per_campaign))
         return payload
@@ -748,9 +948,7 @@ class CollectionService:
             "transport": self.transport,
             "cluster_workers": workers,
             "workers_alive": alive,
-            "uptime_seconds": (
-                time.time() - self.started_at if self.started_at else 0.0
-            ),
+            "uptime_seconds": self._uptime(),
         }
         if degraded:
             payload["error"] = (
@@ -759,42 +957,66 @@ class CollectionService:
             )
         return (503 if degraded else 200), payload
 
+    async def _cluster_ingest_stats(self) -> tuple[dict, dict, int]:
+        """Summed per-worker ingest counters, the raw per-worker rows, and
+        the summed queue depth.  The sum is plain addition of commutative
+        counters, so it is independent of worker report order."""
+        cluster = await self.pool.stats()
+        ingest = {
+            "submitted": 0,
+            "ingested": 0,
+            "rejected_batches": 0,
+            "flushes": 0,
+            "queue_high_water": 0,
+            "reports_dropped": 0,
+        }
+        queue_depth = 0
+        for row in cluster["workers"]:
+            for key, value in row.get("ingest", {}).items():
+                ingest[key] = ingest.get(key, 0) + value
+            queue_depth += row.get("queue_depth", 0)
+        return cluster, ingest, queue_depth
+
+    def _campaign_metrics(self, campaign) -> dict:
+        row = {
+            "num_reports": campaign.num_reports
+            + (
+                self.pool.accepted_reports.get(campaign.name, 0)
+                if self.pool is not None
+                else 0
+            ),
+            "flushes": campaign.flushes,
+            "round": campaign.current_round,
+        }
+        if campaign.adaptive is not None:
+            ledger = campaign.ledger
+            # Floats for dashboards, exact Fraction strings for audits —
+            # the floats round, the strings don't.
+            row["ledger"] = {
+                "epsilon_total": float(ledger.total),
+                "epsilon_spent": float(ledger.spent),
+                "epsilon_remaining": float(ledger.remaining),
+                "epsilon_total_exact": str(ledger.total),
+                "epsilon_spent_exact": str(ledger.spent),
+                "epsilon_remaining_exact": str(ledger.remaining),
+            }
+            row["rounds_completed"] = len(campaign.rounds)
+        return row
+
     async def _metrics(self) -> dict:
         if self.pool is not None:
-            cluster = await self.pool.stats()
-            ingest = {
-                "submitted": 0,
-                "ingested": 0,
-                "rejected_batches": 0,
-                "flushes": 0,
-                "queue_high_water": 0,
-            }
-            queue_depth = 0
-            for row in cluster["workers"]:
-                for key, value in row.get("ingest", {}).items():
-                    ingest[key] = ingest.get(key, 0) + value
-                queue_depth += row.get("queue_depth", 0)
+            cluster, ingest, queue_depth = await self._cluster_ingest_stats()
         else:
             cluster = None
             ingest = self.pipeline.stats.to_json()
             queue_depth = self.pipeline.queue_depth
         metrics = {
-            "uptime_seconds": (
-                time.time() - self.started_at if self.started_at else 0.0
-            ),
+            "uptime_seconds": self._uptime(),
             "requests_served": self.requests_served,
             # In cluster mode the campaign objects hold only the recovery
             # base; live counts are base + reports dispatched to workers.
             "campaigns": {
-                campaign.name: {
-                    "num_reports": campaign.num_reports
-                    + (
-                        self.pool.accepted_reports.get(campaign.name, 0)
-                        if self.pool is not None
-                        else 0
-                    ),
-                    "flushes": campaign.flushes,
-                }
+                campaign.name: self._campaign_metrics(campaign)
                 for campaign in self.manager.campaigns()
             },
             "total_reports": self.manager.total_reports()
@@ -808,10 +1030,103 @@ class CollectionService:
             "checkpoints_written": self.checkpoints_written,
             "checkpoint_failures": self.checkpoint_failures,
             "last_checkpoint_at": self.last_checkpoint_at,
+            "telemetry": self.registry.to_json(),
         }
         if cluster is not None:
             metrics["cluster"] = cluster
         return metrics
+
+    async def _prometheus_text(self) -> str:
+        """Assemble the Prometheus text exposition for this scrape.
+
+        Three sources concatenate (family names are disjoint by
+        construction, deduplicated defensively): the service's own
+        registry, a per-scrape registry holding point-in-time campaign /
+        ledger gauges (and, in cluster mode, the order-independent merge
+        of the workers' counters and fold histograms), and the
+        process-global registry the optimizer drivers and campaign
+        manager record into.
+        """
+        scrape = MetricsRegistry()
+        reports = scrape.gauge(
+            "repro_campaign_reports",
+            "Reports folded per campaign (recovery base + live).",
+            labelnames=("campaign",),
+        )
+        rounds = scrape.gauge(
+            "repro_campaign_round",
+            "Live round per campaign (0 = non-adaptive).",
+            labelnames=("campaign",),
+        )
+        spent = scrape.gauge(
+            "repro_campaign_epsilon_spent",
+            "Budget-ledger epsilon debited so far (float view of the "
+            "exact Fraction; see repro_campaign_ledger_info).",
+            labelnames=("campaign",),
+        )
+        remaining = scrape.gauge(
+            "repro_campaign_epsilon_remaining",
+            "Budget-ledger epsilon still unspent (float view).",
+            labelnames=("campaign",),
+        )
+        ledger_info = scrape.gauge(
+            "repro_campaign_ledger_info",
+            "Exact Fraction ledger balances as labels; value is always 1.",
+            labelnames=("campaign", "total", "spent", "remaining"),
+        )
+        for campaign in self.manager.campaigns():
+            row = self._campaign_metrics(campaign)
+            reports.labels(campaign.name).set(row["num_reports"])
+            rounds.labels(campaign.name).set(campaign.current_round)
+            if campaign.adaptive is not None:
+                ledger = campaign.ledger
+                spent.labels(campaign.name).set(float(ledger.spent))
+                remaining.labels(campaign.name).set(float(ledger.remaining))
+                ledger_info.labels(
+                    campaign.name,
+                    str(ledger.total),
+                    str(ledger.spent),
+                    str(ledger.remaining),
+                ).set(1)
+        if self.pool is not None:
+            cluster, ingest, queue_depth = await self._cluster_ingest_stats()
+            scrape.counter(
+                "repro_ingest_reports_submitted_total",
+                "Reports accepted into worker ingest queues (all workers).",
+            ).inc(ingest["submitted"])
+            scrape.counter(
+                "repro_ingest_reports_total",
+                "Reports folded into partial accumulators (all workers).",
+            ).inc(ingest["ingested"])
+            scrape.counter(
+                "repro_ingest_rejected_batches_total",
+                "Report batches rejected (all workers).",
+            ).inc(ingest["rejected_batches"])
+            scrape.counter(
+                "repro_reports_dropped_total",
+                "Stale-cohort reports dropped (all workers).",
+            ).inc(ingest["reports_dropped"])
+            scrape.counter(
+                "repro_ingest_flushes_total",
+                "Partial-accumulator flushes (all workers).",
+            ).inc(ingest["flushes"])
+            scrape.gauge(
+                "repro_ingest_queue_depth",
+                "Batches queued across all workers.",
+            ).set(queue_depth)
+            fold = scrape.histogram(
+                "repro_ingest_fold_seconds",
+                "Per-batch accumulator fold duration (merged across workers).",
+            )
+            for row in cluster["workers"]:
+                snapshot = row.get("fold_seconds")
+                if snapshot:
+                    fold.merge_snapshot(snapshot)
+        sections = [self.registry, scrape]
+        global_registry = get_registry()
+        if global_registry is not self.registry:
+            sections.append(global_registry)
+        return render_prometheus(*sections)
 
 
 async def _serve_forever(service: CollectionService, host: str, port: int) -> None:

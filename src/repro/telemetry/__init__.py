@@ -1,0 +1,44 @@
+"""End-to-end telemetry: metrics registry, span tracing, structured logs.
+
+Three small, dependency-free modules:
+
+* :mod:`repro.telemetry.metrics` — lock-cheap counters/gauges/histograms
+  with exact quantile read-out, mergeable across processes, rendered as
+  JSON or Prometheus text exposition;
+* :mod:`repro.telemetry.tracing` — trace IDs minted at the HTTP edge and
+  carried through JSON bodies, binary frames, and worker pipes; spans
+  record per-stage timings into the registry;
+* :mod:`repro.telemetry.logs` — stdlib ``logging`` with a structured
+  JSON renderer and trace-id correlation.
+
+See ``docs/observability.md`` for the metric catalog and trace anatomy.
+"""
+
+from .logs import JsonFormatter, configure_logging, get_logger
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    render_prometheus,
+)
+from .tracing import Span, Tracer, is_trace_id, mint_trace_id
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "get_registry",
+    "render_prometheus",
+    "Span",
+    "Tracer",
+    "mint_trace_id",
+    "is_trace_id",
+    "JsonFormatter",
+    "configure_logging",
+    "get_logger",
+]

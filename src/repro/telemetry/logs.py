@@ -1,0 +1,136 @@
+"""Structured logging for the service: stdlib ``logging``, two renderers.
+
+``configure_logging("json")`` emits one JSON object per line — machine
+parseable, trace-id correlated — while ``"text"`` keeps the classic
+human format.  Both run on the root ``repro`` logger so every module
+logs through ``get_logger(__name__)`` with zero extra setup.
+
+Extra context rides on ``logging``'s standard ``extra=`` mechanism:
+
+>>> import io, logging
+>>> stream = io.StringIO()
+>>> _ = configure_logging("json", stream=stream, level=logging.INFO)
+>>> log = get_logger("repro.doctest")
+>>> log.info("folded batch", extra={"trace_id": "00ff" * 4, "reports": 3})
+>>> import json as _json
+>>> record = _json.loads(stream.getvalue())
+>>> record["message"], record["trace_id"], record["reports"]
+('folded batch', '00ff00ff00ff00ff', 3)
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import IO
+
+__all__ = ["JsonFormatter", "configure_logging", "get_logger"]
+
+ROOT_LOGGER_NAME = "repro"
+
+# logging.LogRecord attributes that are plumbing, not user context.
+_RESERVED_RECORD_KEYS = frozenset(
+    {
+        "args",
+        "asctime",
+        "created",
+        "exc_info",
+        "exc_text",
+        "filename",
+        "funcName",
+        "levelname",
+        "levelno",
+        "lineno",
+        "message",
+        "module",
+        "msecs",
+        "msg",
+        "name",
+        "pathname",
+        "process",
+        "processName",
+        "relativeCreated",
+        "stack_info",
+        "taskName",
+        "thread",
+        "threadName",
+    }
+)
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, message + extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, object] = {
+            "ts": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.gmtime(record.created)
+            )
+            + f".{int(record.msecs):03d}Z",
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key in _RESERVED_RECORD_KEYS or key in payload:
+                continue
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=False)
+
+
+class TextFormatter(logging.Formatter):
+    """Human format that still appends any extra context fields."""
+
+    def __init__(self) -> None:
+        super().__init__("%(asctime)s %(levelname)-7s %(name)s %(message)s")
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = super().format(record)
+        extras = [
+            f"{key}={value}"
+            for key, value in record.__dict__.items()
+            if key not in _RESERVED_RECORD_KEYS
+        ]
+        if extras:
+            return base + " [" + " ".join(sorted(extras)) + "]"
+        return base
+
+
+def configure_logging(
+    log_format: str = "text",
+    *,
+    level: int = logging.INFO,
+    stream: IO[str] | None = None,
+) -> logging.Logger:
+    """(Re)configure the ``repro`` logger tree and return its root.
+
+    Idempotent: the previous handler is replaced, not stacked, so tests
+    and repeated CLI invocations never double-log.  Logs go to stderr by
+    default, keeping stdout clean for CLI/JSON output.
+    """
+    if log_format not in ("text", "json"):
+        raise ValueError(f"log_format must be 'text' or 'json', got {log_format!r}")
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter() if log_format == "json" else TextFormatter())
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    return root
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` tree (``repro.service.server`` etc.)."""
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(ROOT_LOGGER_NAME + "." + name)

@@ -1,0 +1,212 @@
+"""Span tracing for the ingest path.
+
+Trace IDs are minted at the HTTP edge (16 hex characters) and propagated
+with the work they describe: inside JSON bodies (``"trace"`` key), inside
+binary frames (a reserved header field — absent traces leave the frame
+byte-identical to the pre-telemetry encoding), and across worker pipes.
+Each processing stage opens a child span; finished spans record their
+duration into the registry histogram ``repro_span_duration_seconds``
+(labeled by span name) and land in a bounded ring buffer for
+introspection, so one report batch yields a parent span with
+dispatch/decode/fold child timings.
+
+Tracing never feeds back into estimate math; a disabled tracer costs one
+attribute check per would-be span.
+"""
+
+from __future__ import annotations
+
+import binascii
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from .metrics import DEFAULT_LATENCY_BUCKETS, Histogram, MetricsRegistry
+
+__all__ = ["Span", "Tracer", "mint_trace_id", "is_trace_id"]
+
+_TRACE_ID_BYTES = 8
+TRACE_ID_LENGTH = 2 * _TRACE_ID_BYTES
+
+
+def mint_trace_id() -> str:
+    """A fresh 16-hex-character trace id from OS entropy.
+
+    Deliberately independent of every seeded RNG in the library, so
+    minting traces can never perturb seeded estimate streams.
+    """
+    return binascii.hexlify(os.urandom(_TRACE_ID_BYTES)).decode("ascii")
+
+
+def is_trace_id(value: object) -> bool:
+    """True when ``value`` looks like a minted trace id."""
+    if not isinstance(value, str) or len(value) != TRACE_ID_LENGTH:
+        return False
+    try:
+        binascii.unhexlify(value)
+    except (binascii.Error, ValueError):
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class Span:
+    """One finished span: a named, timed stage of a traced operation."""
+
+    trace_id: str
+    name: str
+    parent: str | None
+    duration_seconds: float
+    attributes: dict[str, object] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "parent": self.parent,
+            "duration_seconds": self.duration_seconds,
+            "attributes": dict(self.attributes),
+        }
+
+
+class _ActiveSpan:
+    """Context manager handed out by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "trace_id", "name", "parent", "attributes", "_start")
+
+    def __init__(
+        self,
+        tracer: Tracer,
+        trace_id: str,
+        name: str,
+        parent: str | None,
+    ) -> None:
+        self._tracer = tracer
+        self.trace_id = trace_id
+        self.name = name
+        self.parent = parent
+        self.attributes: dict[str, object] = {}
+        self._start = 0.0
+
+    def set_attribute(self, key: str, value: object) -> None:
+        self.attributes[key] = value
+
+    def child(self, name: str) -> _ActiveSpan | _NullSpan:
+        return self._tracer.span(name, trace_id=self.trace_id, parent=self.name)
+
+    def __enter__(self) -> _ActiveSpan:
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        duration = time.perf_counter() - self._start
+        if exc_type is not None:
+            self.attributes["error"] = True
+        self._tracer._finish(
+            Span(self.trace_id, self.name, self.parent, duration, self.attributes)
+        )
+
+
+class _NullSpan:
+    """No-op stand-in returned by a disabled tracer."""
+
+    __slots__ = ()
+    trace_id = ""
+    name = ""
+    parent = None
+
+    def set_attribute(self, key: str, value: object) -> None:
+        pass
+
+    def child(self, name: str) -> _NullSpan:
+        return self
+
+    def __enter__(self) -> _NullSpan:
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Mints spans, records their durations, keeps a bounded recent ring.
+
+    All state is process-local; worker processes run their own tracer
+    and only the trace *id* crosses the pipe, so span timings always
+    describe the process that did the work.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        *,
+        enabled: bool = True,
+        max_finished: int = 512,
+    ) -> None:
+        self.enabled = enabled
+        self._finished: deque[Span] = deque(maxlen=max_finished)
+        self._histogram = None
+        if registry is not None:
+            self._histogram = registry.histogram(
+                "repro_span_duration_seconds",
+                "Duration of traced spans by span name.",
+                labelnames=("span",),
+                bounds=DEFAULT_LATENCY_BUCKETS,
+            )
+
+    def span(
+        self,
+        name: str,
+        *,
+        trace_id: str | None = None,
+        parent: str | None = None,
+    ) -> _ActiveSpan | _NullSpan:
+        if not self.enabled:
+            return _NULL_SPAN
+        return _ActiveSpan(self, trace_id or mint_trace_id(), name, parent)
+
+    def record(
+        self,
+        name: str,
+        duration_seconds: float,
+        *,
+        trace_id: str | None = None,
+        parent: str | None = None,
+        **attributes: object,
+    ) -> None:
+        """Record an already-measured duration as a finished span.
+
+        For hot paths that time themselves with ``perf_counter`` and only
+        want the span bookkeeping afterwards (e.g. the ingest fold loop).
+        """
+        if not self.enabled:
+            return
+        self._finish(
+            Span(
+                trace_id or mint_trace_id(),
+                name,
+                parent,
+                duration_seconds,
+                dict(attributes),
+            )
+        )
+
+    def _finish(self, span: Span) -> None:
+        self._finished.append(span)
+        if self._histogram is not None:
+            child = self._histogram.labels(span.name)
+            assert isinstance(child, Histogram)
+            child.observe(span.duration_seconds)
+
+    def recent(self, limit: int = 50) -> list[Span]:
+        """Most recently finished spans, newest last."""
+        spans = list(self._finished)
+        return spans[-limit:]
+
+    def trace(self, trace_id: str) -> list[Span]:
+        """Finished spans belonging to one trace, in finish order."""
+        return [s for s in self._finished if s.trace_id == trace_id]

@@ -185,3 +185,58 @@ class TestRoundTags:
             encode_reports("demo", [1], round_id=MAX_FRAME_ROUND + 1)
         with pytest.raises(ServiceError, match="round"):
             encode_reports("demo", [1], round_id=-1)
+
+
+class TestTraceField:
+    def test_trace_id_round_trips_on_both_kinds(self):
+        trace = "deadbeefcafef00d"
+        frame = decode_frame(encode_reports("demo", [1, 2], trace_id=trace))
+        assert frame.trace_id == trace
+        histogram = decode_frame(
+            encode_histogram("demo", [1.0, 0.0], trace_id=trace)
+        )
+        assert histogram.trace_id == trace
+
+    def test_traceless_frame_is_byte_identical_to_pre_trace_format(self):
+        # trace length lands in what version 1 reserved as zero padding,
+        # so a frame with no trace attached must not change by a byte
+        plain = encode_reports("demo", [1, 2, 3])
+        assert encode_reports("demo", [1, 2, 3], trace_id=None) == plain
+        assert encode_reports("demo", [1, 2, 3], trace_id="") == plain
+        assert plain[10:12] == b"\x00\x00"
+
+    def test_trace_rides_after_the_body(self):
+        trace = "ab" * 8
+        traced = encode_reports("demo", [1, 2], trace_id=trace)
+        plain = encode_reports("demo", [1, 2])
+        assert traced.endswith(trace.encode("ascii"))
+        assert len(traced) == len(plain) + len(trace)
+        # body length (offset 12) excludes the trace bytes
+        assert traced[12:16] == plain[12:16]
+
+    def test_traced_frames_concatenate_back_to_back(self):
+        buffer = encode_reports("a", [1], trace_id="00" * 8) + encode_reports(
+            "b", [2, 3]
+        )
+        frames = decode_frames(buffer)
+        assert [f.trace_id for f in frames] == ["00" * 8, ""]
+        assert [f.campaign for f in frames] == ["a", "b"]
+
+    def test_oversized_trace_rejected_on_encode_and_decode(self):
+        with pytest.raises(ServiceError, match="trace"):
+            encode_reports("demo", [1], trace_id="x" * 65)
+        frame = bytearray(encode_reports("demo", [1]))
+        struct.pack_into("<H", frame, 10, 65)  # lie about the trace length
+        with pytest.raises(ServiceError, match="trace"):
+            decode_frame(bytes(frame) + b"x" * 65)
+
+    def test_truncated_trace_rejected(self):
+        traced = encode_reports("demo", [1], trace_id="ab" * 8)
+        with pytest.raises(ServiceError, match="truncated"):
+            decode_frame(traced[:-3])
+
+    def test_non_utf8_trace_rejected(self):
+        traced = bytearray(encode_reports("demo", [1], trace_id="ab" * 8))
+        traced[-1] = 0xFF
+        with pytest.raises(ServiceError, match="not UTF-8"):
+            decode_frame(bytes(traced))

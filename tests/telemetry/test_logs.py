@@ -1,0 +1,107 @@
+"""Unit tests for structured logging: the JSON schema, the text
+renderer's extras, and idempotent (re)configuration."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.telemetry import configure_logging, get_logger
+from repro.telemetry.logs import ROOT_LOGGER_NAME
+
+
+@pytest.fixture(autouse=True)
+def restore_root_logger():
+    """Leave the shared ``repro`` logger exactly as we found it."""
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    saved = (list(root.handlers), root.level, root.propagate)
+    yield
+    root.handlers[:] = saved[0]
+    root.setLevel(saved[1])
+    root.propagate = saved[2]
+
+
+def capture(log_format):
+    stream = io.StringIO()
+    configure_logging(log_format, stream=stream, level=logging.INFO)
+    return stream
+
+
+class TestJsonFormat:
+    def test_record_schema_and_extras(self):
+        stream = capture("json")
+        get_logger("repro.test").warning(
+            "slow request",
+            extra={"trace_id": "00ff" * 4, "duration_seconds": 1.27},
+        )
+        record = json.loads(stream.getvalue())
+        assert record["level"] == "WARNING"
+        assert record["logger"] == "repro.test"
+        assert record["message"] == "slow request"
+        assert record["trace_id"] == "00ff00ff00ff00ff"
+        assert record["duration_seconds"] == 1.27
+        # UTC ISO-8601 with millisecond suffix.
+        assert record["ts"].endswith("Z") and "T" in record["ts"]
+
+    def test_percent_args_render_into_message(self):
+        stream = capture("json")
+        get_logger("repro.test").info("folded %d reports in %gs", 10, 0.5)
+        assert json.loads(stream.getvalue())["message"] == "folded 10 reports in 0.5s"
+
+    def test_unserializable_extra_falls_back_to_repr(self):
+        stream = capture("json")
+        get_logger("repro.test").info("x", extra={"obj": {1, 2}})
+        record = json.loads(stream.getvalue())
+        assert record["obj"] in ("{1, 2}", "{2, 1}")
+
+    def test_exceptions_are_captured(self):
+        stream = capture("json")
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            get_logger("repro.test").exception("failed")
+        record = json.loads(stream.getvalue())
+        assert "ValueError: boom" in record["exception"]
+
+    def test_one_json_object_per_line(self):
+        stream = capture("json")
+        log = get_logger("repro.test")
+        log.info("a")
+        log.info("b")
+        lines = stream.getvalue().strip().splitlines()
+        assert [json.loads(line)["message"] for line in lines] == ["a", "b"]
+
+
+class TestTextFormat:
+    def test_extras_appended_sorted(self):
+        stream = capture("text")
+        get_logger("repro.test").info("started", extra={"port": 8320, "host": "x"})
+        line = stream.getvalue().strip()
+        assert line.endswith("[host=x port=8320]")
+        assert "INFO" in line and "started" in line
+
+
+class TestConfigure:
+    def test_reconfigure_replaces_handler_not_stacks(self):
+        capture("json")
+        stream = capture("text")
+        root = logging.getLogger(ROOT_LOGGER_NAME)
+        assert len(root.handlers) == 1
+        get_logger("repro.test").info("once")
+        assert len(stream.getvalue().strip().splitlines()) == 1
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="log_format"):
+            configure_logging("xml")
+
+    def test_get_logger_prefixes_foreign_names(self):
+        assert get_logger("service.server").name == "repro.service.server"
+        assert get_logger("repro.service").name == "repro.service"
+        assert get_logger("repro").name == "repro"
+
+    def test_level_filtering_applies(self):
+        stream = io.StringIO()
+        configure_logging("json", stream=stream, level=logging.WARNING)
+        get_logger("repro.test").info("dropped")
+        assert stream.getvalue() == ""

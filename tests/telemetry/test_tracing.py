@@ -1,0 +1,96 @@
+"""Unit tests for span tracing: id minting, span trees, the disabled
+tracer's null path, and the duration histogram hookup."""
+
+import pytest
+
+from repro.telemetry import MetricsRegistry, Tracer, is_trace_id, mint_trace_id
+from repro.telemetry.tracing import TRACE_ID_LENGTH
+
+
+class TestTraceIds:
+    def test_minted_ids_are_16_hex_and_distinct(self):
+        ids = {mint_trace_id() for _ in range(32)}
+        assert len(ids) == 32
+        for trace_id in ids:
+            assert len(trace_id) == TRACE_ID_LENGTH == 16
+            assert is_trace_id(trace_id)
+
+    @pytest.mark.parametrize(
+        "value",
+        ["", "xyz", "0" * 15, "0" * 17, "g" * 16, 1234, None, b"00" * 8],
+    )
+    def test_non_ids_rejected(self, value):
+        assert not is_trace_id(value)
+
+
+class TestTracer:
+    def test_span_tree_records_parentage_and_durations(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry)
+        with tracer.span("ingest") as parent:
+            trace_id = parent.trace_id
+            with parent.child("decode"):
+                pass
+            with parent.child("fold") as fold:
+                fold.set_attribute("reports", 7)
+        spans = tracer.trace(trace_id)
+        assert [s.name for s in spans] == ["decode", "fold", "ingest"]
+        assert all(s.trace_id == trace_id for s in spans)
+        assert {s.parent for s in spans} == {"ingest", None}
+        assert spans[1].attributes == {"reports": 7}
+        assert all(s.duration_seconds >= 0 for s in spans)
+        # Durations land in the labeled registry histogram.
+        family = registry.histogram(
+            "repro_span_duration_seconds", labelnames=("span",)
+        )
+        assert family.labels("ingest").count == 1
+        assert family.labels("decode").count == 1
+
+    def test_adopted_trace_id_is_kept(self):
+        tracer = Tracer()
+        minted = mint_trace_id()
+        with tracer.span("ingest", trace_id=minted) as span:
+            assert span.trace_id == minted
+        assert tracer.trace(minted)[0].name == "ingest"
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("ingest") as span:
+                raise RuntimeError("boom")
+        assert tracer.recent()[-1].attributes["error"] is True
+
+    def test_record_after_the_fact(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry)
+        tracer.record("fold", 0.25, trace_id="ab" * 8, parent="ingest", reports=3)
+        (span,) = tracer.trace("ab" * 8)
+        assert span.duration_seconds == 0.25
+        assert span.parent == "ingest"
+        assert span.attributes == {"reports": 3}
+
+    def test_ring_is_bounded(self):
+        tracer = Tracer(max_finished=4)
+        for index in range(10):
+            tracer.record("s", 0.0, trace_id=f"{index:016x}")
+        assert len(tracer.recent(limit=100)) == 4
+        assert tracer.recent(limit=100)[-1].trace_id == f"{9:016x}"
+
+    def test_disabled_tracer_is_inert(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry, enabled=False)
+        with tracer.span("ingest") as span:
+            with span.child("fold") as child:
+                child.set_attribute("k", 1)  # no-op, must not raise
+        tracer.record("fold", 1.0)
+        assert tracer.recent() == []
+        # The family exists (registered eagerly) but records no samples.
+        assert registry.to_json() == {"repro_span_duration_seconds": []}
+
+    def test_span_json_round_trip(self):
+        tracer = Tracer()
+        with tracer.span("ingest"):
+            pass
+        doc = tracer.recent()[-1].to_json()
+        assert doc["name"] == "ingest" and doc["parent"] is None
+        assert is_trace_id(doc["trace_id"])
