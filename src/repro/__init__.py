@@ -56,6 +56,7 @@ from repro.exceptions import (
     ProtocolError,
     ReproError,
     ServiceError,
+    ServiceHTTPError,
     StochasticityError,
     StoreError,
     WorkloadError,
@@ -87,6 +88,7 @@ __all__ = [
     "ProtocolSession",
     "ReproError",
     "ServiceError",
+    "ServiceHTTPError",
     "ShardAccumulator",
     "StochasticityError",
     "StoreError",

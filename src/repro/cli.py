@@ -10,7 +10,9 @@ accuracy; ``python -m repro strategy build|list|inspect|prune`` manages the
 persistent strategy store (build = multi-restart optimization with
 read-through caching; see docs/strategy-store.md); ``python -m repro
 serve`` runs the always-on collection service, with ``repro report`` and
-``repro query`` as its command-line client (see docs/serving.md).
+``repro query`` as its command-line client, and ``python -m repro edge``
+runs an edge aggregator that folds reports near the clients and forwards
+sealed partials to the root idempotently (see docs/serving.md).
 """
 
 from __future__ import annotations
@@ -333,6 +335,87 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable span tracing (tracing is on by default; it never "
         "changes estimates either way)",
+    )
+
+    edge = subcommands.add_parser(
+        "edge",
+        help="run an edge aggregator: fold client reports locally, forward "
+        "sealed partials to a root service idempotently",
+    )
+    edge.add_argument("--host", default="127.0.0.1", help="bind address")
+    edge.add_argument(
+        "--port", type=int, default=8321, help="bind port (0 = ephemeral)"
+    )
+    edge.add_argument(
+        "--upstream-host",
+        default="127.0.0.1",
+        help="root collection service address",
+    )
+    edge.add_argument(
+        "--upstream-port", type=int, default=8320, help="root service port"
+    )
+    edge.add_argument(
+        "--edge-id",
+        default=None,
+        help="stable identity for the idempotency ledger (default: a fresh "
+        "random id; reuse one to resume a restarted edge safely)",
+    )
+    edge.add_argument(
+        "--campaigns",
+        default=None,
+        help="comma-separated campaign names to mirror (default: every "
+        "campaign the root has at startup)",
+    )
+    edge.add_argument(
+        "--forward-reports",
+        type=int,
+        default=50_000,
+        help="seal and forward a partial once it holds this many reports",
+    )
+    edge.add_argument(
+        "--forward-interval",
+        type=float,
+        default=1.0,
+        help="seconds after which a non-empty partial forwards anyway",
+    )
+    edge.add_argument(
+        "--ingest-workers", type=int, default=2, help="ingest worker tasks"
+    )
+    edge.add_argument(
+        "--flush-reports",
+        type=int,
+        default=8192,
+        help="flush a worker's partial accumulator at this many reports",
+    )
+    edge.add_argument(
+        "--flush-interval",
+        type=float,
+        default=0.2,
+        help="seconds between timer-driven ingest flushes",
+    )
+    edge.add_argument(
+        "--max-pending",
+        type=int,
+        default=256,
+        help="ingest queue bound (backpressure beyond it)",
+    )
+    edge.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="seconds a graceful shutdown keeps retrying the final "
+        "forwards before declaring the buffered reports lost",
+    )
+    edge.add_argument(
+        "--log-format",
+        choices=("text", "json"),
+        default="text",
+        help="structured log format on stderr",
+    )
+    edge.add_argument(
+        "--no-tracing",
+        action="store_true",
+        help="disable span tracing",
     )
 
     metrics = subcommands.add_parser(
@@ -871,6 +954,43 @@ def _run_serve(arguments) -> int:
     return 0
 
 
+def _run_edge(arguments) -> int:
+    from repro.exceptions import ServiceError
+    from repro.service import EdgeAggregator, run_edge
+    from repro.telemetry import configure_logging
+
+    configure_logging(arguments.log_format)
+    campaigns = None
+    if arguments.campaigns is not None:
+        campaigns = [
+            name.strip()
+            for name in arguments.campaigns.split(",")
+            if name.strip()
+        ]
+    edge = EdgeAggregator(
+        arguments.upstream_host,
+        arguments.upstream_port,
+        edge_id=arguments.edge_id,
+        campaigns=campaigns,
+        num_workers=arguments.ingest_workers,
+        max_pending=arguments.max_pending,
+        flush_reports=arguments.flush_reports,
+        flush_interval=arguments.flush_interval,
+        forward_reports=arguments.forward_reports,
+        forward_interval=arguments.forward_interval,
+        drain_timeout=arguments.drain_timeout,
+        tracing=not arguments.no_tracing,
+    )
+    try:
+        run_edge(edge, host=arguments.host, port=arguments.port)
+    except (ServiceError, ConnectionError, OSError) as error:
+        # Most commonly: the root is not up yet, so the startup mirror
+        # fetch fails before the listener ever binds.
+        print(f"edge failed to start: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_report(arguments) -> int:
     import numpy as np
 
@@ -1061,6 +1181,8 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     if arguments.command == "serve":
         return _run_serve(arguments)
+    if arguments.command == "edge":
+        return _run_edge(arguments)
     if arguments.command == "report":
         return _run_report(arguments)
     if arguments.command == "query":

@@ -68,6 +68,17 @@ class ServiceError(ReproError):
     campaign, malformed request, corrupt checkpoint)."""
 
 
+class ServiceHTTPError(ServiceError):
+    """An HTTP request to the collection service came back >= 400.  Carries
+    the status code so SDK callers (notably the edge aggregator's forwarder)
+    can distinguish permanent client faults (4xx: drop and resynchronize)
+    from transient server faults (5xx: keep the payload and retry)."""
+
+    def __init__(self, message: str, status: int) -> None:
+        super().__init__(message)
+        self.status = int(status)
+
+
 class ClusterDegradedError(ServiceError):
     """A cluster worker process died, so the pool refuses to operate (its
     un-checkpointed reports are lost); the HTTP layer maps this to a 503

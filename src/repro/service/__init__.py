@@ -31,6 +31,10 @@ a crash.  Clients randomize locally — the server never sees a raw value.
   :class:`~repro.protocol.accounting.BudgetLedger` splits epsilon across
   rounds, each round transition privately selects the worst-approximated
   sub-workload and re-optimizes the strategy for a fresh cohort.
+* :class:`~repro.service.edge.EdgeAggregator` — the stateless two-tier
+  fan-in (``repro edge``): edges accept client reports near the clients,
+  fold them locally with the same pipeline, and forward sealed partial
+  accumulators upstream idempotently (per-edge flush sequence numbers).
 
 See ``docs/serving.md`` for the architecture and endpoint reference,
 ``docs/adaptive-campaigns.md`` for the round lifecycle.
@@ -50,6 +54,7 @@ from repro.service.campaigns import (
 from repro.service.checkpoint import MANIFEST_VERSION, CheckpointStore
 from repro.service.client import CampaignReporter, ServiceClient
 from repro.service.cluster import ShardManager, WorkerPool
+from repro.service.edge import EdgeAggregator, run_edge
 from repro.service.framing import (
     FRAME_CONTENT_TYPE,
     MAX_FRAME_ROUND,
@@ -84,6 +89,7 @@ __all__ = [
     "CampaignReporter",
     "CheckpointStore",
     "CollectionService",
+    "EdgeAggregator",
     "FRAME_CONTENT_TYPE",
     "Frame",
     "IngestPipeline",
@@ -103,6 +109,7 @@ __all__ = [
     "encode_histogram",
     "encode_reports",
     "resolve_round",
+    "run_edge",
     "run_service",
     "validate_campaign_name",
     "validate_histogram",

@@ -267,6 +267,10 @@ class Campaign:
     ledger: BudgetLedger | None = None
     rounds: list[RoundRecord] = field(default_factory=list)
     current_round: int = 0
+    #: Highest partial-forward sequence number applied per edge aggregator
+    #: (see :meth:`CampaignManager.apply_partial`).  Persisted in
+    #: checkpoints so a retried forward stays idempotent across recovery.
+    edge_sequences: dict[str, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         validate_campaign_name(self.name)
@@ -762,6 +766,86 @@ class CampaignManager:
             bounds=(0.01, 0.05, 0.25, 1.0, 5.0, 30.0, 120.0),
         ).observe(time.perf_counter() - started)
         return report
+
+    # -- edge partial forwards ---------------------------------------------
+
+    def apply_partial(
+        self, name: str, *, edge_id: str, sequence: int, payload: bytes
+    ) -> dict:
+        """Fold one edge aggregator's forwarded partial into a campaign.
+
+        The payload is a tagged :meth:`ShardAccumulator.to_bytes` blob; its
+        round tag must match the campaign's live round (a stale or unknown
+        round is refused with :class:`~repro.exceptions.ProtocolError`,
+        like any other ingest path).  ``sequence`` is the edge's
+        monotonically increasing flush counter: a forward whose sequence is
+        not greater than the last one applied for ``edge_id`` is
+        acknowledged as a duplicate *without folding* — so an edge that
+        retries a forward after a lost reply can never double-count.
+
+        Returns a JSON-ready receipt with ``duplicate``, ``accepted`` (the
+        reports folded), and ``last_sequence`` (the edge resynchronizes its
+        counter from it after a restart under a reused edge id).
+
+        Must run on the event loop (it mutates the live accumulator), like
+        every other campaign mutation.
+        """
+        from repro.service.ingest import resolve_round
+
+        campaign = self.get(name)
+        if not isinstance(edge_id, str) or not _NAME_PATTERN.fullmatch(edge_id):
+            raise ServiceError(
+                f"invalid edge id {edge_id!r}; use 1-64 characters from "
+                "[A-Za-z0-9_.-], starting with a letter or digit"
+            )
+        if isinstance(sequence, bool) or not isinstance(sequence, int):
+            raise ServiceError(f"sequence must be an integer, got {sequence!r}")
+        if sequence < 1:
+            raise ServiceError(f"sequence must be >= 1, got {sequence}")
+        last = campaign.edge_sequences.get(edge_id, 0)
+        if sequence <= last:
+            return {
+                "campaign": name,
+                "edge": edge_id,
+                "duplicate": True,
+                "accepted": 0,
+                "last_sequence": last,
+                "round": campaign.current_round,
+            }
+        partial = ShardAccumulator.from_bytes(payload)
+        # resolve_round raises the same stale/unknown-round ProtocolErrors
+        # the report paths do, and must run *before* the alphabet check: a
+        # round advance can re-optimize onto a different output alphabet,
+        # and a stale partial should be refused as stale, not misreported
+        # as a shape mismatch.  Unlike a report batch, a partial is an
+        # *accumulator* and merges by round tag, so an untagged (round-0)
+        # partial cannot fold into an adaptive campaign's live round — the
+        # edge must mirror the round it aggregated for.
+        from repro.exceptions import ProtocolError
+
+        if campaign.adaptive is not None and partial.round_id == 0:
+            raise ProtocolError(
+                f"campaign {name!r} is adaptive (round "
+                f"{campaign.current_round} live); partials must carry the "
+                "round they aggregated — refresh the edge's campaign mirror"
+            )
+        resolve_round(campaign, partial.round_id or None)
+        if partial.num_outputs != campaign.session.num_outputs:
+            raise ServiceError(
+                f"partial over {partial.num_outputs} outputs does not match "
+                f"campaign {name!r}'s {campaign.session.num_outputs} outputs"
+            )
+        campaign.accumulator = campaign.accumulator.merge(partial)
+        campaign.flushes += 1
+        campaign.edge_sequences[edge_id] = sequence
+        return {
+            "campaign": name,
+            "edge": edge_id,
+            "duplicate": False,
+            "accepted": partial.num_reports,
+            "last_sequence": sequence,
+            "round": campaign.current_round,
+        }
 
     # -- answering ---------------------------------------------------------
 

@@ -192,6 +192,9 @@ class CheckpointStore:
         for item in frozen:
             campaign, snapshot = item[0], item[1]
             adaptive = item[2] if len(item) > 2 else campaign.freeze_adaptive()
+            edge_sequences = (
+                item[3] if len(item) > 3 else dict(campaign.edge_sequences)
+            )
             session = adaptive.session if adaptive else campaign.session
             strategy_sha = self._write_strategy(
                 campaign.name, session.strategy, self.strategy_path(campaign.name)
@@ -209,6 +212,11 @@ class CheckpointStore:
                 "strategy_sha256": strategy_sha,
                 "accumulator_sha256": _sha256(payload),
             }
+            if edge_sequences:
+                # Additive key (readable by older manifests' absence): the
+                # highest applied partial-forward sequence per edge, so a
+                # retried forward stays a no-op across recovery.
+                entry["edge_sequences"] = edge_sequences
             if adaptive is not None:
                 rounds = []
                 for record in adaptive.rounds:
@@ -382,6 +390,10 @@ class CheckpointStore:
                     entry.get("accumulator_sha256"),
                 )
             )
+            edge_sequences = {
+                str(edge): int(seq)
+                for edge, seq in (entry.get("edge_sequences") or {}).items()
+            }
             adaptive_entry = entry.get("adaptive")
             plan = None
             ledger = None
@@ -414,6 +426,7 @@ class CheckpointStore:
             ledger=ledger,
             rounds=rounds,
             current_round=current_round,
+            edge_sequences=edge_sequences,
         )
         if campaign.accumulator.num_reports != int(entry.get("num_reports", -1)):
             raise ServiceError(

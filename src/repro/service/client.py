@@ -16,13 +16,14 @@ accumulated (or on :meth:`~CampaignReporter.flush` / context-manager exit).
 
 from __future__ import annotations
 
+import base64
 import http.client
 import json
 import urllib.parse
 
 import numpy as np
 
-from repro.exceptions import ServiceError
+from repro.exceptions import ServiceError, ServiceHTTPError
 from repro.mechanisms.base import StrategyMatrix
 from repro.service.framing import (
     FRAME_CONTENT_TYPE,
@@ -121,8 +122,9 @@ class ServiceClient:
                     raise
         if raw_response:
             if response.status >= 400:
-                raise ServiceError(
-                    f"{method} {path} failed ({response.status}): {raw[:200]!r}"
+                raise ServiceHTTPError(
+                    f"{method} {path} failed ({response.status}): {raw[:200]!r}",
+                    response.status,
                 )
             return raw.decode("utf-8")
         try:
@@ -132,9 +134,10 @@ class ServiceClient:
                 f"server returned non-JSON response ({response.status})"
             )
         if response.status >= 400:
-            raise ServiceError(
+            raise ServiceHTTPError(
                 f"{method} {path} failed ({response.status}): "
-                f"{document.get('error', raw[:200])}"
+                f"{document.get('error', raw[:200])}",
+                response.status,
             )
         return document
 
@@ -301,6 +304,35 @@ class ServiceClient:
         if trace_id:
             body["trace"] = trace_id
         return self._request("POST", "/v1/reports", body, trace_id=trace_id)
+
+    def send_partial(
+        self, campaign: str, *, edge_id: str, sequence: int, payload: bytes
+    ) -> dict:
+        """Forward an edge aggregator's partial accumulator upstream.
+
+        ``payload`` is the tagged ``ShardAccumulator.to_bytes`` blob;
+        ``sequence`` is the edge's monotonically increasing flush counter.
+        The server applies each ``(edge_id, sequence)`` at most once, so a
+        retried forward (e.g. after a timeout whose first attempt actually
+        landed) is acknowledged as a duplicate instead of double-counting —
+        the receipt's ``duplicate``/``last_sequence`` fields say which.
+        Raises :class:`~repro.exceptions.ServiceHTTPError` on rejection;
+        ``.status`` distinguishes permanent 4xx faults from retryable 5xx.
+        """
+        trace_id = self._mint_trace()
+        body = {
+            "edge": edge_id,
+            "sequence": int(sequence),
+            "accumulator": base64.b64encode(payload).decode("ascii"),
+        }
+        if trace_id:
+            body["trace"] = trace_id
+        return self._request(
+            "POST",
+            f"/v1/campaigns/{urllib.parse.quote(campaign)}/partials",
+            body,
+            trace_id=trace_id,
+        )
 
     def query(
         self, campaign: str, confidence: float = 0.95, sync: bool = False

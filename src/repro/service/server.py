@@ -48,6 +48,8 @@ so the service stays stdlib-only.
 from __future__ import annotations
 
 import asyncio
+import base64
+import binascii
 import json
 import threading
 import time
@@ -155,136 +157,29 @@ def _route_label(path: str) -> str:
     return path
 
 
-class CollectionService:
-    """The long-running service: manager + ingest + checkpoints + HTTP.
+class HttpTier:
+    """Shared HTTP/1.1 plumbing for the service tiers.
 
-    Parameters
-    ----------
-    manager:
-        Campaign registry to serve; defaults to a fresh one, or to the
-        recovered state when ``checkpoint_dir`` holds a checkpoint.
-    checkpoint_dir:
-        Directory for periodic atomic checkpoints; ``None`` disables
-        persistence.  If it already contains a checkpoint, the service
-        recovers from it on construction (crash recovery).
-    checkpoint_interval:
-        Seconds between automatic checkpoints.
-    store:
-        Optional :class:`~repro.store.StrategyStore` used when campaigns
-        are created with ``mechanism="store"`` or ``"Optimized"``.
-    cluster_workers:
-        ``K > 0`` runs the multi-process scale-out tier: report batches
-        are dispatched to ``K`` worker processes
-        (:class:`~repro.service.cluster.WorkerPool`), each folding into
-        its own shard accumulators; queries and checkpoints merge the
-        worker shards (bit-identical to the in-process fold).  ``0`` (the
-        default) keeps the single-process in-loop pipeline.
-    transport:
-        Which ingest wire formats to accept on ``/v1/report(s)``:
-        ``"json"``, ``"binary"`` (the framed format of
-        :mod:`repro.service.framing`), or ``"both"`` (default).  Control
-        endpoints always speak JSON.
-    cluster_start_method:
-        ``multiprocessing`` start method for the worker processes.
-    registry:
-        Metrics registry the service (and its pipeline/tracer) registers
-        into; defaults to a fresh per-service registry so two services in
-        one process never share counters.  ``GET /v1/metrics`` renders
-        this registry — plus the process-global one the optimizer drivers
-        use — as JSON or Prometheus text.
-    tracing:
-        When true (default), ingest requests mint a trace id at the edge
-        and each stage (dispatch/decode/fold) records a child span.
-    slow_request_seconds:
-        Requests slower than this log a structured warning with their
-        route, status, duration, and trace id.
-    ingest options:
-        Forwarded to :class:`~repro.service.ingest.IngestPipeline` (and,
-        for the flush knobs, to each cluster worker's pipeline).
+    Both the root :class:`CollectionService` and the
+    :class:`~repro.service.edge.EdgeAggregator` speak the same minimal
+    keep-alive HTTP dialect; this base owns the listener, the
+    per-connection read/parse/respond loop, and the per-route
+    request/latency metrics.  Subclasses implement :meth:`_dispatch`.
     """
 
     def __init__(
         self,
-        manager: CampaignManager | None = None,
+        registry: MetricsRegistry,
         *,
-        checkpoint_dir=None,
-        checkpoint_interval: float = 30.0,
-        store=None,
-        num_workers: int = 2,
-        max_pending: int = 256,
-        flush_reports: int = 8_192,
-        flush_interval: float = 0.2,
-        cluster_workers: int = 0,
-        transport: str = "both",
-        cluster_start_method: str = DEFAULT_START_METHOD,
-        registry: MetricsRegistry | None = None,
         tracing: bool = True,
         slow_request_seconds: float = 1.0,
     ) -> None:
-        if checkpoint_interval <= 0:
-            raise ServiceError(
-                f"checkpoint_interval must be positive, got {checkpoint_interval}"
-            )
-        if transport not in TRANSPORTS:
-            raise ServiceError(
-                f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
-            )
-        if cluster_workers < 0:
-            raise ServiceError(
-                f"cluster_workers must be >= 0, got {cluster_workers}"
-            )
-        self.registry = registry if registry is not None else MetricsRegistry()
-        self.tracer = Tracer(self.registry, enabled=tracing)
+        self.registry = registry
+        self.tracer = Tracer(registry, enabled=tracing)
         self.slow_request_seconds = slow_request_seconds
-        self.checkpoints = (
-            CheckpointStore(checkpoint_dir, registry=self.registry)
-            if checkpoint_dir is not None
-            else None
-        )
-        self.recovered = False
-        if manager is None:
-            if self.checkpoints is not None and self.checkpoints.exists():
-                manager = self.checkpoints.load()
-                self.recovered = True
-            else:
-                manager = CampaignManager()
-        self.manager = manager
-        self.store = store
-        self.checkpoint_interval = checkpoint_interval
-        self.transport = transport
-        if cluster_workers > 0:
-            self.pipeline = None
-            self.pool: WorkerPool | None = WorkerPool(
-                cluster_workers,
-                flush_reports=flush_reports,
-                flush_interval=flush_interval,
-                start_method=cluster_start_method,
-            )
-        else:
-            self.pipeline = IngestPipeline(
-                manager,
-                num_workers=num_workers,
-                max_pending=max_pending,
-                flush_reports=flush_reports,
-                flush_interval=flush_interval,
-                registry=self.registry,
-                tracer=self.tracer,
-            )
-            self.pool = None
-        self.started_at: float | None = None
-        self._started_monotonic: float | None = None
-        self.checkpoints_written = 0
-        self.checkpoint_failures = 0
-        self.last_checkpoint_at: float | None = None
         self.requests_served = 0
         self._server: asyncio.base_events.Server | None = None
-        self._checkpoint_task: asyncio.Task | None = None
         self._connections: set[asyncio.Task] = set()
-        self._checkpoint_lock = asyncio.Lock()
-        self._register_service_metrics()
-
-    def _register_service_metrics(self) -> None:
-        registry = self.registry
         self._m_requests = registry.counter(
             "repro_http_requests_total",
             "HTTP requests served, by route and status.",
@@ -295,196 +190,31 @@ class CollectionService:
             "HTTP request handling latency, by route.",
             labelnames=("path",),
         )
-        self._m_ingest_latency = registry.histogram(
-            "repro_ingest_latency_seconds",
-            "End-to-end latency of ingest requests "
-            "(dispatch + decode + queue admission).",
-        )
-        self._m_checkpoints = registry.counter(
-            "repro_checkpoints_total", "Checkpoints written successfully."
-        )
-        self._m_checkpoint_failures = registry.counter(
-            "repro_checkpoint_failures_total", "Checkpoint attempts that failed."
-        )
-        uptime = registry.gauge(
-            "repro_uptime_seconds",
-            "Seconds since the service started (monotonic clock).",
-        )
-        assert isinstance(uptime, Gauge)
-        uptime.set_function(self._uptime)
-        if self.pool is not None:
-            alive = registry.gauge(
-                "repro_cluster_workers_alive",
-                "Worker processes currently alive (of the configured pool).",
-            )
-            assert isinstance(alive, Gauge)
-            pool = self.pool
-            alive.set_function(lambda: float(pool.workers_alive))
 
-    def _uptime(self) -> float:
-        """Monotonic uptime: immune to NTP steps and wall-clock changes."""
-        if self._started_monotonic is None:
-            return 0.0
-        return time.monotonic() - self._started_monotonic
+    async def _dispatch(self, request: _Request) -> tuple[int, dict]:
+        raise NotImplementedError  # pragma: no cover - abstract
 
-    # -- lifecycle ---------------------------------------------------------
-
-    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
-        """Start ingest workers and the HTTP listener; returns the bound
-        ``(host, port)`` (pass ``port=0`` for an ephemeral port)."""
+    async def _start_listener(self, host: str, port: int) -> tuple[str, int]:
         if self._server is not None:
             raise ServiceError("service already started")
-        if self.pool is not None:
-            await self.pool.start()
-            for campaign in self.manager.campaigns():
-                # Recovered (or pre-registered) campaigns must exist on
-                # every worker before the first report is dispatched.
-                await self.pool.open_campaign(
-                    campaign.name, campaign.session.num_outputs
-                )
-        else:
-            await self.pipeline.start()
-        self._server = await asyncio.start_server(self._handle_connection, host, port)
-        if self.checkpoints is not None:
-            self._checkpoint_task = asyncio.create_task(
-                self._checkpoint_timer(), name="service-checkpointer"
-            )
-        self.started_at = time.time()
-        self._started_monotonic = time.monotonic()
-        bound = self._server.sockets[0].getsockname()
-        _LOG.info(
-            "service started",
-            extra={
-                "host": bound[0],
-                "port": bound[1],
-                "campaigns": len(self.manager),
-                "cluster_workers": (
-                    self.pool.num_workers if self.pool is not None else 0
-                ),
-                "transport": self.transport,
-                "recovered": self.recovered,
-            },
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port
         )
+        bound = self._server.sockets[0].getsockname()
         return bound[0], bound[1]
 
-    async def stop(self, *, final_checkpoint: bool = True) -> None:
-        """Graceful shutdown: stop accepting, drain ingest, checkpoint.
-
-        The listener and every open connection are torn down *before* the
-        drain, so no report can be acknowledged after the final flush — an
-        accepted 200 always means the report is in the final checkpoint.
-        (A handler cancelled mid-request surfaces as a dropped connection,
-        never a false ack.)
-
-        ``final_checkpoint=False`` skips the drain+checkpoint — the
-        "crash" path used by tests to prove recovery from the last periodic
-        checkpoint alone.
-        """
-        if self._checkpoint_task is not None:
-            self._checkpoint_task.cancel()
-            await asyncio.gather(self._checkpoint_task, return_exceptions=True)
-            self._checkpoint_task = None
+    async def _close_listener(self) -> None:
+        """Stop accepting and reap every open connection (idle keep-alive
+        connections hold parked handler tasks)."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        # Idle keep-alive connections hold parked handler tasks; reap them
-        # before draining so nothing new can be submitted (or falsely
-        # acknowledged) once the drain starts.
         for task in list(self._connections):
             task.cancel()
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
         self._connections.clear()
-        if self.pool is not None:
-            if final_checkpoint:
-                try:
-                    await self.pool.drain()
-                    await self.checkpoint()
-                except ServiceError as error:
-                    # A dead worker makes a complete final checkpoint
-                    # impossible; keep the last good one rather than
-                    # writing a checkpoint with a silent gap.
-                    _LOG.warning(
-                        "final checkpoint skipped: %s", error
-                    )
-                await self.pool.stop()
-            else:
-                await self.pool.stop(graceful=False)
-        elif final_checkpoint:
-            await self.pipeline.stop()
-            await self.checkpoint()
-        else:
-            await self.pipeline.abort()
-
-    async def checkpoint(self) -> dict | None:
-        """Write a checkpoint now (no-op without a checkpoint directory).
-
-        Accumulator snapshots are captured here, on the event loop — where
-        every flush also runs — before the file I/O moves to a worker
-        thread, so a concurrent flush can neither tear a snapshot nor
-        desynchronize the manifest's report counts from the payloads.
-        """
-        if self.checkpoints is None:
-            return None
-        # Serialize writers: the periodic timer, POST /v1/checkpoint, and
-        # campaign creation may all checkpoint concurrently, and two
-        # interleaved save_frozen calls could leave the manifest referencing
-        # the other save's payload bytes.
-        async with self._checkpoint_lock:
-            if self.pool is not None and self.pool.started:
-                # Coordinated cluster checkpoint: one manifest atomically
-                # covers every worker's shards, merged (via the tagged
-                # to_bytes payloads) onto the recovery base.  A worker
-                # death surfaces here as ServiceError — no partial
-                # manifest is ever written.
-                worker_states = await self.pool.snapshots()
-                frozen = []
-                for campaign in self.manager.campaigns():
-                    snapshot = campaign.accumulator.snapshot()
-                    extra = worker_states.get(campaign.name)
-                    if extra is not None:
-                        snapshot = snapshot.merge(extra)
-                    frozen.append((campaign, snapshot, campaign.freeze_adaptive()))
-            else:
-                # Round state is frozen here too, on the loop — a round
-                # advance committing while save_frozen runs on the worker
-                # thread must not tear the ledger/session/history apart.
-                frozen = [
-                    (
-                        campaign,
-                        campaign.accumulator.snapshot(),
-                        campaign.freeze_adaptive(),
-                    )
-                    for campaign in self.manager.campaigns()
-                ]
-            manifest = await asyncio.to_thread(
-                self.checkpoints.save_frozen, frozen
-            )
-            self.checkpoints_written += 1
-            self._m_checkpoints.inc()
-            self.last_checkpoint_at = manifest["saved_at"]
-            return manifest
-
-    async def _checkpoint_timer(self) -> None:
-        while True:
-            await asyncio.sleep(self.checkpoint_interval)
-            try:
-                await self.checkpoint()
-            except asyncio.CancelledError:
-                raise
-            except Exception as error:
-                # A transient write failure (ENOSPC, NFS hiccup) must not
-                # silently end periodic checkpointing for the process.
-                self.checkpoint_failures += 1
-                self._m_checkpoint_failures.inc()
-                _LOG.warning(
-                    "checkpoint failed (will retry in %gs): %s",
-                    self.checkpoint_interval,
-                    error,
-                )
-
-    # -- HTTP plumbing -----------------------------------------------------
 
     async def _handle_connection(self, reader, writer) -> None:
         task = asyncio.current_task()
@@ -629,6 +359,346 @@ class CollectionService:
             trace=trace if is_trace_id(trace) else "",
         )
 
+    def _mint_trace(self, request: _Request) -> str:
+        """The tier's trace id: adopt the client's, else mint one here.
+
+        Written back onto the request so the slow-request log line can
+        correlate with the spans the trace produced.
+        """
+        if not self.tracer.enabled:
+            return ""
+        if not request.trace:
+            request.trace = mint_trace_id()
+        return request.trace
+
+
+class CollectionService(HttpTier):
+    """The long-running service: manager + ingest + checkpoints + HTTP.
+
+    Parameters
+    ----------
+    manager:
+        Campaign registry to serve; defaults to a fresh one, or to the
+        recovered state when ``checkpoint_dir`` holds a checkpoint.
+    checkpoint_dir:
+        Directory for periodic atomic checkpoints; ``None`` disables
+        persistence.  If it already contains a checkpoint, the service
+        recovers from it on construction (crash recovery).
+    checkpoint_interval:
+        Seconds between automatic checkpoints.
+    store:
+        Optional :class:`~repro.store.StrategyStore` used when campaigns
+        are created with ``mechanism="store"`` or ``"Optimized"``.
+    cluster_workers:
+        ``K > 0`` runs the multi-process scale-out tier: report batches
+        are dispatched to ``K`` worker processes
+        (:class:`~repro.service.cluster.WorkerPool`), each folding into
+        its own shard accumulators; queries and checkpoints merge the
+        worker shards (bit-identical to the in-process fold).  ``0`` (the
+        default) keeps the single-process in-loop pipeline.
+    transport:
+        Which ingest wire formats to accept on ``/v1/report(s)``:
+        ``"json"``, ``"binary"`` (the framed format of
+        :mod:`repro.service.framing`), or ``"both"`` (default).  Control
+        endpoints always speak JSON.
+    cluster_start_method:
+        ``multiprocessing`` start method for the worker processes.
+    registry:
+        Metrics registry the service (and its pipeline/tracer) registers
+        into; defaults to a fresh per-service registry so two services in
+        one process never share counters.  ``GET /v1/metrics`` renders
+        this registry — plus the process-global one the optimizer drivers
+        use — as JSON or Prometheus text.
+    tracing:
+        When true (default), ingest requests mint a trace id at the edge
+        and each stage (dispatch/decode/fold) records a child span.
+    slow_request_seconds:
+        Requests slower than this log a structured warning with their
+        route, status, duration, and trace id.
+    ingest options:
+        Forwarded to :class:`~repro.service.ingest.IngestPipeline` (and,
+        for the flush knobs, to each cluster worker's pipeline).
+    """
+
+    def __init__(
+        self,
+        manager: CampaignManager | None = None,
+        *,
+        checkpoint_dir=None,
+        checkpoint_interval: float = 30.0,
+        store=None,
+        num_workers: int = 2,
+        max_pending: int = 256,
+        flush_reports: int = 8_192,
+        flush_interval: float = 0.2,
+        cluster_workers: int = 0,
+        transport: str = "both",
+        cluster_start_method: str = DEFAULT_START_METHOD,
+        registry: MetricsRegistry | None = None,
+        tracing: bool = True,
+        slow_request_seconds: float = 1.0,
+    ) -> None:
+        if checkpoint_interval <= 0:
+            raise ServiceError(
+                f"checkpoint_interval must be positive, got {checkpoint_interval}"
+            )
+        if transport not in TRANSPORTS:
+            raise ServiceError(
+                f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
+            )
+        if cluster_workers < 0:
+            raise ServiceError(
+                f"cluster_workers must be >= 0, got {cluster_workers}"
+            )
+        super().__init__(
+            registry if registry is not None else MetricsRegistry(),
+            tracing=tracing,
+            slow_request_seconds=slow_request_seconds,
+        )
+        self.checkpoints = (
+            CheckpointStore(checkpoint_dir, registry=self.registry)
+            if checkpoint_dir is not None
+            else None
+        )
+        self.recovered = False
+        if manager is None:
+            if self.checkpoints is not None and self.checkpoints.exists():
+                manager = self.checkpoints.load()
+                self.recovered = True
+            else:
+                manager = CampaignManager()
+        self.manager = manager
+        self.store = store
+        self.checkpoint_interval = checkpoint_interval
+        self.transport = transport
+        if cluster_workers > 0:
+            self.pipeline = None
+            self.pool: WorkerPool | None = WorkerPool(
+                cluster_workers,
+                flush_reports=flush_reports,
+                flush_interval=flush_interval,
+                start_method=cluster_start_method,
+            )
+        else:
+            self.pipeline = IngestPipeline(
+                manager,
+                num_workers=num_workers,
+                max_pending=max_pending,
+                flush_reports=flush_reports,
+                flush_interval=flush_interval,
+                registry=self.registry,
+                tracer=self.tracer,
+            )
+            self.pool = None
+        self.started_at: float | None = None
+        self._started_monotonic: float | None = None
+        self.checkpoints_written = 0
+        self.checkpoint_failures = 0
+        self.last_checkpoint_at: float | None = None
+        self._checkpoint_task: asyncio.Task | None = None
+        self._checkpoint_lock = asyncio.Lock()
+        self._register_service_metrics()
+
+    def _register_service_metrics(self) -> None:
+        registry = self.registry
+        self._m_ingest_latency = registry.histogram(
+            "repro_ingest_latency_seconds",
+            "End-to-end latency of ingest requests "
+            "(dispatch + decode + queue admission).",
+        )
+        self._m_partials = registry.counter(
+            "repro_partials_total",
+            "Edge partial forwards received, by outcome "
+            "(applied/duplicate/rejected).",
+            labelnames=("outcome",),
+        )
+        self._m_partial_reports = registry.counter(
+            "repro_partial_reports_total",
+            "Reports folded into campaigns via edge partial forwards.",
+        )
+        self._m_checkpoints = registry.counter(
+            "repro_checkpoints_total", "Checkpoints written successfully."
+        )
+        self._m_checkpoint_failures = registry.counter(
+            "repro_checkpoint_failures_total", "Checkpoint attempts that failed."
+        )
+        uptime = registry.gauge(
+            "repro_uptime_seconds",
+            "Seconds since the service started (monotonic clock).",
+        )
+        assert isinstance(uptime, Gauge)
+        uptime.set_function(self._uptime)
+        if self.pool is not None:
+            alive = registry.gauge(
+                "repro_cluster_workers_alive",
+                "Worker processes currently alive (of the configured pool).",
+            )
+            assert isinstance(alive, Gauge)
+            pool = self.pool
+            alive.set_function(lambda: float(pool.workers_alive))
+
+    def _uptime(self) -> float:
+        """Monotonic uptime: immune to NTP steps and wall-clock changes."""
+        if self._started_monotonic is None:
+            return 0.0
+        return time.monotonic() - self._started_monotonic
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Start ingest workers and the HTTP listener; returns the bound
+        ``(host, port)`` (pass ``port=0`` for an ephemeral port)."""
+        if self._server is not None:
+            raise ServiceError("service already started")
+        if self.pool is not None:
+            await self.pool.start()
+            for campaign in self.manager.campaigns():
+                # Recovered (or pre-registered) campaigns must exist on
+                # every worker before the first report is dispatched.
+                await self.pool.open_campaign(
+                    campaign.name, campaign.session.num_outputs
+                )
+        else:
+            await self.pipeline.start()
+        bound = await self._start_listener(host, port)
+        if self.checkpoints is not None:
+            self._checkpoint_task = asyncio.create_task(
+                self._checkpoint_timer(), name="service-checkpointer"
+            )
+        self.started_at = time.time()
+        self._started_monotonic = time.monotonic()
+        _LOG.info(
+            "service started",
+            extra={
+                "host": bound[0],
+                "port": bound[1],
+                "campaigns": len(self.manager),
+                "cluster_workers": (
+                    self.pool.num_workers if self.pool is not None else 0
+                ),
+                "transport": self.transport,
+                "recovered": self.recovered,
+            },
+        )
+        return bound[0], bound[1]
+
+    async def stop(self, *, final_checkpoint: bool = True) -> None:
+        """Graceful shutdown: stop accepting, drain ingest, checkpoint.
+
+        The listener and every open connection are torn down *before* the
+        drain, so no report can be acknowledged after the final flush — an
+        accepted 200 always means the report is in the final checkpoint.
+        (A handler cancelled mid-request surfaces as a dropped connection,
+        never a false ack.)
+
+        ``final_checkpoint=False`` skips the drain+checkpoint — the
+        "crash" path used by tests to prove recovery from the last periodic
+        checkpoint alone.
+        """
+        if self._checkpoint_task is not None:
+            self._checkpoint_task.cancel()
+            await asyncio.gather(self._checkpoint_task, return_exceptions=True)
+            self._checkpoint_task = None
+        # Tear down the listener and every open connection *before* the
+        # drain, so nothing new can be submitted (or falsely acknowledged)
+        # once the drain starts.
+        await self._close_listener()
+        if self.pool is not None:
+            if final_checkpoint:
+                try:
+                    await self.pool.drain()
+                    await self.checkpoint()
+                except ServiceError as error:
+                    # A dead worker makes a complete final checkpoint
+                    # impossible; keep the last good one rather than
+                    # writing a checkpoint with a silent gap.
+                    _LOG.warning(
+                        "final checkpoint skipped: %s", error
+                    )
+                await self.pool.stop()
+            else:
+                await self.pool.stop(graceful=False)
+        elif final_checkpoint:
+            await self.pipeline.stop()
+            await self.checkpoint()
+        else:
+            await self.pipeline.abort()
+
+    async def checkpoint(self) -> dict | None:
+        """Write a checkpoint now (no-op without a checkpoint directory).
+
+        Accumulator snapshots are captured here, on the event loop — where
+        every flush also runs — before the file I/O moves to a worker
+        thread, so a concurrent flush can neither tear a snapshot nor
+        desynchronize the manifest's report counts from the payloads.
+        """
+        if self.checkpoints is None:
+            return None
+        # Serialize writers: the periodic timer, POST /v1/checkpoint, and
+        # campaign creation may all checkpoint concurrently, and two
+        # interleaved save_frozen calls could leave the manifest referencing
+        # the other save's payload bytes.
+        async with self._checkpoint_lock:
+            if self.pool is not None and self.pool.started:
+                # Coordinated cluster checkpoint: one manifest atomically
+                # covers every worker's shards, merged (via the tagged
+                # to_bytes payloads) onto the recovery base.  A worker
+                # death surfaces here as ServiceError — no partial
+                # manifest is ever written.
+                worker_states = await self.pool.snapshots()
+                frozen = []
+                for campaign in self.manager.campaigns():
+                    snapshot = campaign.accumulator.snapshot()
+                    extra = worker_states.get(campaign.name)
+                    if extra is not None:
+                        snapshot = snapshot.merge(extra)
+                    frozen.append(
+                        (
+                            campaign,
+                            snapshot,
+                            campaign.freeze_adaptive(),
+                            dict(campaign.edge_sequences),
+                        )
+                    )
+            else:
+                # Round state is frozen here too, on the loop — a round
+                # advance committing while save_frozen runs on the worker
+                # thread must not tear the ledger/session/history apart.
+                frozen = [
+                    (
+                        campaign,
+                        campaign.accumulator.snapshot(),
+                        campaign.freeze_adaptive(),
+                        dict(campaign.edge_sequences),
+                    )
+                    for campaign in self.manager.campaigns()
+                ]
+            manifest = await asyncio.to_thread(
+                self.checkpoints.save_frozen, frozen
+            )
+            self.checkpoints_written += 1
+            self._m_checkpoints.inc()
+            self.last_checkpoint_at = manifest["saved_at"]
+            return manifest
+
+    async def _checkpoint_timer(self) -> None:
+        while True:
+            await asyncio.sleep(self.checkpoint_interval)
+            try:
+                await self.checkpoint()
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:
+                # A transient write failure (ENOSPC, NFS hiccup) must not
+                # silently end periodic checkpointing for the process.
+                self.checkpoint_failures += 1
+                self._m_checkpoint_failures.inc()
+                _LOG.warning(
+                    "checkpoint failed (will retry in %gs): %s",
+                    self.checkpoint_interval,
+                    error,
+                )
+
     # -- routing -----------------------------------------------------------
 
     async def _dispatch(self, request: _Request) -> tuple[int, dict]:
@@ -662,6 +732,8 @@ class CollectionService:
             parts = path.split("/")[3:]
             if method == "POST" and len(parts) == 2 and parts[1] == "advance":
                 return await self._advance_campaign(parts[0], request.json())
+            if method == "POST" and len(parts) == 2 and parts[1] == "partials":
+                return await self._apply_partial(parts[0], request)
             return self._campaign_subresource(method, path)
         if path == "/v1/report" and method == "POST":
             if request.is_frame:
@@ -824,18 +896,6 @@ class CollectionService:
                 f"(got {wire}; see `repro serve --transport`)",
             )
 
-    def _mint_trace(self, request: _Request) -> str:
-        """The edge's trace id: adopt the client's, else mint one here.
-
-        Written back onto the request so the slow-request log line can
-        correlate with the spans the trace produced.
-        """
-        if not self.tracer.enabled:
-            return ""
-        if not request.trace:
-            request.trace = mint_trace_id()
-        return request.trace
-
     async def _ingest_json(
         self, request: _Request, single: bool = False
     ) -> tuple[int, dict]:
@@ -903,6 +963,57 @@ class CollectionService:
         """In-process ingest queue depth (0 in cluster mode, where the
         backpressure point is the per-worker dispatch round trip)."""
         return self.pipeline.queue_depth if self.pipeline is not None else 0
+
+    async def _apply_partial(self, name: str, request: _Request) -> tuple[int, dict]:
+        """Fold an edge aggregator's forwarded partial accumulator.
+
+        Body: ``{"edge": <id>, "sequence": <n>, "accumulator": <base64 of
+        the tagged to_bytes payload>}``.  Applied on the event loop via
+        :meth:`CampaignManager.apply_partial`, which enforces round tags
+        and per-edge sequence idempotency; in cluster mode the partial
+        merges into the campaign's recovery base, which queries and
+        checkpoints already layer worker shards on top of.
+        """
+        if name not in self.manager:
+            raise _HttpError(404, f"unknown campaign {name!r}")
+        body = request.json()
+        edge_id = body.get("edge")
+        sequence = body.get("sequence")
+        encoded = body.get("accumulator")
+        if edge_id is None or sequence is None or encoded is None:
+            raise _HttpError(
+                400, "partial forward needs edge, sequence, and accumulator"
+            )
+        if not isinstance(encoded, str):
+            raise _HttpError(400, "accumulator must be a base64 string")
+        try:
+            payload = base64.b64decode(encoded.encode("ascii"), validate=True)
+        except (binascii.Error, ValueError, UnicodeEncodeError) as error:
+            raise _HttpError(400, f"accumulator is not valid base64: {error}")
+        trace_id = self._mint_trace(request)
+        with self.tracer.span("partial", trace_id=trace_id) as span:
+            span.set_attribute("campaign", name)
+            span.set_attribute("edge", str(edge_id))
+            try:
+                with span.child("merge"):
+                    receipt = self.manager.apply_partial(
+                        name,
+                        edge_id=edge_id,
+                        sequence=sequence,
+                        payload=payload,
+                    )
+            except ReproError:
+                rejected = self._m_partials.labels("rejected")
+                rejected.inc()  # type: ignore[union-attr]
+                raise
+        outcome = "duplicate" if receipt["duplicate"] else "applied"
+        counter = self._m_partials.labels(outcome)
+        counter.inc()  # type: ignore[union-attr]
+        if not receipt["duplicate"]:
+            self._m_partial_reports.inc(receipt["accepted"])
+        if trace_id:
+            receipt["trace"] = trace_id
+        return 200, receipt
 
     async def _query(self, params: dict[str, str]) -> tuple[int, dict]:
         name = params.get("campaign")
