@@ -4,10 +4,12 @@ worker-process count, and wire transport.
 Measures the full client→server path — client-side randomization already
 done, reports shipped over real HTTP, folded by the ingest tier, and
 drained — across a sweep of client batch sizes, cluster worker counts
-(``0`` = the single-process in-loop pipeline), and wire transports
-(``json`` vs the packed binary frames).  Small batches stress per-request
-overhead; large batches converge toward the folding rate, whose no-HTTP
-ceiling is also measured directly.
+(``0`` = the single-process in-loop pipeline), wire transports (``json``
+vs the packed binary frames), and durability modes (``--wal 0,1``: with
+``1`` every accepted body is appended + fsynced to the ingest WAL before
+the ack, the price of the zero-loss guarantee).  Small batches stress
+per-request overhead; large batches converge toward the folding rate,
+whose no-HTTP ceiling is also measured directly.
 
 The script asserts correctness along the way: every configuration must
 count exactly the reports sent, and its drained estimates must be
@@ -122,18 +124,29 @@ def check_against(results: dict, baseline_path: str) -> int:
         baseline = json.load(handle)
     tolerance = float(baseline.get("tolerance", 0.30))
     measured = {
-        (row["workers"], row["transport"], row["batch_size"]): row[
-            "http_reports_per_sec"
-        ]
+        (
+            row["workers"],
+            row["transport"],
+            row["batch_size"],
+            row.get("wal", 0),
+        ): row["http_reports_per_sec"]
         for row in results["sweep"]
     }
     failures = 0
     for row in baseline["sweep"]:
-        key = (row["workers"], row["transport"], row["batch_size"])
+        key = (
+            row["workers"],
+            row["transport"],
+            row["batch_size"],
+            row.get("wal", 0),
+        )
         floor = float(row["http_reports_per_sec"]) * (1.0 - tolerance)
         got = measured.get(key)
         if got is None:
-            print(f"check: MISSING  workers={key[0]} {key[1]} batch={key[2]}")
+            print(
+                f"check: MISSING  workers={key[0]} {key[1]} "
+                f"batch={key[2]} wal={key[3]}"
+            )
             failures += 1
             continue
         verdict = "ok" if got >= floor else "REGRESSION"
@@ -141,7 +154,7 @@ def check_against(results: dict, baseline_path: str) -> int:
             failures += 1
         print(
             f"check: {verdict:>10}  workers={key[0]} {key[1]:>6} "
-            f"batch={key[2]:>6}: {got:>12,.0f} reports/sec "
+            f"batch={key[2]:>6} wal={key[3]}: {got:>12,.0f} reports/sec "
             f"(floor {floor:,.0f} = baseline - {tolerance:.0%})"
         )
     return failures
@@ -168,6 +181,12 @@ def main(argv=None) -> int:
         help="comma-separated wire transports to sweep",
     )
     parser.add_argument(
+        "--wal",
+        default="0",
+        help="comma-separated durability modes to sweep (0 = no WAL, "
+        "1 = fsync-before-ack ingest WAL)",
+    )
+    parser.add_argument(
         "--client-threads",
         type=int,
         default=4,
@@ -192,6 +211,7 @@ def main(argv=None) -> int:
     batch_sizes = [int(v) for v in arguments.batch_sizes.split(",") if v.strip()]
     worker_counts = [int(v) for v in arguments.workers.split(",") if v.strip()]
     transports = [v.strip() for v in arguments.transport.split(",") if v.strip()]
+    wal_modes = [int(v) for v in arguments.wal.split(",") if v.strip()]
     strategy = hadamard_response(arguments.domain, arguments.epsilon)
 
     # Pre-randomize once: the benchmark isolates ingest, not the sampler.
@@ -248,62 +268,79 @@ def main(argv=None) -> int:
             "numbers measure dispatch overhead, not parallel speedup"
         )
 
+    import tempfile
+
     failures = 0
     for workers in worker_counts:
         for transport in transports:
-            # One service (and one worker-pool spawn) per configuration;
-            # each batch size gets its own campaign so every run is
-            # checked bit-for-bit against the reference fold.
-            service = CollectionService(
-                manager=CampaignManager(),
-                flush_interval=0.05,
-                cluster_workers=workers,
-            )
-            thread = ServiceThread(service)
-            host, port = thread.start()
-            print(f"-- workers={workers} transport={transport} on {host}:{port}")
-            client = ServiceClient(host, port, transport=transport)
-            for batch_size in batch_sizes:
-                campaign = f"{CAMPAIGN}-{batch_size}"
-                client.create_campaign(
-                    campaign,
-                    workload="Histogram",
-                    domain_size=arguments.domain,
-                    epsilon=arguments.epsilon,
-                    mechanism="Hadamard",
-                    exist_ok=True,
+            for wal in wal_modes:
+                # One service (and one worker-pool spawn) per
+                # configuration; each batch size gets its own campaign so
+                # every run is checked bit-for-bit against the reference
+                # fold.
+                durability = {}
+                if wal:
+                    root = tempfile.mkdtemp(prefix="repro-bench-wal-")
+                    durability = {
+                        "checkpoint_dir": f"{root}/ckpt",
+                        "checkpoint_interval": 3600.0,
+                        "wal_dir": f"{root}/wal",
+                    }
+                service = CollectionService(
+                    manager=CampaignManager(),
+                    flush_interval=0.05,
+                    cluster_workers=workers,
+                    **durability,
                 )
-                http_seconds, answer = time_http_path(
-                    client,
-                    campaign,
-                    reports,
-                    batch_size,
-                    num_threads=arguments.client_threads,
-                )
-                count_ok = answer["num_reports"] == num_reports
-                estimate_ok = answer["estimates"] == reference["estimates"]
-                if not (count_ok and estimate_ok):
-                    failures += 1
-                row = {
-                    "workers": workers,
-                    "transport": transport,
-                    "batch_size": batch_size,
-                    "port": port,
-                    "http_seconds": round(http_seconds, 6),
-                    "http_reports_per_sec": round(
-                        num_reports / http_seconds, 1
-                    ),
-                    "count_ok": count_ok,
-                    "estimate_ok": estimate_ok,
-                }
-                results["sweep"].append(row)
+                thread = ServiceThread(service)
+                host, port = thread.start()
                 print(
-                    f"   batch {batch_size:>7,}: "
-                    f"{num_reports / http_seconds:>12,.0f} reports/sec   "
-                    f"[{'ok' if count_ok and estimate_ok else 'MISMATCH'}]"
+                    f"-- workers={workers} transport={transport} "
+                    f"wal={wal} on {host}:{port}"
                 )
-            client.close()
-            thread.stop()
+                client = ServiceClient(host, port, transport=transport)
+                for batch_size in batch_sizes:
+                    campaign = f"{CAMPAIGN}-{batch_size}"
+                    client.create_campaign(
+                        campaign,
+                        workload="Histogram",
+                        domain_size=arguments.domain,
+                        epsilon=arguments.epsilon,
+                        mechanism="Hadamard",
+                        exist_ok=True,
+                    )
+                    http_seconds, answer = time_http_path(
+                        client,
+                        campaign,
+                        reports,
+                        batch_size,
+                        num_threads=arguments.client_threads,
+                    )
+                    count_ok = answer["num_reports"] == num_reports
+                    estimate_ok = answer["estimates"] == reference["estimates"]
+                    if not (count_ok and estimate_ok):
+                        failures += 1
+                    row = {
+                        "workers": workers,
+                        "transport": transport,
+                        "batch_size": batch_size,
+                        "wal": wal,
+                        "port": port,
+                        "http_seconds": round(http_seconds, 6),
+                        "http_reports_per_sec": round(
+                            num_reports / http_seconds, 1
+                        ),
+                        "count_ok": count_ok,
+                        "estimate_ok": estimate_ok,
+                    }
+                    results["sweep"].append(row)
+                    print(
+                        f"   batch {batch_size:>7,}: "
+                        f"{num_reports / http_seconds:>12,.0f} reports/sec   "
+                        f"[{'ok' if count_ok and estimate_ok else 'MISMATCH'}]"
+                    )
+                client.close()
+                thread.stop()
 
     if not arguments.skip_direct:
         for batch_size in batch_sizes:

@@ -243,6 +243,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds between automatic checkpoints",
     )
     serve.add_argument(
+        "--wal-dir",
+        default=None,
+        help="directory for the ingest write-ahead log (requires "
+        "--checkpoint-dir): every accepted report is fsynced before its "
+        "ack, checkpoints truncate the log, and recovery replays the "
+        "suffix — a crash loses zero acked reports; with --workers it "
+        "also enables self-healing worker supervision",
+    )
+    serve.add_argument(
+        "--wal-segment-bytes",
+        type=int,
+        default=16 << 20,
+        help="rotate WAL segments at this size",
+    )
+    serve.add_argument(
+        "--no-wal-fsync",
+        action="store_true",
+        help="skip the per-batch WAL fsync (benchmarks only: a power "
+        "failure may then lose acked reports)",
+    )
+    serve.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="FILE_OR_JSON",
+        help="deterministic fault-injection plan (a JSON file path or "
+        "inline JSON) for crash drills; see scripts/chaos_drill.py",
+    )
+    serve.add_argument(
+        "--worker-restart-limit",
+        type=int,
+        default=5,
+        help="respawns allowed per supervised cluster worker before the "
+        "pool degrades (only meaningful with --wal-dir and --workers)",
+    )
+    serve.add_argument(
         "--ingest-workers", type=int, default=2, help="ingest worker tasks"
     )
     serve.add_argument(
@@ -918,6 +953,11 @@ def _run_serve(arguments) -> int:
         cluster_workers=arguments.workers,
         transport=arguments.transport,
         tracing=not arguments.no_tracing,
+        wal_dir=arguments.wal_dir,
+        wal_segment_bytes=arguments.wal_segment_bytes,
+        wal_fsync=not arguments.no_wal_fsync,
+        fault_plan=arguments.fault_plan,
+        worker_restart_limit=arguments.worker_restart_limit,
     )
     if arguments.campaign is not None and arguments.campaign not in service.manager:
         adaptive = None

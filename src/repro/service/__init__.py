@@ -35,9 +35,16 @@ a crash.  Clients randomize locally — the server never sees a raw value.
   fan-in (``repro edge``): edges accept client reports near the clients,
   fold them locally with the same pipeline, and forward sealed partial
   accumulators upstream idempotently (per-edge flush sequence numbers).
+* :class:`~repro.service.wal.WriteAheadLog` — the durable ingest log
+  (``repro serve --wal-dir``): accepted bodies fsync before the ack,
+  checkpoints cut + truncate, recovery replays the suffix (zero acked
+  reports lost); it also unlocks self-healing worker supervision.
+* :class:`~repro.service.faults.FaultPlan` — seeded deterministic fault
+  injection (``repro serve --fault-plan``, ``scripts/chaos_drill.py``).
 
 See ``docs/serving.md`` for the architecture and endpoint reference,
-``docs/adaptive-campaigns.md`` for the round lifecycle.
+``docs/adaptive-campaigns.md`` for the round lifecycle, and
+``docs/operations.md`` for the failure-modes & recovery runbook.
 """
 
 from repro.service.campaigns import (
@@ -55,6 +62,7 @@ from repro.service.checkpoint import MANIFEST_VERSION, CheckpointStore
 from repro.service.client import CampaignReporter, ServiceClient
 from repro.service.cluster import ShardManager, WorkerPool
 from repro.service.edge import EdgeAggregator, run_edge
+from repro.service.faults import FAULT_ACTIONS, Fault, FaultPlan
 from repro.service.framing import (
     FRAME_CONTENT_TYPE,
     MAX_FRAME_ROUND,
@@ -78,6 +86,7 @@ from repro.service.server import (
     ServiceThread,
     run_service,
 )
+from repro.service.wal import WalRecord, WriteAheadLog
 
 __all__ = [
     "AdaptivePlan",
@@ -90,7 +99,10 @@ __all__ = [
     "CheckpointStore",
     "CollectionService",
     "EdgeAggregator",
+    "FAULT_ACTIONS",
     "FRAME_CONTENT_TYPE",
+    "Fault",
+    "FaultPlan",
     "Frame",
     "IngestPipeline",
     "IngestStats",
@@ -103,7 +115,9 @@ __all__ = [
     "ServiceThread",
     "ShardManager",
     "TRANSPORTS",
+    "WalRecord",
     "WorkerPool",
+    "WriteAheadLog",
     "decode_frame",
     "decode_frames",
     "encode_histogram",

@@ -88,8 +88,18 @@ class CheckpointStore:
     True
     """
 
-    def __init__(self, root, registry: MetricsRegistry | None = None) -> None:
+    def __init__(
+        self,
+        root,
+        registry: MetricsRegistry | None = None,
+        *,
+        faults=None,
+    ) -> None:
         self.root = Path(root)
+        #: Optional :class:`~repro.service.faults.FaultPlan`; consulted
+        #: once per save (``fail_checkpoint_fsync``) so drills can prove a
+        #: failed checkpoint never loses WAL coverage.
+        self.faults = faults
         # (strategy object, payload digest) this instance last
         # wrote/verified per campaign; strategies are immutable, so a
         # repeat checkpoint of the same object can skip re-serializing,
@@ -171,7 +181,7 @@ class CheckpointStore:
         self._strategy_digests[cache_key] = (strategy, digest)
         return digest
 
-    def save_frozen(self, frozen: list) -> dict:
+    def save_frozen(self, frozen: list, *, wal_sequence: int | None = None) -> dict:
         """Write a checkpoint from ``(campaign, accumulator snapshot,
         adaptive snapshot)`` triples captured by the caller (pairs are
         accepted for non-adaptive callers).
@@ -185,8 +195,23 @@ class CheckpointStore:
         safe to run off the event loop while ingestion continues; the
         manifest's report count always comes from the serialized snapshot
         itself, never the live accumulator.
+
+        ``wal_sequence`` records the write-ahead-log coverage point: every
+        WAL record with sequence ``<= wal_sequence`` is contained in this
+        checkpoint, so recovery replays only what lies past it.  Additive
+        manifest key — absent (older manifests, no WAL) means 0.
         """
         started = time.perf_counter()
+        if self.faults is not None:
+            spec = self.faults.check("fail_checkpoint_fsync")
+            if spec is not None:
+                # Injected before anything is written: the previous
+                # checkpoint and the uncovered WAL suffix stay exactly as
+                # they were, which is the invariant the drill asserts.
+                raise OSError(
+                    "injected checkpoint fsync failure "
+                    f"(fault at save #{spec['at']})"
+                )
         written_bytes = 0
         entries: dict[str, dict] = {}
         for item in frozen:
@@ -259,6 +284,8 @@ class CheckpointStore:
             "saved_at": time.time(),
             "campaigns": entries,
         }
+        if wal_sequence is not None:
+            manifest["wal_sequence"] = int(wal_sequence)
         manifest_bytes = json.dumps(
             manifest, indent=2, sort_keys=True
         ).encode("utf-8")

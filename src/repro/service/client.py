@@ -19,6 +19,8 @@ from __future__ import annotations
 import base64
 import http.client
 import json
+import random
+import time
 import urllib.parse
 
 import numpy as np
@@ -46,6 +48,14 @@ class ServiceClient:
     frames of :mod:`repro.service.framing`, which cost 1-2 bytes per
     report instead of 2-6 characters of JSON.
 
+    Transient failures retry with jittered exponential backoff (the edge
+    outbox's 0.25 s-doubling-to-5 s policy), so a worker-recovery blip on
+    the server never surfaces to callers: connection errors retry
+    idempotent GETs, and HTTP 503 retries *every* method — a 503 means
+    the server refused or shed the request before folding it (degraded
+    pool, or a WAL-aborted record), so resending cannot double-count.
+    Other 5xx retry GETs only.  ``retries=0`` restores fail-fast.
+
     Examples
     --------
     >>> from repro.service import CollectionService, ServiceThread
@@ -63,16 +73,24 @@ class ServiceClient:
         *,
         transport: str = "json",
         trace: bool = False,
+        retries: int = 3,
+        retry_base: float = 0.25,
+        retry_cap: float = 5.0,
     ) -> None:
         if transport not in CLIENT_TRANSPORTS:
             raise ServiceError(
                 f"unknown transport {transport!r}; "
                 f"expected one of {CLIENT_TRANSPORTS}"
             )
+        if retries < 0:
+            raise ServiceError(f"retries must be >= 0, got {retries}")
         self.host = host
         self.port = port
         self.timeout = timeout
         self.transport = transport
+        self.retries = int(retries)
+        self.retry_base = float(retry_base)
+        self.retry_cap = float(retry_cap)
         #: With ``trace=True`` every ingest request carries a client-minted
         #: trace id (``X-Repro-Trace``); the id of the most recent send is
         #: kept in :attr:`last_trace_id` for correlation with server spans.
@@ -103,7 +121,9 @@ class ServiceClient:
             headers["Content-Type"] = "application/json"
         if trace_id:
             headers["X-Repro-Trace"] = trace_id
-        for attempt in (0, 1):
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self._backoff(attempt)
             if self._connection is None:
                 self._connection = http.client.HTTPConnection(
                     self.host, self.port, timeout=self.timeout
@@ -111,24 +131,34 @@ class ServiceClient:
             try:
                 self._connection.request(method, path, body=payload, headers=headers)
                 response = self._connection.getresponse()
-                raw = response.read()
-                break
+                data = response.read()
             except (ConnectionError, http.client.HTTPException, OSError):
-                # Stale keep-alive connection; reconnect and retry once, but
-                # only for idempotent requests — a retried POST of reports
-                # could double-count if the server processed the first send.
+                # Dropped connection (stale keep-alive, or the server is
+                # mid-restart); reconnect and retry, but only idempotent
+                # requests — a retried POST of reports could double-count
+                # if the server processed the first send before dying.
                 self.close()
-                if attempt or method != "GET":
+                if method != "GET" or attempt >= self.retries:
                     raise
+                continue
+            if attempt < self.retries and (
+                response.status == 503
+                or (response.status >= 500 and method == "GET")
+            ):
+                # 503 = the server refused/shed the request before folding
+                # it (degraded pool, WAL-aborted record) — safe to resend
+                # whatever the method.  Other 5xx retry GETs only.
+                continue
+            break
         if raw_response:
             if response.status >= 400:
                 raise ServiceHTTPError(
-                    f"{method} {path} failed ({response.status}): {raw[:200]!r}",
+                    f"{method} {path} failed ({response.status}): {data[:200]!r}",
                     response.status,
                 )
-            return raw.decode("utf-8")
+            return data.decode("utf-8")
         try:
-            document = json.loads(raw) if raw else {}
+            document = json.loads(data) if data else {}
         except json.JSONDecodeError:
             raise ServiceError(
                 f"server returned non-JSON response ({response.status})"
@@ -136,10 +166,18 @@ class ServiceClient:
         if response.status >= 400:
             raise ServiceHTTPError(
                 f"{method} {path} failed ({response.status}): "
-                f"{document.get('error', raw[:200])}",
+                f"{document.get('error', data[:200])}",
                 response.status,
             )
         return document
+
+    def _backoff(self, attempt: int) -> None:
+        """Jittered exponential backoff before retry ``attempt`` (1-based):
+        50-100% of min(cap, base * 2^(attempt-1)) — the edge outbox's
+        policy, with jitter so a fleet of retrying clients doesn't stampede
+        a recovering server in lockstep."""
+        delay = min(self.retry_cap, self.retry_base * (2 ** (attempt - 1)))
+        time.sleep(delay * (0.5 + random.random() / 2))
 
     def close(self) -> None:
         if self._connection is not None:

@@ -24,12 +24,26 @@ thread per worker connection keep any number of batches in flight (bounded
 by a per-worker semaphore), with replies matched to awaiting handlers in
 FIFO order — the order the worker necessarily answers in.
 
-Failure semantics are deliberately loud: a worker that dies (crash,
-``SIGKILL``) takes its un-checkpointed reports with it, so the pool marks
-itself degraded and every subsequent submit/drain/snapshot raises
-:class:`~repro.exceptions.ServiceError` instead of silently under-counting.
-Recovery is a restart from the last coordinated checkpoint, which covered
-every worker's shards atomically (single manifest over the merged fold).
+Failure semantics depend on whether the pool has a write-ahead log:
+
+* **Without a WAL** (``wal=None``, the default) failures are deliberately
+  loud: a worker that dies (crash, ``SIGKILL``) takes its un-checkpointed
+  reports with it, so the pool marks itself degraded and every subsequent
+  submit/drain/snapshot raises
+  :class:`~repro.exceptions.ClusterDegradedError` instead of silently
+  under-counting.  Recovery is a restart from the last coordinated
+  checkpoint.
+* **With a WAL** the pool is *self-healing*: every dispatched ingest body
+  carries its WAL sequence, and the coordinator remembers which sequences
+  each worker has folded since the last checkpoint *cut* (a checkpoint in
+  WAL mode drains, serializes, and resets every worker's accumulators into
+  the coordinator's recovery base — so a worker's live state is exactly
+  the records routed to it since that cut).  When a worker dies, its
+  pending dispatches fail internally and are re-routed to live workers,
+  a supervisor task respawns the process under bounded exponential
+  backoff, re-opens its campaigns, and replays its routed records from
+  the WAL — bit-identical, because accumulator folds commute.  Only when
+  a worker's restart budget is exhausted does the pool degrade loudly.
 
 Workers are spawned (not forked) by default: the coordinator runs threads
 and an event loop, and forking such a process can deadlock in numpy/BLAS
@@ -42,6 +56,7 @@ from __future__ import annotations
 import asyncio
 import collections
 import multiprocessing
+import os
 import queue
 import signal
 import threading
@@ -70,6 +85,20 @@ _CLOSE = object()
 #: (see module docstring); ``fork`` is faster to start and fine for
 #: short-lived single-threaded drivers.
 DEFAULT_START_METHOD = "spawn"
+
+#: Supervision defaults: how many times one worker may be respawned before
+#: the pool gives up and degrades, and the exponential backoff between
+#: respawn attempts (the same 0.25 s-doubling-to-5 s policy the edge
+#: outbox uses for upstream retries).
+DEFAULT_RESTART_LIMIT = 5
+DEFAULT_RESTART_BACKOFF_BASE = 0.25
+DEFAULT_RESTART_BACKOFF_CAP = 5.0
+
+
+class _WorkerLost(Exception):
+    """Internal: the worker handling a call died before replying.  Never
+    escapes the pool — submit paths re-route to a live worker, control
+    paths wait for the supervisor and retry."""
 
 
 class _ShardSession:
@@ -151,7 +180,13 @@ class ShardManager:
         return len(self._campaigns)
 
 
-def _worker_main(connection, index: int, flush_reports: int, flush_interval: float):
+def _worker_main(
+    connection,
+    index: int,
+    flush_reports: int,
+    flush_interval: float,
+    faults=None,
+):
     """Entry point of one worker process (module-level so ``spawn`` can
     import it).  Shutdown is protocol-driven — ``("stop",)`` or pipe EOF —
     so terminal signals aimed at the process *group* (an operator's
@@ -159,12 +194,14 @@ def _worker_main(connection, index: int, flush_reports: int, flush_interval: flo
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     signal.signal(signal.SIGTERM, signal.SIG_IGN)
     try:
-        asyncio.run(_worker_loop(connection, flush_reports, flush_interval))
+        asyncio.run(_worker_loop(connection, index, flush_reports, flush_interval, faults))
     finally:
         connection.close()
 
 
-async def _worker_loop(connection, flush_reports: int, flush_interval: float):
+async def _worker_loop(
+    connection, index: int, flush_reports: int, flush_interval: float, faults=None
+):
     manager = ShardManager()
     # Each worker owns its telemetry: only trace *ids* cross the pipe, and
     # the coordinator merges the histogram snapshots pulled via "stats".
@@ -193,6 +230,14 @@ async def _worker_loop(connection, flush_reports: int, flush_interval: float):
             # An unexpected internal bug: tagged so the coordinator maps
             # it to a 500, exactly as the in-process path would.
             reply = ("fatal", f"{type(error).__name__}: {error}")
+        if (
+            faults is not None
+            and faults.check("drop_reply", op=message[0], worker=index) is not None
+        ):
+            # The armed drill fault: die *after* processing the op but
+            # before replying — the coordinator cannot know whether the op
+            # landed, the worst case its supervision must absorb.
+            os._exit(11)
         try:
             connection.send(reply)
         except (BrokenPipeError, OSError):
@@ -237,6 +282,22 @@ async def _handle(message, manager: ShardManager, pipeline: IngestPipeline):
             for campaign in manager.campaigns()
             if campaign.num_reports and (only is None or campaign.name == only)
         }
+    if op == "cut":
+        # WAL-mode checkpoint: serialize *and reset* every accumulator in
+        # one synchronous step (no await between, so nothing can interleave).
+        # Afterwards this worker's live state is exactly the records routed
+        # to it since this cut — the invariant that lets a respawn rebuild
+        # it from checkpoint + WAL replay alone.
+        pipeline.flush_all()
+        payloads = {
+            campaign.name: campaign.accumulator.to_bytes()
+            for campaign in manager.campaigns()
+            if campaign.num_reports
+        }
+        for campaign in manager.campaigns():
+            if campaign.num_reports:
+                campaign.accumulator = campaign.session.new_accumulator()
+        return payloads
     if op == "stats":
         metrics = pipeline._metrics
         return {
@@ -259,6 +320,27 @@ async def _handle(message, manager: ShardManager, pipeline: IngestPipeline):
     raise ServiceError(f"unknown cluster op {op!r}")
 
 
+def _replay_message(record) -> tuple:
+    """The worker op tuple that re-folds one WAL ingest record.  Only body
+    kinds that are dispatched to workers can appear in a worker's routed
+    set; edge partials (kind 4) fold on the coordinator and never do."""
+    from repro.service.wal import (
+        KIND_FRAMES,
+        KIND_JSON_BATCH,
+        KIND_JSON_SINGLE,
+    )
+
+    if record.kind == KIND_JSON_SINGLE:
+        return ("json", record.body, True, "")
+    if record.kind == KIND_JSON_BATCH:
+        return ("json", record.body, False, "")
+    if record.kind == KIND_FRAMES:
+        return ("frames", record.body, "")
+    raise ServiceError(
+        f"WAL record {record.sequence} (kind {record.kind}) is not a "
+        "worker-dispatched body; cannot replay it to a worker"
+    )
+
 
 
 @dataclass
@@ -270,6 +352,13 @@ class _WorkerHandle:
     thread owns all reads and hands each reply to the event loop, which
     resolves the oldest pending future — FIFO, matching the order the
     single-loop worker necessarily answers in.
+
+    Supervised (WAL-mode) pools walk ``state`` through
+    ``up → down → restoring → up`` on each death/respawn; ``generation``
+    increments per respawn so thread callbacks from a dead incarnation's
+    reader can never touch the new incarnation's pending futures.
+    ``routed`` is the set of WAL sequences this worker has folded since
+    the last checkpoint cut — the exact replay set for a respawn.
     """
 
     index: int
@@ -286,6 +375,11 @@ class _WorkerHandle:
     fail_reason: str = ""
     dispatched_batches: int = 0
     dispatched_reports: int = 0
+    state: str = "up"  # up | down | restoring | failed
+    generation: int = 0
+    restarts: int = 0
+    supervising: bool = False
+    routed: set = field(default_factory=set)
 
 
 class WorkerPool:
@@ -304,6 +398,20 @@ class WorkerPool:
         Forwarded to each worker's :class:`IngestPipeline`.
     start_method:
         ``multiprocessing`` start method; see :data:`DEFAULT_START_METHOD`.
+    wal:
+        Optional :class:`~repro.service.wal.WriteAheadLog`.  Enables
+        supervision: dead workers are respawned and their shards rebuilt
+        from checkpoint cuts + WAL replay (see the module docstring).
+        Without it, a dead worker degrades the pool loudly, exactly the
+        pre-WAL behavior.
+    faults:
+        Optional :class:`~repro.service.faults.FaultPlan`; consulted at
+        the dispatch site (``kill_worker``) and shipped to every worker
+        process (``drop_reply``).
+    restart_limit:
+        Respawns allowed per worker before the pool degrades.
+    restart_backoff_base, restart_backoff_cap:
+        Exponential backoff between respawn attempts, in seconds.
     """
 
     def __init__(
@@ -313,19 +421,85 @@ class WorkerPool:
         flush_reports: int = 8_192,
         flush_interval: float = 0.2,
         start_method: str = DEFAULT_START_METHOD,
+        wal=None,
+        faults=None,
+        restart_limit: int = DEFAULT_RESTART_LIMIT,
+        restart_backoff_base: float = DEFAULT_RESTART_BACKOFF_BASE,
+        restart_backoff_cap: float = DEFAULT_RESTART_BACKOFF_CAP,
     ) -> None:
         if num_workers < 1:
             raise ServiceError(f"need >= 1 cluster worker, got {num_workers}")
+        if restart_limit < 0:
+            raise ServiceError(f"restart_limit must be >= 0, got {restart_limit}")
         self.num_workers = num_workers
         self.flush_reports = flush_reports
         self.flush_interval = flush_interval
+        self.wal = wal
+        self.faults = faults
+        self.restart_limit = restart_limit
+        self.restart_backoff_base = restart_backoff_base
+        self.restart_backoff_cap = restart_backoff_cap
         self._context = multiprocessing.get_context(start_method)
         self._workers: list[_WorkerHandle] = []
         self._cursor = 0
         self._loop: asyncio.AbstractEventLoop | None = None
         self.accepted_reports: dict[str, int] = {}
+        #: Campaigns opened on the workers (name -> num_outputs), so a
+        #: respawned worker can be given the same registry before replay.
+        self._campaign_specs: dict[str, int] = {}
+        self._supervisors: set[asyncio.Task] = set()
+        self._state_event: asyncio.Event = asyncio.Event()
+        self._stopping = False
+
+    @property
+    def supervised(self) -> bool:
+        """Whether dead workers are respawned (requires a WAL to rebuild
+        their shards from)."""
+        return self.wal is not None
 
     # -- lifecycle ---------------------------------------------------------
+
+    def _spawn_process(self, index: int, *, faults=None):
+        """Spawn one worker process; returns ``(process, parent_pipe_end)``."""
+        parent_end, child_end = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_worker_main,
+            args=(
+                child_end,
+                index,
+                self.flush_reports,
+                self.flush_interval,
+                faults,
+            ),
+            name=f"repro-cluster-{index}",
+            daemon=True,
+        )
+        process.start()
+        # The parent must drop its copy of the child's pipe end, or a
+        # dead worker would never read as EOF.
+        child_end.close()
+        return process, parent_end
+
+    def _wire_worker(self, worker: _WorkerHandle) -> None:
+        """Start the sender/reader thread pair for the worker's *current*
+        process + connection.  The threads capture the connection, queue,
+        and generation as arguments — never read them off the handle — so
+        a respawn can swap the handle's plumbing without racing them."""
+        generation = worker.generation
+        worker.sender = threading.Thread(
+            target=self._sender_loop,
+            args=(worker.connection, worker.send_queue),
+            name=f"repro-cluster-send-{worker.index}.{generation}",
+            daemon=True,
+        )
+        worker.reader = threading.Thread(
+            target=self._reader_loop,
+            args=(worker, worker.connection, generation),
+            name=f"repro-cluster-read-{worker.index}.{generation}",
+            daemon=True,
+        )
+        worker.sender.start()
+        worker.reader.start()
 
     async def start(self) -> None:
         """Spawn the worker processes and wait until each answers a ping
@@ -334,47 +508,27 @@ class WorkerPool:
         if self._workers:
             raise ServiceError("worker pool already started")
         self._loop = asyncio.get_running_loop()
+        self._stopping = False
         for index in range(self.num_workers):
-            parent_end, child_end = self._context.Pipe(duplex=True)
-            process = self._context.Process(
-                target=_worker_main,
-                args=(child_end, index, self.flush_reports, self.flush_interval),
-                name=f"repro-cluster-{index}",
-                daemon=True,
-            )
-            process.start()
-            # The parent must drop its copy of the child's pipe end, or a
-            # dead worker would never read as EOF.
-            child_end.close()
+            process, parent_end = self._spawn_process(index, faults=self.faults)
             worker = _WorkerHandle(
                 index=index,
                 process=process,
                 connection=parent_end,
                 inflight=asyncio.Semaphore(MAX_INFLIGHT_PER_WORKER),
             )
-            worker.sender = threading.Thread(
-                target=self._sender_loop,
-                args=(worker,),
-                name=f"repro-cluster-send-{index}",
-                daemon=True,
-            )
-            worker.reader = threading.Thread(
-                target=self._reader_loop,
-                args=(worker,),
-                name=f"repro-cluster-read-{index}",
-                daemon=True,
-            )
-            worker.sender.start()
-            worker.reader.start()
+            self._wire_worker(worker)
             self._workers.append(worker)
         try:
             await asyncio.gather(
                 *(self._call(worker, ("ping",)) for worker in self._workers)
             )
-        except ServiceError:
+        except (ServiceError, _WorkerLost) as error:
             # One worker failed to come up (import error, broken spawn
             # environment): don't leak the ones that did.
             await self.stop(graceful=False)
+            if isinstance(error, _WorkerLost):
+                raise ServiceError(f"cluster worker failed to start: {error}")
             raise
 
     async def stop(self, *, graceful: bool = True) -> None:
@@ -384,12 +538,18 @@ class WorkerPool:
         (they ignore SIGTERM by design), losing whatever was not yet
         checkpointed — exactly what a machine failure would lose.
         """
+        self._stopping = True
+        for task in list(self._supervisors):
+            task.cancel()
+        if self._supervisors:
+            await asyncio.gather(*self._supervisors, return_exceptions=True)
+            self._supervisors.clear()
         if graceful:
             for worker in self._workers:
                 if worker.alive:
                     try:
                         await self._call(worker, ("stop",))
-                    except ServiceError:
+                    except (ServiceError, _WorkerLost, ClusterDegradedError):
                         pass  # died mid-shutdown; reaped below
         for worker in self._workers:
             if graceful:
@@ -424,13 +584,13 @@ class WorkerPool:
 
     # -- plumbing ----------------------------------------------------------
 
-    def _sender_loop(self, worker: _WorkerHandle) -> None:
+    def _sender_loop(self, connection, send_queue) -> None:
         while True:
-            message = worker.send_queue.get()
+            message = send_queue.get()
             if message is _CLOSE:
                 return
             try:
-                worker.connection.send(message)
+                connection.send(message)
             except (
                 BrokenPipeError,
                 ConnectionResetError,
@@ -441,14 +601,14 @@ class WorkerPool:
                 # fails the pending futures; just stop writing.
                 return
 
-    def _reader_loop(self, worker: _WorkerHandle) -> None:
+    def _reader_loop(self, worker: _WorkerHandle, connection, generation: int) -> None:
         while True:
             try:
-                reply = worker.connection.recv()
+                reply = connection.recv()
             except (EOFError, BrokenPipeError, ConnectionResetError, OSError):
-                self._from_thread(self._worker_died, worker)
+                self._from_thread(self._worker_died, worker, generation)
                 return
-            self._from_thread(self._deliver, worker, reply)
+            self._from_thread(self._deliver, worker, generation, reply)
 
     def _from_thread(self, callback, *args) -> None:
         try:
@@ -456,25 +616,147 @@ class WorkerPool:
         except RuntimeError:
             pass  # loop already closed (shutdown race)
 
-    def _deliver(self, worker: _WorkerHandle, reply) -> None:
+    def _deliver(self, worker: _WorkerHandle, generation: int, reply) -> None:
+        if generation != worker.generation:
+            return  # late reply from a dead incarnation
         if worker.pending:
             future = worker.pending.popleft()
             if not future.done():
                 future.set_result(reply)
 
-    def _worker_died(self, worker: _WorkerHandle) -> None:
+    def _pulse(self) -> None:
+        """Wake everything waiting on a worker state change."""
+        event, self._state_event = self._state_event, asyncio.Event()
+        event.set()
+
+    def _worker_died(self, worker: _WorkerHandle, generation: int | None = None) -> None:
+        if generation is not None and generation != worker.generation:
+            return  # a dead incarnation's reader reporting an old death
         if not worker.alive:
             return
         worker.alive = False
+        if not self.supervised:
+            worker.state = "failed"
+            worker.fail_reason = (
+                f"cluster worker {worker.index} (pid {worker.process.pid}) died; "
+                "reports since the last checkpoint are lost — restart the "
+                "service to recover from it"
+            )
+            while worker.pending:
+                future = worker.pending.popleft()
+                if not future.done():
+                    future.set_exception(ClusterDegradedError(worker.fail_reason))
+            return
+        worker.state = "down"
         worker.fail_reason = (
-            f"cluster worker {worker.index} (pid {worker.process.pid}) died; "
-            "reports since the last checkpoint are lost — restart the "
-            "service to recover from it"
+            f"cluster worker {worker.index} (pid {worker.process.pid}) died"
         )
+        # Unanswered dispatches re-route: the dead worker's memory is
+        # discarded wholesale (its rebuilt state is checkpoint cut + WAL
+        # replay of *successfully routed* records only), so re-sending an
+        # unacknowledged op to another worker cannot double-count.
         while worker.pending:
             future = worker.pending.popleft()
             if not future.done():
-                future.set_exception(ClusterDegradedError(worker.fail_reason))
+                future.set_exception(_WorkerLost(worker.fail_reason))
+        # Unblock the old sender thread; the respawn builds a fresh queue.
+        worker.send_queue.put(_CLOSE)
+        self._pulse()
+        if not worker.supervising and not self._stopping:
+            worker.supervising = True
+            task = asyncio.create_task(
+                self._supervise(worker),
+                name=f"repro-cluster-supervise-{worker.index}",
+            )
+            self._supervisors.add(task)
+            task.add_done_callback(self._supervisors.discard)
+
+    async def _supervise(self, worker: _WorkerHandle) -> None:
+        """Respawn one dead worker under backoff + budget, rebuild its
+        shards (campaign registry + WAL replay of its routed records), and
+        return it to service.  Loops if the respawn itself dies."""
+        try:
+            while True:
+                if worker.restarts >= self.restart_limit:
+                    worker.state = "failed"
+                    worker.fail_reason = (
+                        f"cluster worker {worker.index} exceeded its restart "
+                        f"budget ({self.restart_limit}); pool degraded — "
+                        "restart the service to recover from the last "
+                        "checkpoint + WAL"
+                    )
+                    self._pulse()
+                    return
+                backoff = min(
+                    self.restart_backoff_cap,
+                    self.restart_backoff_base * (2**worker.restarts),
+                )
+                worker.restarts += 1
+                await asyncio.sleep(backoff)
+                try:
+                    await self._respawn(worker)
+                except _WorkerLost:
+                    continue  # died again mid-restore; next attempt
+                except asyncio.CancelledError:
+                    raise
+                except Exception as error:  # noqa: BLE001 - keep supervising
+                    worker.fail_reason = (
+                        f"cluster worker {worker.index} respawn failed: {error}"
+                    )
+                    continue
+                return
+        finally:
+            worker.supervising = False
+
+    async def _respawn(self, worker: _WorkerHandle) -> None:
+        """One respawn attempt: new process, fresh plumbing, campaign
+        registry, WAL replay of the worker's routed records."""
+        # Reap the dead incarnation first.
+        if worker.process.is_alive():
+            worker.process.kill()
+        await asyncio.to_thread(worker.process.join, 10)
+        try:
+            worker.connection.close()
+        except OSError:
+            pass
+        # A replacement spawns *clean* — no fault plan.  Re-shipping the
+        # plan would reset its fired flags (pickling resets them) and a
+        # worker-side fault like "die on the first cut" would re-arm on
+        # every respawn, crash-looping the pool through its whole restart
+        # budget instead of injecting one deterministic death.
+        process, parent_end = self._spawn_process(worker.index)
+        # Swap the plumbing in place.  In-flight users of the old handle
+        # already failed with _WorkerLost; the generation bump makes any
+        # straggling thread callback a no-op.
+        worker.generation += 1
+        worker.process = process
+        worker.connection = parent_end
+        worker.send_queue = queue.SimpleQueue()
+        worker.pending = collections.deque()
+        worker.inflight = asyncio.Semaphore(MAX_INFLIGHT_PER_WORKER)
+        self._wire_worker(worker)
+        worker.alive = True
+        worker.state = "restoring"
+        self._pulse()
+        try:
+            await self._call(worker, ("ping",))
+            for name, num_outputs in self._campaign_specs.items():
+                await self._call(worker, ("open", name, num_outputs))
+            if worker.routed:
+                records = await asyncio.to_thread(
+                    self.wal.read_records, sequences=set(worker.routed)
+                )
+                for record in records:
+                    await self._call(worker, _replay_message(record))
+                self.wal.replayed_records_total += len(records)
+        except Exception:
+            worker.state = "down"
+            worker.alive = False
+            self._pulse()
+            raise
+        worker.state = "up"
+        worker.fail_reason = ""
+        self._pulse()
 
     async def _call(self, worker: _WorkerHandle, message):
         """One pipelined request/reply exchange with a worker.
@@ -484,6 +766,8 @@ class WorkerPool:
         """
         async with worker.inflight:
             if not worker.alive:
+                if self.supervised and worker.state != "failed":
+                    raise _WorkerLost(worker.fail_reason or "worker is down")
                 raise ClusterDegradedError(
                     worker.fail_reason or "worker pool is not running"
                 )
@@ -502,23 +786,72 @@ class WorkerPool:
             raise RuntimeError(f"cluster worker internal error: {value}")
         return value
 
+    def _check_states(self) -> None:
+        """Notice silently-exited processes (no EOF seen yet) and hand
+        them to the death path."""
+        for worker in self._workers:
+            if worker.alive and not worker.process.is_alive():
+                self._worker_died(worker, worker.generation)
+
     def _ensure_healthy(self) -> None:
         """Refuse to operate degraded: a dead worker means lost reports,
         and serving queries or accepting ingest over a silent gap would
-        turn a crash into a wrong answer."""
+        turn a crash into a wrong answer.  (Supervised pools degrade only
+        once a restart budget is exhausted; a merely-down worker is the
+        supervisor's problem, not the caller's.)"""
         if not self._workers:
             raise ServiceError("worker pool is not running")
+        self._check_states()
         for worker in self._workers:
-            if worker.alive and not worker.process.is_alive():
-                worker.alive = False
-                worker.fail_reason = (
-                    f"cluster worker {worker.index} (pid {worker.process.pid}) "
-                    "exited unexpectedly; reports since the last checkpoint "
-                    "are lost — restart the service to recover from it"
-                )
-        for worker in self._workers:
-            if not worker.alive:
+            if worker.state == "failed" or (
+                not self.supervised and not worker.alive
+            ):
                 raise ClusterDegradedError(worker.fail_reason)
+
+    @property
+    def health(self) -> str:
+        """``healthy`` / ``recovering`` / ``degraded`` (supervised pools);
+        an unsupervised pool is ``healthy`` or ``degraded`` only."""
+        if not self._workers:
+            return "degraded"
+        self._check_states()
+        if any(
+            worker.state == "failed" or (not self.supervised and not worker.alive)
+            for worker in self._workers
+        ):
+            return "degraded"
+        if any(worker.state != "up" for worker in self._workers):
+            return "recovering"
+        return "healthy"
+
+    @property
+    def restarts_total(self) -> int:
+        """Worker respawns attempted over the pool's lifetime."""
+        return sum(worker.restarts for worker in self._workers)
+
+    async def _pick_worker(self) -> _WorkerHandle:
+        """Next dispatch target, round-robin over live workers.  While
+        every worker is down (all mid-respawn) this *waits* instead of
+        failing — the ingest request rides out the blip; it only raises
+        once the pool is actually degraded."""
+        while True:
+            self._ensure_healthy()
+            live = [w for w in self._workers if w.state in ("up", "restoring")]
+            if live:
+                worker = live[self._cursor % len(live)]
+                self._cursor += 1
+                return worker
+            await self._state_event.wait()
+
+    async def _await_all_up(self) -> None:
+        """Wait until every worker is ``up`` (degraded raises).  Control
+        ops — drain, snapshot, cut — need the whole pool, not a quorum:
+        a missing worker's records would silently vanish from the fold."""
+        while True:
+            self._ensure_healthy()
+            if all(worker.state == "up" for worker in self._workers):
+                return
+            await self._state_event.wait()
 
     def _next_worker(self) -> _WorkerHandle:
         worker = self._workers[self._cursor % len(self._workers)]
@@ -533,46 +866,107 @@ class WorkerPool:
                 self.accepted_reports.get(name, 0) + count
             )
 
+    async def _dispatch(self, message: tuple, wal_seq: int | None):
+        """Route one ingest op to a worker and await its reply.
+
+        Unsupervised pools keep the historical behavior exactly: pick the
+        round-robin worker, fail loudly if any worker is dead.  Supervised
+        pools re-route on a mid-flight worker death (safe — the dead
+        worker's rebuilt state excludes unacknowledged ops) and record the
+        op's WAL sequence in the folding worker's ``routed`` set once it
+        acknowledges.
+        """
+        if not self.supervised:
+            self._ensure_healthy()
+            worker = self._next_worker()
+            return worker, await self._call(worker, message)
+        while True:
+            worker = await self._pick_worker()
+            if self.faults is not None:
+                spec = self.faults.check("kill_worker")
+                if spec is not None:
+                    # The armed drill fault: SIGKILL the target (default:
+                    # the worker this very batch was routed to) right
+                    # before the send — a death mid-dispatch.
+                    target = self._workers[
+                        int(spec.get("worker", worker.index)) % len(self._workers)
+                    ]
+                    if target.alive and target.process.pid is not None:
+                        os.kill(target.process.pid, signal.SIGKILL)
+            try:
+                reply = await self._call(worker, message)
+            except _WorkerLost:
+                continue  # re-route; the supervisor owns the corpse
+            if wal_seq is not None:
+                worker.routed.add(wal_seq)
+            return worker, reply
+
+    async def _broadcast(self, message: tuple) -> list:
+        """Send one op to every worker and collect the replies.  In
+        supervised mode this waits out worker deaths and re-issues the op
+        to the whole (restored) pool until a fully-live round answers —
+        sound because every broadcast op (open/drain/snapshot) is
+        idempotent."""
+        if not self.supervised:
+            self._ensure_healthy()
+            return await asyncio.gather(
+                *(self._call(worker, message) for worker in self._workers)
+            )
+        while True:
+            await self._await_all_up()
+            replies = await asyncio.gather(
+                *(self._call(worker, message) for worker in self._workers),
+                return_exceptions=True,
+            )
+            for reply in replies:
+                if isinstance(reply, BaseException) and not isinstance(
+                    reply, _WorkerLost
+                ):
+                    raise reply
+            if not any(isinstance(reply, _WorkerLost) for reply in replies):
+                return list(replies)
+
     # -- campaign + data plane ---------------------------------------------
 
     async def open_campaign(self, name: str, num_outputs: int) -> None:
-        """Open a campaign's shard accumulator on every worker."""
-        self._ensure_healthy()
-        await asyncio.gather(
-            *(
-                self._call(worker, ("open", name, int(num_outputs)))
-                for worker in self._workers
-            )
-        )
+        """Open a campaign's shard accumulator on every worker (and in the
+        pool's registry, so a respawned worker re-opens it before replay)."""
+        self._campaign_specs[name] = int(num_outputs)
+        await self._broadcast(("open", name, int(num_outputs)))
 
     async def submit_json(
-        self, payload: bytes, *, single: bool = False, trace_id: str = ""
+        self,
+        payload: bytes,
+        *,
+        single: bool = False,
+        trace_id: str = "",
+        wal_seq: int | None = None,
     ) -> dict:
         """Dispatch one raw JSON ingest body; the worker parses, validates,
         and folds it (``single=True`` for the ``/v1/report`` shape).  The
         edge-minted trace id rides the op tuple so the worker's decode/fold
         spans join the coordinator's trace.
         Returns ``{"accepted": total, "campaigns": {name: count}}``."""
-        self._ensure_healthy()
-        worker = self._next_worker()
-        reply = await self._call(worker, ("json", payload, single, trace_id))
+        worker, reply = await self._dispatch(
+            ("json", payload, single, trace_id), wal_seq
+        )
         self._count_accepted(worker, reply["campaigns"])
         return reply
 
-    async def submit_frames(self, payload: bytes, *, trace_id: str = "") -> dict:
+    async def submit_frames(
+        self, payload: bytes, *, trace_id: str = "", wal_seq: int | None = None
+    ) -> dict:
         """Dispatch one raw binary-frame body; the worker decodes,
         validates, and folds every frame in it."""
-        self._ensure_healthy()
-        worker = self._next_worker()
-        reply = await self._call(worker, ("frames", payload, trace_id))
+        worker, reply = await self._dispatch(("frames", payload, trace_id), wal_seq)
         self._count_accepted(worker, reply["campaigns"])
         return reply
 
     async def submit_reports(self, campaign: str, reports: np.ndarray) -> int:
         """Dispatch one pre-validated ``int64`` report batch to a worker."""
-        self._ensure_healthy()
-        worker = self._next_worker()
-        accepted = await self._call(worker, ("reports", campaign, reports))
+        worker, accepted = await self._dispatch(
+            ("reports", campaign, reports), None
+        )
         self._count_accepted(worker, {campaign: accepted})
         return accepted
 
@@ -581,28 +975,23 @@ class WorkerPool:
     ) -> int:
         """Dispatch one packed report payload; the worker unpacks and
         validates it, keeping the coordinator off the decode path."""
-        self._ensure_healthy()
-        worker = self._next_worker()
-        accepted = await self._call(
-            worker, ("reports_packed", campaign, item_size, payload)
+        worker, accepted = await self._dispatch(
+            ("reports_packed", campaign, item_size, payload), None
         )
         self._count_accepted(worker, {campaign: accepted})
         return accepted
 
     async def submit_histogram(self, campaign: str, histogram: np.ndarray) -> int:
         """Dispatch one validated pre-aggregated histogram to a worker."""
-        self._ensure_healthy()
-        worker = self._next_worker()
-        accepted = await self._call(worker, ("histogram", campaign, histogram))
+        worker, accepted = await self._dispatch(
+            ("histogram", campaign, histogram), None
+        )
         self._count_accepted(worker, {campaign: accepted})
         return accepted
 
     async def drain(self) -> None:
         """Wait until every dispatched batch is folded on its worker."""
-        self._ensure_healthy()
-        await asyncio.gather(
-            *(self._call(worker, ("drain",)) for worker in self._workers)
-        )
+        await self._broadcast(("drain",))
 
     async def snapshots(
         self, campaign: str | None = None
@@ -615,13 +1004,7 @@ class WorkerPool:
         is commutative, so the result is independent of worker count and
         merge order — the cluster-mode half of the bit-identical contract.
         """
-        self._ensure_healthy()
-        replies = await asyncio.gather(
-            *(
-                self._call(worker, ("snapshot", campaign))
-                for worker in self._workers
-            )
-        )
+        replies = await self._broadcast(("snapshot", campaign))
         merged: dict[str, ShardAccumulator] = {}
         for reply in replies:
             for name, payload in sorted(reply.items()):
@@ -632,6 +1015,32 @@ class WorkerPool:
                 )
         return merged
 
+    async def cut(self, apply) -> None:
+        """WAL-mode checkpoint cut: serialize *and reset* every worker's
+        accumulators, handing each worker's payload dict to
+        ``apply(payloads)`` as soon as that worker acknowledges, then
+        clearing its ``routed`` set — from that moment its live state is
+        exactly the records routed to it afterwards.
+
+        A worker that dies mid-cut is simply retried after its respawn:
+        its routed set was *not* cleared, so the replayed state is its full
+        pre-cut state, and the retried cut captures exactly what the first
+        attempt would have.  ``apply`` runs per worker (not per round), so
+        partial progress survives retries without double-folding.
+        """
+        remaining = set(range(len(self._workers)))
+        while remaining:
+            await self._await_all_up()
+            for index in sorted(remaining):
+                worker = self._workers[index]
+                try:
+                    payloads = await self._call(worker, ("cut",))
+                except _WorkerLost:
+                    break  # wait for the supervisor, then retry this worker
+                apply(payloads)
+                worker.routed.clear()
+                remaining.discard(index)
+
     async def stats(self) -> dict:
         """Best-effort per-worker observability (never raises on a dead
         worker — metrics must stay readable while degraded)."""
@@ -641,18 +1050,22 @@ class WorkerPool:
                 "index": worker.index,
                 "pid": worker.process.pid,
                 "alive": worker.alive and worker.process.is_alive(),
+                "state": worker.state,
+                "restarts": worker.restarts,
                 "dispatched_batches": worker.dispatched_batches,
                 "dispatched_reports": worker.dispatched_reports,
             }
             if row["alive"]:
                 try:
                     row.update(await self._call(worker, ("stats",)))
-                except ServiceError:
+                except (ServiceError, _WorkerLost, ClusterDegradedError):
                     row["alive"] = False
             rows.append(row)
         return {
             "num_workers": self.num_workers,
             "workers_alive": sum(1 for row in rows if row["alive"]),
+            "health": self.health,
+            "restarts_total": self.restarts_total,
             "dispatched_reports": sum(r["dispatched_reports"] for r in rows),
             "workers": rows,
         }

@@ -1,0 +1,233 @@
+"""Deterministic fault injection for crash drills and robustness tests.
+
+A :class:`FaultPlan` is a small, dependency-free description of *when to
+break things*: every injection site in the service tier (worker dispatch,
+worker reply, WAL flush, checkpoint save, ingest ack) calls
+:meth:`FaultPlan.check` with its action name each time it passes the site,
+and the plan answers with the matching fault entry exactly when that
+entry's own match-filtered occurrence counter reaches its ``at``
+value.  Counting is
+the only trigger — no wall clock, no randomness at fire time — so a plan
+replays identically run after run, which is what lets the chaos drill
+assert *bit-identical* recovery rather than "it survived".
+
+Plans are JSON, written by hand or generated from a seed by
+``scripts/chaos_drill.py``::
+
+    {
+      "seed": 7,
+      "faults": [
+        {"action": "kill_worker", "at": 40, "worker": 1},
+        {"action": "drop_reply", "at": 55},
+        {"action": "drop_reply", "at": 2, "op": "cut"},
+        {"action": "torn_wal", "at": 120},
+        {"action": "fail_checkpoint_fsync", "at": 2},
+        {"action": "delay_ack", "at": 10, "seconds": 0.2}
+      ]
+    }
+
+Actions and their injection sites:
+
+``kill_worker``
+    Coordinator side, counted per dispatched batch: SIGKILL the target
+    worker (``worker`` index, default = the worker about to receive the
+    batch) *before* the batch is sent — a death mid-dispatch.
+``drop_reply``
+    Worker side, counted per handled op (optionally restricted to one
+    ``op`` name, e.g. ``"cut"`` to die mid-checkpoint): the worker
+    ``os._exit``\\ s after processing the op but *before* replying — the
+    worst case for the coordinator, which cannot know whether the op
+    landed.
+``torn_wal``
+    WAL flusher: when the record with sequence ``at`` is about to be
+    flushed, write only a prefix of its bytes and ``os._exit`` — a torn
+    tail exactly as a power failure mid-write would leave it.
+``fail_checkpoint_fsync``
+    :meth:`CheckpointStore.save_frozen`, counted per save: raise
+    ``OSError`` — a transient checkpoint failure the service must absorb
+    without losing WAL coverage.
+``delay_ack``
+    Ingest handler, counted per request: sleep ``seconds`` before the
+    ack — exercises client-side retry/timeout behavior.
+
+The plan object is picklable (it is shipped to spawned worker processes)
+and each process counts independently, so "the 55th op on worker 0" means
+the 55th op *that worker* handles, deterministic for a fixed dispatch
+pattern.  Supervision respawns replacement workers *without* the plan — a
+worker-side fault dies with the process it killed; a drill that wants
+repeated deaths arms several entries.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+from repro.exceptions import ServiceError
+
+#: Action names a plan may use; anything else is rejected at parse time so
+#: a typo'd plan fails loudly instead of never firing.
+FAULT_ACTIONS = (
+    "kill_worker",
+    "drop_reply",
+    "torn_wal",
+    "fail_checkpoint_fsync",
+    "delay_ack",
+)
+
+
+class Fault:
+    """One armed fault: fires once, on the ``at``-th occurrence *that
+    matches its extra keys* (so ``{"op": "cut", "at": 1}`` means "the
+    first cut op", not "the first op of any kind")."""
+
+    __slots__ = ("action", "at", "spec", "fired", "seen")
+
+    def __init__(self, action: str, at: int, spec: dict) -> None:
+        if action not in FAULT_ACTIONS:
+            raise ServiceError(
+                f"unknown fault action {action!r}; expected one of "
+                f"{FAULT_ACTIONS}"
+            )
+        if not isinstance(at, int) or isinstance(at, bool) or at < 1:
+            raise ServiceError(
+                f"fault {action!r} needs an integer occurrence 'at' >= 1, "
+                f"got {at!r}"
+            )
+        self.action = action
+        self.at = at
+        self.spec = dict(spec)
+        self.fired = False
+        self.seen = 0
+
+    def matches(self, context: dict) -> bool:
+        """Whether this entry's extra match keys (e.g. ``op``) agree with
+        the site's context.  Keys absent from the spec match anything."""
+        for key, wanted in self.spec.items():
+            if key in ("action", "at"):
+                continue
+            if key in context and context[key] != wanted:
+                return False
+        return True
+
+    def to_json(self) -> dict:
+        return {"action": self.action, "at": self.at, **self.spec}
+
+
+class FaultPlan:
+    """A seeded, deterministic set of armed faults.
+
+    Thread-safe: sites on the event loop, checkpoint worker threads, and
+    spawned worker processes (each with its own unpickled copy and its own
+    counters) may all call :meth:`check`.
+
+    Examples
+    --------
+    >>> plan = FaultPlan.from_json(
+    ...     {"faults": [{"action": "delay_ack", "at": 2, "seconds": 0.1}]}
+    ... )
+    >>> plan.check("delay_ack") is None
+    True
+    >>> plan.check("delay_ack")["seconds"]
+    0.1
+    >>> plan.check("delay_ack") is None
+    True
+    """
+
+    def __init__(self, faults: list[Fault], seed: int = 0) -> None:
+        self.seed = int(seed)
+        self.faults = list(faults)
+        self._lock = threading.Lock()
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_json(cls, document: dict) -> "FaultPlan":
+        if not isinstance(document, dict):
+            raise ServiceError("fault plan must be a JSON object")
+        entries = document.get("faults", [])
+        if not isinstance(entries, list):
+            raise ServiceError("fault plan 'faults' must be a list")
+        faults = []
+        for entry in entries:
+            if not isinstance(entry, dict):
+                raise ServiceError(f"fault entry must be an object: {entry!r}")
+            spec = {
+                key: value
+                for key, value in entry.items()
+                if key not in ("action", "at")
+            }
+            faults.append(
+                Fault(str(entry.get("action")), entry.get("at"), spec)
+            )
+        return cls(faults, seed=int(document.get("seed", 0)))
+
+    @classmethod
+    def load(cls, source: str) -> "FaultPlan":
+        """Parse a plan from a file path or an inline JSON string (the
+        ``repro serve --fault-plan`` argument accepts both)."""
+        text = source
+        if not source.lstrip().startswith("{"):
+            path = Path(source)
+            if not path.is_file():
+                raise ServiceError(f"fault plan file not found: {source}")
+            text = path.read_text(encoding="utf-8")
+        try:
+            return cls.from_json(json.loads(text))
+        except json.JSONDecodeError as error:
+            raise ServiceError(f"fault plan is not valid JSON: {error}")
+
+    def to_json(self) -> dict:
+        return {
+            "seed": self.seed,
+            "faults": [fault.to_json() for fault in self.faults],
+        }
+
+    # -- firing ------------------------------------------------------------
+
+    def check(self, action: str, **context) -> dict | None:
+        """Count one pass through the ``action`` site; returns the armed
+        fault's spec when one fires (at most once each), else ``None``.
+
+        Each fault entry counts only the occurrences that *match* its
+        extra keys, so ``{"op": "cut", "at": 2}`` fires on the second cut
+        op no matter how many other ops pass the same site.  ``count`` in
+        the context overrides occurrence counting entirely — the WAL
+        flusher passes the record *sequence* so a torn write can be aimed
+        at "sequence N" rather than "Nth flush".
+        """
+        with self._lock:
+            override = context.pop("count", None)
+            for fault in self.faults:
+                if fault.fired or fault.action != action:
+                    continue
+                if not fault.matches(context):
+                    continue
+                if override is not None:
+                    if int(override) != fault.at:
+                        continue
+                else:
+                    fault.seen += 1
+                    if fault.seen != fault.at:
+                        continue
+                fault.fired = True
+                return {**fault.spec, "action": action, "at": fault.at}
+        return None
+
+    def __getstate__(self):
+        # Counters and the lock stay home: a spawned worker process counts
+        # its own sites from zero.
+        return {
+            "seed": self.seed,
+            "faults": [fault.to_json() for fault in self.faults],
+        }
+
+    def __setstate__(self, state):
+        plan = FaultPlan.from_json(state)
+        self.seed = plan.seed
+        self.faults = plan.faults
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:
+        return f"FaultPlan(seed={self.seed}, faults={len(self.faults)})"

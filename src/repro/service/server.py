@@ -50,6 +50,7 @@ from __future__ import annotations
 import asyncio
 import base64
 import binascii
+import contextlib
 import json
 import threading
 import time
@@ -58,14 +59,30 @@ from dataclasses import dataclass
 
 from repro._version import __version__
 from repro.exceptions import ClusterDegradedError, ReproError, ServiceError
+from repro.protocol.engine import ShardAccumulator
 from repro.service.campaigns import AdaptivePlan, CampaignManager
 from repro.service.checkpoint import CheckpointStore
-from repro.service.cluster import DEFAULT_START_METHOD, WorkerPool
+from repro.service.cluster import (
+    DEFAULT_RESTART_LIMIT,
+    DEFAULT_START_METHOD,
+    WorkerPool,
+)
+from repro.service.faults import FaultPlan
 from repro.service.framing import FRAME_CONTENT_TYPE
 from repro.service.ingest import (
     IngestPipeline,
     fold_frame_body,
     fold_json_body,
+)
+from repro.service.wal import (
+    DEFAULT_SEGMENT_BYTES,
+    KIND_ABORT,
+    KIND_FRAMES,
+    KIND_JSON_BATCH,
+    KIND_JSON_SINGLE,
+    KIND_PARTIAL,
+    WalRecord,
+    WriteAheadLog,
 )
 from repro.telemetry.logs import get_logger
 from repro.telemetry.metrics import (
@@ -415,6 +432,27 @@ class CollectionService(HttpTier):
     slow_request_seconds:
         Requests slower than this log a structured warning with their
         route, status, duration, and trace id.
+    wal_dir:
+        Directory for the ingest write-ahead log (requires
+        ``checkpoint_dir``).  When set, every accepted ingest body is
+        appended + fsynced *before* the 200 is sent, checkpoints cut and
+        truncate the log, and recovery replays the uncovered suffix — so
+        a crash loses **zero** acked reports (down from everything since
+        the last periodic checkpoint).  In cluster mode a WAL also turns
+        on worker supervision: dead workers are respawned and their
+        shards rebuilt from checkpoint + WAL replay instead of degrading
+        the pool (see :mod:`repro.service.wal` and
+        :mod:`repro.service.cluster`).
+    wal_segment_bytes, wal_fsync:
+        Segment rotation size, and whether appends fsync (disable only
+        for benchmarks that measure the non-durable ceiling).
+    fault_plan:
+        Optional :class:`~repro.service.faults.FaultPlan` (or a path /
+        inline-JSON string for :meth:`FaultPlan.load`): deterministic
+        fault injection for crash drills — see ``repro serve
+        --fault-plan`` and ``scripts/chaos_drill.py``.
+    worker_restart_limit:
+        Respawns allowed per worker before a supervised pool degrades.
     ingest options:
         Forwarded to :class:`~repro.service.ingest.IngestPipeline` (and,
         for the flush knobs, to each cluster worker's pipeline).
@@ -437,6 +475,11 @@ class CollectionService(HttpTier):
         registry: MetricsRegistry | None = None,
         tracing: bool = True,
         slow_request_seconds: float = 1.0,
+        wal_dir=None,
+        wal_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        wal_fsync: bool = True,
+        fault_plan: FaultPlan | str | None = None,
+        worker_restart_limit: int = DEFAULT_RESTART_LIMIT,
     ) -> None:
         if checkpoint_interval <= 0:
             raise ServiceError(
@@ -450,13 +493,33 @@ class CollectionService(HttpTier):
             raise ServiceError(
                 f"cluster_workers must be >= 0, got {cluster_workers}"
             )
+        if wal_dir is not None and checkpoint_dir is None:
+            raise ServiceError(
+                "a WAL needs a checkpoint to replay on top of: "
+                "wal_dir requires checkpoint_dir"
+            )
         super().__init__(
             registry if registry is not None else MetricsRegistry(),
             tracing=tracing,
             slow_request_seconds=slow_request_seconds,
         )
+        if isinstance(fault_plan, str):
+            fault_plan = FaultPlan.load(fault_plan)
+        self.faults = fault_plan
+        self.wal = (
+            WriteAheadLog(
+                wal_dir,
+                segment_bytes=wal_segment_bytes,
+                fsync=wal_fsync,
+                faults=self.faults,
+            )
+            if wal_dir is not None
+            else None
+        )
         self.checkpoints = (
-            CheckpointStore(checkpoint_dir, registry=self.registry)
+            CheckpointStore(
+                checkpoint_dir, registry=self.registry, faults=self.faults
+            )
             if checkpoint_dir is not None
             else None
         )
@@ -478,6 +541,9 @@ class CollectionService(HttpTier):
                 flush_reports=flush_reports,
                 flush_interval=flush_interval,
                 start_method=cluster_start_method,
+                wal=self.wal,
+                faults=self.faults,
+                restart_limit=worker_restart_limit,
             )
         else:
             self.pipeline = IngestPipeline(
@@ -497,6 +563,17 @@ class CollectionService(HttpTier):
         self.last_checkpoint_at: float | None = None
         self._checkpoint_task: asyncio.Task | None = None
         self._checkpoint_lock = asyncio.Lock()
+        # WAL admission gate: a checkpoint cut closes it, waits for the
+        # in-flight appended-but-unacked requests to settle, captures the
+        # cut, then reopens.  Requests only ever *wait* at the gate — never
+        # fail — so the cut is invisible to clients beyond latency.
+        self._wal_gate_open = asyncio.Event()
+        self._wal_gate_open.set()
+        self._wal_inflight = 0
+        self._wal_idle = asyncio.Event()
+        self._wal_idle.set()
+        self.wal_replayed = 0
+        self.wal_replay_rejected = 0
         self._register_service_metrics()
 
     def _register_service_metrics(self) -> None:
@@ -536,6 +613,56 @@ class CollectionService(HttpTier):
             assert isinstance(alive, Gauge)
             pool = self.pool
             alive.set_function(lambda: float(pool.workers_alive))
+            restarts = registry.gauge(
+                "repro_worker_restarts_total",
+                "Worker respawns attempted over the pool's lifetime "
+                "(supervised pools only; 0 without a WAL).",
+            )
+            assert isinstance(restarts, Gauge)
+            restarts.set_function(lambda: float(pool.restarts_total))
+        if self.wal is not None:
+            wal = self.wal
+            for name, help_text, getter in (
+                (
+                    "repro_wal_last_sequence",
+                    "Highest WAL sequence assigned so far.",
+                    lambda: float(wal.last_sequence),
+                ),
+                (
+                    "repro_wal_appends_total",
+                    "Ingest records appended to the WAL.",
+                    lambda: float(wal.appends_total),
+                ),
+                (
+                    "repro_wal_fsync_batches_total",
+                    "Group-commit fsync batches (appends/batch = batching win).",
+                    lambda: float(wal.fsync_batches_total),
+                ),
+                (
+                    "repro_wal_bytes_written_total",
+                    "Bytes appended to WAL segments.",
+                    lambda: float(wal.bytes_written_total),
+                ),
+                (
+                    "repro_wal_segments",
+                    "WAL segment files currently on disk.",
+                    lambda: float(wal.segment_count),
+                ),
+                (
+                    "repro_wal_truncations_total",
+                    "Checkpoint-covered segment truncations.",
+                    lambda: float(wal.truncations_total),
+                ),
+                (
+                    "repro_wal_replayed_records_total",
+                    "WAL records re-dispatched (startup replay + worker "
+                    "restores).",
+                    lambda: float(wal.replayed_records_total),
+                ),
+            ):
+                gauge = registry.gauge(name, help_text)
+                assert isinstance(gauge, Gauge)
+                gauge.set_function(getter)
 
     def _uptime(self) -> float:
         """Monotonic uptime: immune to NTP steps and wall-clock changes."""
@@ -560,6 +687,10 @@ class CollectionService(HttpTier):
                 )
         else:
             await self.pipeline.start()
+        if self.wal is not None:
+            # Replay before the listener binds: no request can observe (or
+            # interleave with) a half-recovered state.
+            await self._recover_wal()
         bound = await self._start_listener(host, port)
         if self.checkpoints is not None:
             self._checkpoint_task = asyncio.create_task(
@@ -623,6 +754,8 @@ class CollectionService(HttpTier):
             await self.checkpoint()
         else:
             await self.pipeline.abort()
+        if self.wal is not None:
+            await self.wal.stop()
 
     async def checkpoint(self) -> dict | None:
         """Write a checkpoint now (no-op without a checkpoint directory).
@@ -639,6 +772,8 @@ class CollectionService(HttpTier):
         # interleaved save_frozen calls could leave the manifest referencing
         # the other save's payload bytes.
         async with self._checkpoint_lock:
+            if self.wal is not None:
+                return await self._checkpoint_with_wal()
             if self.pool is not None and self.pool.started:
                 # Coordinated cluster checkpoint: one manifest atomically
                 # covers every worker's shards, merged (via the tagged
@@ -698,6 +833,215 @@ class CollectionService(HttpTier):
                     self.checkpoint_interval,
                     error,
                 )
+
+    # -- write-ahead log ---------------------------------------------------
+
+    async def _checkpoint_with_wal(self) -> dict:
+        """Checkpoint + WAL *cut*: after this returns, the checkpoint alone
+        reproduces every acked report, and the log segments it covers are
+        gone.
+
+        Order of operations (each step durable before the next):
+
+        1. close the admission gate and wait out in-flight appends — no
+           record can land between the cut sequence and the gate reopening;
+        2. drain — every appended record is folded somewhere;
+        3. capture ``S = wal.last_sequence``;
+        4. cluster mode: *cut* every worker (serialize + reset its
+           accumulators into the campaign recovery base, clearing its
+           routed set) — retried transparently over worker deaths;
+        5. snapshot the campaigns into the frozen checkpoint, reopen the
+           gate (ingest proceeds while the file I/O runs off-loop);
+        6. ``save_frozen(..., wal_sequence=S)`` — the manifest records the
+           coverage point;
+        7. truncate segments ``<= S``.
+
+        A crash before 6 recovers from the *previous* checkpoint and
+        replays the whole log (worker cuts folded into the recovery base
+        are rebuilt by replay — the records are still on disk).  A crash
+        after 6 replays only the suffix past ``S``.  Either way: zero
+        acked reports lost.
+        """
+        self._wal_gate_open.clear()
+        try:
+            if self._wal_inflight:
+                await self._wal_idle.wait()
+            if self.pool is not None and self.pool.started:
+                await self.pool.drain()
+                cut_sequence = self.wal.last_sequence
+
+                def fold_cut(payloads: dict[str, bytes]) -> None:
+                    # Runs per acked worker (on the loop): fold its reset
+                    # shards into the recovery base and move their report
+                    # counts from "dispatched" to "base".
+                    for name, payload in sorted(payloads.items()):
+                        campaign = self.manager.get(name)
+                        shard = ShardAccumulator.from_bytes(payload)
+                        campaign.accumulator = campaign.accumulator.merge(
+                            shard
+                        )
+                        self.pool.accepted_reports[name] = (
+                            self.pool.accepted_reports.get(name, 0)
+                            - shard.num_reports
+                        )
+
+                await self.pool.cut(fold_cut)
+            else:
+                await self.pipeline.drain()
+                cut_sequence = self.wal.last_sequence
+            frozen = [
+                (
+                    campaign,
+                    campaign.accumulator.snapshot(),
+                    campaign.freeze_adaptive(),
+                    dict(campaign.edge_sequences),
+                )
+                for campaign in self.manager.campaigns()
+            ]
+        finally:
+            self._wal_gate_open.set()
+        manifest = await asyncio.to_thread(
+            self.checkpoints.save_frozen, frozen, wal_sequence=cut_sequence
+        )
+        self.checkpoints_written += 1
+        self._m_checkpoints.inc()
+        self.last_checkpoint_at = manifest["saved_at"]
+        # Only now — with the covering checkpoint durable — do the covered
+        # segments go away.  truncate() is loop-synchronous and skips the
+        # active segment if anything is pending, so it cannot race appends.
+        self.wal.truncate(cut_sequence)
+        return manifest
+
+    @contextlib.asynccontextmanager
+    async def _wal_admission(self):
+        """Hold one ingest request's seat between WAL append and ack, so a
+        checkpoint cut can quiesce the append window without failing
+        anyone."""
+        while not self._wal_gate_open.is_set():
+            await self._wal_gate_open.wait()
+        self._wal_inflight += 1
+        self._wal_idle.clear()
+        try:
+            yield
+        finally:
+            self._wal_inflight -= 1
+            if self._wal_inflight == 0:
+                self._wal_idle.set()
+
+    async def _wal_guarded(self, kind: int, body: bytes, fold, *, campaign=""):
+        """The durable ingest sequence: append + fsync, then fold, acking
+        only after both.  A failed fold appends an abort tombstone for the
+        record before re-raising — the record was never folded, replay must
+        skip it, and the client's retry (it got a 4xx/5xx, not an ack)
+        cannot double-count."""
+        async with self._wal_admission():
+            sequence = await self.wal.append(kind, body, campaign=campaign)
+            try:
+                return await fold(sequence)
+            except BaseException:
+                with contextlib.suppress(Exception):
+                    await self.wal.append_abort(sequence)
+                raise
+
+    async def _recover_wal(self) -> None:
+        """Scan the log, cut any torn tail, and replay every record past
+        the last checkpoint's coverage point (skipping abort-tombstoned
+        sequences).  Runs after the pool/pipeline is up and before the
+        listener binds."""
+        records = await asyncio.to_thread(self.wal.scan)
+        base_sequence = 0
+        if self.checkpoints.exists():
+            manifest = self.checkpoints.read_manifest()
+            base_sequence = int(manifest.get("wal_sequence", 0))
+        # A checkpoint that covered every record lets truncation empty the
+        # log entirely, so a fresh scan can land *below* the manifest's
+        # coverage point.  Seed the counter past it — otherwise new appends
+        # would reuse covered sequence numbers and the next recovery would
+        # silently skip them.
+        if self.wal.last_sequence < base_sequence:
+            self.wal.last_sequence = base_sequence
+        await self.wal.start()
+        aborted = WriteAheadLog.aborted_sequences(records)
+        replay = [
+            record
+            for record in records
+            if record.sequence > base_sequence
+            and record.kind != KIND_ABORT
+            and record.sequence not in aborted
+        ]
+        for record in replay:
+            try:
+                await self._replay_record(record)
+                self.wal_replayed += 1
+            except ReproError as error:
+                # It was rejected the first time around too (the abort
+                # tombstone for it may sit past a torn tail); recovery
+                # must not die on it.
+                self.wal_replay_rejected += 1
+                _LOG.warning(
+                    "WAL replay: record %d rejected: %s",
+                    record.sequence,
+                    error,
+                )
+        self.wal.replayed_records_total += len(replay)
+        if replay:
+            if self.pool is not None:
+                await self.pool.drain()
+            else:
+                await self.pipeline.drain()
+            _LOG.info(
+                "WAL recovery complete",
+                extra={
+                    "replayed": self.wal_replayed,
+                    "rejected": self.wal_replay_rejected,
+                    "base_sequence": base_sequence,
+                    "last_sequence": self.wal.last_sequence,
+                },
+            )
+
+    async def _replay_record(self, record: WalRecord) -> None:
+        """Re-fold one WAL record exactly as its original request would
+        have (same parse, same validation), tagged with its original
+        sequence so cluster routing is tracked for supervision."""
+        if record.kind == KIND_PARTIAL:
+            body = json.loads(record.body)
+            # Idempotent by (edge, sequence): a partial the checkpoint
+            # already contains is a duplicate here, not a double-fold.
+            self.manager.apply_partial(
+                record.campaign,
+                edge_id=body["edge"],
+                sequence=body["sequence"],
+                payload=base64.b64decode(
+                    body["accumulator"].encode("ascii"), validate=True
+                ),
+            )
+            return
+        if self.pool is not None:
+            if record.kind == KIND_FRAMES:
+                await self.pool.submit_frames(
+                    record.body, wal_seq=record.sequence
+                )
+            else:
+                await self.pool.submit_json(
+                    record.body,
+                    single=record.kind == KIND_JSON_SINGLE,
+                    wal_seq=record.sequence,
+                )
+            return
+        if record.kind == KIND_FRAMES:
+            await fold_frame_body(self.pipeline, record.body)
+        else:
+            await fold_json_body(
+                self.pipeline, record.body, record.kind == KIND_JSON_SINGLE
+            )
+
+    async def _maybe_delay_ack(self) -> None:
+        """The ``delay_ack`` drill fault: stall this ack."""
+        if self.faults is None:
+            return
+        spec = self.faults.check("delay_ack")
+        if spec is not None:
+            await asyncio.sleep(float(spec.get("seconds", 0.05)))
 
     # -- routing -----------------------------------------------------------
 
@@ -909,17 +1253,28 @@ class CollectionService(HttpTier):
         started = time.perf_counter()
         with self.tracer.span("ingest", trace_id=trace_id) as span:
             span.set_attribute("transport", "json")
-            if self.pool is not None:
+
+            async def fold(wal_seq: int | None):
+                if self.pool is not None:
+                    with span.child("dispatch"):
+                        reply = await self.pool.submit_json(
+                            request.raw,
+                            single=single,
+                            trace_id=trace_id,
+                            wal_seq=wal_seq,
+                        )
+                    return reply["campaigns"]
                 with span.child("dispatch"):
-                    reply = await self.pool.submit_json(
-                        request.raw, single=single, trace_id=trace_id
-                    )
-                per_campaign = reply["campaigns"]
-            else:
-                with span.child("dispatch"):
-                    per_campaign = await fold_json_body(
+                    return await fold_json_body(
                         self.pipeline, request.raw, single, trace_id=trace_id
                     )
+
+            if self.wal is not None:
+                kind = KIND_JSON_SINGLE if single else KIND_JSON_BATCH
+                per_campaign = await self._wal_guarded(kind, request.raw, fold)
+            else:
+                per_campaign = await fold(None)
+        await self._maybe_delay_ack()
         self._m_ingest_latency.observe(time.perf_counter() - started)
         return 200, self._ingest_reply(per_campaign, trace_id)
 
@@ -932,17 +1287,26 @@ class CollectionService(HttpTier):
         started = time.perf_counter()
         with self.tracer.span("ingest", trace_id=trace_id) as span:
             span.set_attribute("transport", "binary")
-            if self.pool is not None:
+
+            async def fold(wal_seq: int | None):
+                if self.pool is not None:
+                    with span.child("dispatch"):
+                        reply = await self.pool.submit_frames(
+                            request.raw, trace_id=trace_id, wal_seq=wal_seq
+                        )
+                    return reply["campaigns"]
                 with span.child("dispatch"):
-                    reply = await self.pool.submit_frames(
-                        request.raw, trace_id=trace_id
-                    )
-                per_campaign = reply["campaigns"]
-            else:
-                with span.child("dispatch"):
-                    per_campaign = await fold_frame_body(
+                    return await fold_frame_body(
                         self.pipeline, request.raw, trace_id=trace_id
                     )
+
+            if self.wal is not None:
+                per_campaign = await self._wal_guarded(
+                    KIND_FRAMES, request.raw, fold
+                )
+            else:
+                per_campaign = await fold(None)
+        await self._maybe_delay_ack()
         self._m_ingest_latency.observe(time.perf_counter() - started)
         return 200, self._ingest_reply(per_campaign, trace_id)
 
@@ -994,14 +1358,25 @@ class CollectionService(HttpTier):
         with self.tracer.span("partial", trace_id=trace_id) as span:
             span.set_attribute("campaign", name)
             span.set_attribute("edge", str(edge_id))
-            try:
+
+            async def fold(wal_seq: int | None):
+                # Applied on the loop; apply_partial is idempotent by
+                # (edge, sequence), which also makes its WAL replay safe.
                 with span.child("merge"):
-                    receipt = self.manager.apply_partial(
+                    return self.manager.apply_partial(
                         name,
                         edge_id=edge_id,
                         sequence=sequence,
                         payload=payload,
                     )
+
+            try:
+                if self.wal is not None:
+                    receipt = await self._wal_guarded(
+                        KIND_PARTIAL, request.raw, fold, campaign=name
+                    )
+                else:
+                    receipt = await fold(None)
             except ReproError:
                 rejected = self._m_partials.labels("rejected")
                 rejected.inc()  # type: ignore[union-attr]
@@ -1047,12 +1422,21 @@ class CollectionService(HttpTier):
         alive = self.pool.workers_alive if self.pool is not None else 0
         # A degraded pool fails every data-plane request, so liveness
         # probes must see it too: non-200 takes the instance out of
-        # rotation instead of leaving a dead-in-the-water 200.
-        degraded = bool(
-            self.pool is not None and self.started_at and alive < workers
+        # rotation instead of leaving a dead-in-the-water 200.  A
+        # *recovering* supervised pool answers 200 with its state visible:
+        # ingest is riding out the blip, there is nothing to evict.
+        if self.pool is not None and self.started_at:
+            if self.pool.supervised:
+                health = self.pool.health
+            else:
+                health = "degraded" if alive < workers else "healthy"
+        else:
+            health = "healthy"
+        status = {"healthy": "ok", "recovering": "recovering"}.get(
+            health, "degraded"
         )
         payload = {
-            "status": "degraded" if degraded else "ok",
+            "status": status,
             "version": __version__,
             "campaigns": len(self.manager),
             "recovered": self.recovered,
@@ -1061,12 +1445,17 @@ class CollectionService(HttpTier):
             "workers_alive": alive,
             "uptime_seconds": self._uptime(),
         }
-        if degraded:
+        if self.pool is not None:
+            payload["worker_restarts"] = self.pool.restarts_total
+        if self.wal is not None:
+            payload["wal_last_sequence"] = self.wal.last_sequence
+        if health == "degraded" and self.pool is not None and self.started_at:
             payload["error"] = (
                 f"cluster degraded: {alive}/{workers} workers alive — "
                 "restart the service to recover from the last checkpoint"
+                + (" + WAL" if self.wal is not None else "")
             )
-        return (503 if degraded else 200), payload
+        return (503 if health == "degraded" else 200), payload
 
     async def _cluster_ingest_stats(self) -> tuple[dict, dict, int]:
         """Summed per-worker ingest counters, the raw per-worker rows, and
@@ -1145,6 +1534,12 @@ class CollectionService(HttpTier):
         }
         if cluster is not None:
             metrics["cluster"] = cluster
+        if self.wal is not None:
+            metrics["wal"] = {
+                **self.wal.stats(),
+                "startup_replayed": self.wal_replayed,
+                "startup_replay_rejected": self.wal_replay_rejected,
+            }
         return metrics
 
     async def _prometheus_text(self) -> str:

@@ -134,7 +134,14 @@ class StoreRecord:
 
 
 def _atomic_write_bytes(path: Path, payload: bytes) -> None:
-    """Write ``payload`` to ``path`` atomically (temp file + rename)."""
+    """Write ``payload`` to ``path`` atomically and durably (temp file +
+    fsync + rename + parent-directory fsync).
+
+    The final directory fsync matters: ``os.replace`` only updates the
+    directory entry, and that metadata lives in the *directory*, not the
+    file — without it a power failure can durably keep the payload bytes
+    yet forget the rename, resurrecting the old file (or none at all).
+    """
     path.parent.mkdir(parents=True, exist_ok=True)
     descriptor, temp_name = tempfile.mkstemp(
         dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
@@ -145,6 +152,11 @@ def _atomic_write_bytes(path: Path, payload: bytes) -> None:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(temp_name, path)
+        directory = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(directory)
+        finally:
+            os.close(directory)
     except BaseException:
         try:
             os.unlink(temp_name)

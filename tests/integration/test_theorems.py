@@ -1,7 +1,7 @@
 """Property tests of the paper's theorems on randomly generated instances."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.analysis import (
@@ -75,6 +75,17 @@ class TestTheorem56:
     def test_random_instances(self, cols, epsilon, seed):
         workload = random_workload(2 * cols, cols, seed=seed)
         strategy = random_strategy(4 * cols, cols, epsilon, seed + 1)
+        # Theorem 5.6 bounds L(Q) over strategies that can *support* the
+        # workload (W = W Q^+ Q).  The column projection can collapse a
+        # random draw to a rank-deficient Q — e.g. every column equal at
+        # small epsilon — where L(Q) is really +inf but the pinv-based
+        # objective silently drops the unsupported directions.
+        assume(
+            np.allclose(
+                workload.matrix,
+                workload.matrix @ np.linalg.pinv(strategy) @ strategy,
+            )
+        )
         value = strategy_objective(strategy, workload.gram())
         bound = strategy_objective_lower_bound(workload, epsilon)
         assert value >= bound * (1 - 1e-9)

@@ -1,0 +1,143 @@
+"""Deterministic fault plans: parsing, counting, matching, pickling.
+
+The chaos drill's bit-identical assertions rest on these semantics: a
+fault fires on exactly its Nth occurrence, exactly once, with the same
+answer in every process that counts the same dispatch pattern.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service import FAULT_ACTIONS, Fault, FaultPlan
+
+
+class TestParsing:
+    def test_load_inline_json_and_roundtrip(self):
+        document = {
+            "seed": 7,
+            "faults": [
+                {"action": "kill_worker", "at": 3, "worker": 1},
+                {"action": "delay_ack", "at": 2, "seconds": 0.25},
+            ],
+        }
+        plan = FaultPlan.load(json.dumps(document))
+        assert plan.seed == 7
+        assert plan.to_json() == document
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text('{"faults": [{"action": "torn_wal", "at": 9}]}')
+        plan = FaultPlan.load(str(path))
+        assert plan.faults[0].action == "torn_wal"
+        assert plan.faults[0].at == 9
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ServiceError, match="not found"):
+            FaultPlan.load(str(tmp_path / "absent.json"))
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ServiceError, match="not valid JSON"):
+            FaultPlan.load("{broken")
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ServiceError, match="unknown fault action"):
+            FaultPlan.from_json({"faults": [{"action": "set_fire", "at": 1}]})
+
+    def test_bad_occurrence_rejected(self):
+        for at in (0, -1, "3", True, None):
+            with pytest.raises(ServiceError, match="'at'"):
+                Fault("delay_ack", at, {})
+
+    def test_every_documented_action_parses(self):
+        plan = FaultPlan.from_json(
+            {"faults": [{"action": a, "at": 1} for a in FAULT_ACTIONS]}
+        )
+        assert len(plan.faults) == len(FAULT_ACTIONS)
+
+
+class TestFiring:
+    def test_fires_on_nth_occurrence_exactly_once(self):
+        plan = FaultPlan.from_json(
+            {"faults": [{"action": "delay_ack", "at": 3, "seconds": 0.5}]}
+        )
+        assert plan.check("delay_ack") is None
+        assert plan.check("delay_ack") is None
+        fired = plan.check("delay_ack")
+        assert fired["seconds"] == 0.5
+        assert fired["at"] == 3
+        assert plan.check("delay_ack") is None  # armed once, never again
+
+    def test_sites_count_independently(self):
+        plan = FaultPlan.from_json(
+            {
+                "faults": [
+                    {"action": "kill_worker", "at": 1},
+                    {"action": "drop_reply", "at": 2},
+                ]
+            }
+        )
+        assert plan.check("drop_reply") is None  # count 1: not yet
+        assert plan.check("kill_worker") is not None  # its own counter
+        assert plan.check("drop_reply") is not None
+
+    def test_match_keys_scope_the_count(self):
+        plan = FaultPlan.from_json(
+            {"faults": [{"action": "drop_reply", "at": 2, "op": "cut"}]}
+        )
+        # non-matching ops do not advance the entry's counter: "at 2"
+        # means the second *cut* op, however many other ops pass the site
+        assert plan.check("drop_reply", op="json") is None
+        assert plan.check("drop_reply", op="json") is None
+        assert plan.check("drop_reply", op="cut") is None  # first cut
+        assert plan.check("drop_reply", op="json") is None
+        assert plan.check("drop_reply", op="cut") is not None  # second cut
+        # keys absent from the context match anything
+        relaxed = FaultPlan.from_json(
+            {"faults": [{"action": "drop_reply", "at": 1, "op": "cut"}]}
+        )
+        assert relaxed.check("drop_reply") is not None
+
+    def test_count_override_targets_a_sequence(self):
+        plan = FaultPlan.from_json(
+            {"faults": [{"action": "torn_wal", "at": 120}]}
+        )
+        assert plan.check("torn_wal", count=119) is None
+        assert plan.check("torn_wal", count=120) is not None
+        assert plan.check("torn_wal", count=120) is None
+
+    def test_two_faults_same_action_different_occurrences(self):
+        plan = FaultPlan.from_json(
+            {
+                "faults": [
+                    {"action": "kill_worker", "at": 2, "worker": 0},
+                    {"action": "kill_worker", "at": 4, "worker": 1},
+                ]
+            }
+        )
+        hits = [plan.check("kill_worker") for _ in range(5)]
+        assert [h["worker"] for h in hits if h] == [0, 1]
+
+
+class TestPickling:
+    def test_unpickled_copy_counts_from_zero(self):
+        plan = FaultPlan.from_json(
+            {"seed": 3, "faults": [{"action": "drop_reply", "at": 2}]}
+        )
+        assert plan.check("drop_reply") is None  # parent consumed count 1
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.seed == 3
+        assert clone.check("drop_reply") is None  # fresh counter: count 1
+        assert clone.check("drop_reply") is not None
+        # the parent's own counter kept going independently
+        assert plan.check("drop_reply") is not None
+
+    def test_fired_state_resets_across_pickle(self):
+        plan = FaultPlan.from_json(
+            {"faults": [{"action": "kill_worker", "at": 1}]}
+        )
+        assert plan.check("kill_worker") is not None
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.check("kill_worker") is not None
