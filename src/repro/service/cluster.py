@@ -735,13 +735,20 @@ class WorkerPool:
         worker.pending = collections.deque()
         worker.inflight = asyncio.Semaphore(MAX_INFLIGHT_PER_WORKER)
         self._wire_worker(worker)
+        # Alive so _call works, but still state="down": the worker must
+        # not become a dispatch target before its campaign registry is
+        # re-opened, or a fresh ingest op would bounce with a spurious
+        # unknown-campaign 400 (and tombstone a perfectly good record).
         worker.alive = True
-        worker.state = "restoring"
-        self._pulse()
         try:
             await self._call(worker, ("ping",))
             for name, num_outputs in self._campaign_specs.items():
                 await self._call(worker, ("open", name, num_outputs))
+            # Registry restored: routable again (fresh ops interleaving
+            # with the replay below are fine — folds commute, and their
+            # sequences join ``routed`` like any other dispatch).
+            worker.state = "restoring"
+            self._pulse()
             if worker.routed:
                 records = await asyncio.to_thread(
                     self.wal.read_records, sequences=set(worker.routed)
@@ -962,8 +969,24 @@ class WorkerPool:
         self._count_accepted(worker, reply["campaigns"])
         return reply
 
+    def _require_unsupervised(self, operation: str) -> None:
+        """The direct submit APIs below carry no WAL sequence, so their
+        folds belong to no worker's ``routed`` set — a respawned worker's
+        rebuilt shard (checkpoint cut + routed replay) would silently drop
+        them, an under-count in the one mode that promises durability.
+        Refuse up front instead; supervised ingest must go through
+        :meth:`submit_json`/:meth:`submit_frames` with a ``wal_seq``."""
+        if self.supervised:
+            raise ServiceError(
+                f"{operation} bypasses the write-ahead log and cannot be "
+                "replayed after a worker respawn; on a supervised pool use "
+                "submit_json/submit_frames with a WAL sequence instead"
+            )
+
     async def submit_reports(self, campaign: str, reports: np.ndarray) -> int:
-        """Dispatch one pre-validated ``int64`` report batch to a worker."""
+        """Dispatch one pre-validated ``int64`` report batch to a worker.
+        Unsupervised pools only — see :meth:`_require_unsupervised`."""
+        self._require_unsupervised("submit_reports")
         worker, accepted = await self._dispatch(
             ("reports", campaign, reports), None
         )
@@ -974,7 +997,9 @@ class WorkerPool:
         self, campaign: str, item_size: int, payload: bytes
     ) -> int:
         """Dispatch one packed report payload; the worker unpacks and
-        validates it, keeping the coordinator off the decode path."""
+        validates it, keeping the coordinator off the decode path.
+        Unsupervised pools only — see :meth:`_require_unsupervised`."""
+        self._require_unsupervised("submit_reports_packed")
         worker, accepted = await self._dispatch(
             ("reports_packed", campaign, item_size, payload), None
         )
@@ -982,7 +1007,9 @@ class WorkerPool:
         return accepted
 
     async def submit_histogram(self, campaign: str, histogram: np.ndarray) -> int:
-        """Dispatch one validated pre-aggregated histogram to a worker."""
+        """Dispatch one validated pre-aggregated histogram to a worker.
+        Unsupervised pools only — see :meth:`_require_unsupervised`."""
+        self._require_unsupervised("submit_histogram")
         worker, accepted = await self._dispatch(
             ("histogram", campaign, histogram), None
         )

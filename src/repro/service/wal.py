@@ -33,6 +33,12 @@ sequence order and resolves them together, so under load the fsync cost
 amortizes across the batch while an idle service still pays only one
 fsync of latency per report.
 
+A write or fsync failure at runtime (disk full, I/O error) fail-stops
+the log: the appends awaiting that batch and every later one raise
+:class:`~repro.exceptions.ServiceError`, so no ack is ever sent for a
+record whose durability is unknown — the failure surfaces like a crash,
+and recovery cuts the log at the last valid record.
+
 Recovery tolerates exactly the damage a crash can cause: a torn tail
 (partial final record) is cut at the last valid record and the file is
 truncated to that point.  Anything else — a flipped bit, a bad CRC or
@@ -271,6 +277,14 @@ class WriteAheadLog:
         self._active_first_seq = 0
         self._active_last_seq = 0
         self._pending: list[tuple[bytes, int, asyncio.Future]] = []
+        #: True while a swapped-out batch is being written on the flush
+        #: thread; :meth:`truncate` (loop-side) must not close or unlink
+        #: the active segment under it.
+        self._flushing = False
+        #: Set (to the error message) after any write/fsync failure; the
+        #: WAL is then fail-stop — every append raises — because the disk
+        #: state past the last good batch is unknown.
+        self._failed: str | None = None
         self._kick: asyncio.Event | None = None
         self._flusher: asyncio.Task | None = None
         self._started = False
@@ -359,13 +373,13 @@ class WriteAheadLog:
         if not self._started:
             return
         self._started = False
+        # Wake the flusher; it drains whatever is pending, then exits on
+        # its own (no cancel — cancelling mid-flush would strand a batch
+        # whose futures never resolve).
         self._kick.set()
         if self._flusher is not None:
-            self._flusher.cancel()
             await asyncio.gather(self._flusher, return_exceptions=True)
             self._flusher = None
-        if self._pending:
-            self._flush_pending()
         if self._handle is not None:
             self._handle.close()
             self._handle = None
@@ -380,6 +394,8 @@ class WriteAheadLog:
         Returns the record's sequence number."""
         if not self._started:
             raise ServiceError("WAL is not running")
+        if self._failed is not None:
+            raise ServiceError(self._failed)
         self.last_sequence += 1
         sequence = self.last_sequence
         payload = encode_record(
@@ -409,26 +425,45 @@ class WriteAheadLog:
         }
 
     async def _flush_loop(self) -> None:
-        while True:
+        while self._started or self._pending:
             await self._kick.wait()
             self._kick.clear()
-            if self._pending:
-                try:
-                    self._flush_pending()
-                except Exception as error:  # noqa: BLE001 - fail appenders
-                    for _, _, future in self._pending:
+            while self._pending:
+                # Swap the batch out *here*, so the failure path below
+                # still holds it — if the write/fsync raises, every
+                # appender in the batch gets the error instead of
+                # hanging forever on an unresolved future.
+                batch, self._pending = self._pending, []
+                if self._failed is None:
+                    self._flushing = True
+                    try:
+                        await asyncio.to_thread(self._flush_batch, batch)
+                    except Exception as error:  # noqa: BLE001 - fail appenders
+                        # Fail-stop: a failed write may have left a partial
+                        # batch on disk, and the failed appends consumed
+                        # sequences — writing anything after them would
+                        # land behind damaged bytes or leave a sequence
+                        # gap that recovery correctly refuses.  Surface
+                        # the error like a crash: this batch and every
+                        # later append fail loudly; recovery cuts the log
+                        # at the last valid record.
+                        self._failed = f"WAL write failed: {error}"
+                    finally:
+                        self._flushing = False
+                if self._failed is not None:
+                    for _, _, future in batch:
                         if not future.done():
-                            future.set_exception(
-                                ServiceError(f"WAL write failed: {error}")
-                            )
-                    self._pending.clear()
+                            future.set_exception(ServiceError(self._failed))
+                else:
+                    for _, _, future in batch:
+                        if not future.done():
+                            future.set_result(None)
 
-    def _flush_pending(self) -> None:
-        """Write + fsync every pending record, then resolve their futures
-        (group commit).  Runs on the loop: the writes are buffered file
-        appends and one fsync — the same order of cost as the JSON
-        serialization an ack already pays."""
-        batch, self._pending = self._pending, []
+    def _flush_batch(self, batch) -> None:
+        """Write + fsync one swapped-out batch (group commit).  Runs on a
+        worker thread so the fsync — milliseconds on a loaded disk — never
+        stalls the event loop; ordering needs no locks because the single
+        flusher awaits each batch before swapping out the next."""
         if self.faults is not None:
             for payload, sequence, _ in batch:
                 if self.faults.check("torn_wal", count=sequence) is not None:
@@ -453,9 +488,6 @@ class WriteAheadLog:
         if self.fsync:
             os.fsync(self._handle.fileno())
         self.fsync_batches_total += 1
-        for _, _, future in batch:
-            if not future.done():
-                future.set_result(None)
 
     def _ensure_segment(self, record_bytes: int, sequence: int) -> None:
         """Open (rotating if needed) the segment that will hold the record
@@ -501,6 +533,11 @@ class WriteAheadLog:
         """Delete segments whose records are all ``<= upto_sequence``
         (called after the covering checkpoint is durable).  Returns how
         many segment files were removed."""
+        if self._flushing:
+            # A batch is mid-write on the flush thread; closing or
+            # rotating files under it would corrupt the log.  The next
+            # checkpoint's truncate reclaims these segments.
+            return 0
         removed = 0
         segments = self.segment_paths()
         for index, path in enumerate(segments):

@@ -166,6 +166,23 @@ class TestWorkerPool:
         with pytest.raises(ServiceError, match=">= 1"):
             WorkerPool(0)
 
+    def test_supervised_pool_refuses_unlogged_submit_apis(self):
+        """The direct submit APIs carry no WAL sequence, so a supervised
+        pool could not replay them after a worker respawn — they must
+        refuse up front instead of silently under-counting later."""
+
+        async def run():
+            pool = WorkerPool(1, wal=object())  # never started: the
+            # guard must fire before any dispatch machinery is touched
+            with pytest.raises(ServiceError, match="write-ahead log"):
+                await pool.submit_reports("demo", np.array([0], dtype=np.int64))
+            with pytest.raises(ServiceError, match="write-ahead log"):
+                await pool.submit_reports_packed("demo", 1, b"\x00")
+            with pytest.raises(ServiceError, match="write-ahead log"):
+                await pool.submit_histogram("demo", np.ones(NUM_OUTPUTS))
+
+        asyncio.run(run())
+
 
 @pytest.fixture
 def cluster_service(tmp_path):

@@ -229,6 +229,42 @@ class TestWriteAheadLog:
         assert by_min == [3, 4]
         assert by_set == [b"a", b"c"]
 
+    def test_write_failure_fails_appenders_instead_of_hanging(self, tmp_path):
+        """An I/O error mid-flush must surface to every waiting append as
+        a ServiceError — never a hung future — and fail-stop the log (a
+        partial batch may be on disk; the consumed sequences would leave
+        a gap recovery refuses)."""
+
+        async def run():
+            wal = wal_for(tmp_path)
+            await wal.start()
+            await wal.append(KIND_JSON_BATCH, b"ok")
+
+            def boom(batch):
+                raise OSError("disk full")
+
+            wal._flush_batch = boom
+            results = await asyncio.wait_for(
+                asyncio.gather(
+                    *(wal.append(KIND_JSON_BATCH, b"doomed") for _ in range(4)),
+                    return_exceptions=True,
+                ),
+                timeout=10,
+            )
+            assert len(results) == 4
+            assert all(isinstance(r, ServiceError) for r in results)
+            assert all("WAL write failed" in str(r) for r in results)
+            # Fail-stop: later appends refuse immediately, even though
+            # the underlying fault is gone.
+            del wal._flush_batch
+            with pytest.raises(ServiceError, match="WAL write failed"):
+                await wal.append(KIND_JSON_BATCH, b"after")
+            await asyncio.wait_for(wal.stop(), timeout=10)
+
+        asyncio.run(run())
+        records = WriteAheadLog(tmp_path / "wal", fsync=False).scan()
+        assert [r.body for r in records] == [b"ok"]
+
     def test_rejects_tiny_segment_bytes(self, tmp_path):
         with pytest.raises(ServiceError, match="segment_bytes"):
             WriteAheadLog(tmp_path / "wal", segment_bytes=16)
